@@ -1,0 +1,63 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark runs a scaled-down version of one of the paper's
+tables/figures (or an ablation of a design choice) and prints the same
+rows/series the paper reports.  The scale is deliberately small so the whole
+harness finishes in a few minutes; pass ``--bench-scale=laptop`` for the
+larger configuration used to fill EXPERIMENTS.md, or edit
+:class:`repro.experiments.ExperimentScale` for anything bigger.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.learner import LearnerConfig
+from repro.experiments.config import ExperimentScale
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale",
+        action="store",
+        default="bench",
+        choices=["bench", "laptop"],
+        help="Scale of the experiment benchmarks (default: bench, a fast configuration).",
+    )
+
+
+def _bench_scale(benchmarks) -> ExperimentScale:
+    """A scale slightly larger than smoke but still fast enough to benchmark."""
+    return ExperimentScale(
+        name="bench",
+        benchmarks=tuple(benchmarks),
+        learner=LearnerConfig(
+            n_initial=5,
+            seed_observations=10,
+            n_candidates=30,
+            max_training_examples=70,
+            reference_size=20,
+            evaluation_interval=10,
+            tree_particles=15,
+        ),
+        repetitions=1,
+        test_size=120,
+        test_observations=8,
+        dataset_configurations=150,
+        dataset_observations=20,
+        figure1_grid=10,
+        seed=2017,
+    )
+
+
+@pytest.fixture(scope="session")
+def scale_factory(request):
+    """Factory returning an ExperimentScale restricted to the given benchmarks."""
+    choice = request.config.getoption("--bench-scale")
+
+    def factory(benchmarks):
+        if choice == "laptop":
+            return ExperimentScale.laptop(benchmarks=benchmarks)
+        return _bench_scale(benchmarks)
+
+    return factory

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the model-update cost (the paper's O(n^3) argument).
+
+Section 3.2 motivates dynamic trees over Gaussian processes with the cost of
+sequential updates: the GP needs an O(n^3) refit per new observation while
+the dynamic tree only touches the leaf containing the new point.  These
+micro-benchmarks measure one sequential update (absorb a point, then
+predict) at different training-set sizes for both models, plus the raw
+throughput of the simulated substrate (cost-model evaluation and profiling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.measurement.profiler import Profiler
+from repro.models.dynamic_tree import DynamicTreeConfig, DynamicTreeRegressor
+from repro.models.gp import GaussianProcessRegressor
+from repro.spapt.suite import get_benchmark
+
+
+def _training_data(size, dims=6, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1.5, 1.5, size=(size, dims))
+    y = 1.0 + 0.3 * X[:, 0] + np.where(X[:, 1] > 0, 0.5, 0.0) + rng.normal(0, 0.02, size)
+    return X, y
+
+
+@pytest.mark.benchmark(group="model-update")
+@pytest.mark.parametrize("size", [50, 200, 400])
+def test_bench_dynamic_tree_update(benchmark, size):
+    X, y = _training_data(size)
+    model = DynamicTreeRegressor(
+        DynamicTreeConfig(n_particles=20), rng=np.random.default_rng(1)
+    )
+    model.fit(X, y)
+    probe = np.zeros((1, X.shape[1]))
+
+    def update_and_predict():
+        model.update(X[size // 2], float(y[size // 2]))
+        model.predict(probe)
+
+    benchmark(update_and_predict)
+
+
+@pytest.mark.benchmark(group="model-update")
+@pytest.mark.parametrize("size", [50, 200, 400])
+def test_bench_gaussian_process_update(benchmark, size):
+    X, y = _training_data(size)
+    probe = np.zeros((1, X.shape[1]))
+
+    def update_and_predict():
+        model = GaussianProcessRegressor()
+        model.fit(X, y)
+        model.update(X[size // 2], float(y[size // 2]))
+        model.predict(probe)
+
+    benchmark(update_and_predict)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_bench_cost_model_evaluation(benchmark):
+    mm = get_benchmark("mm")
+    rng = np.random.default_rng(2)
+    configurations = [mm.search_space.random_configuration(rng) for _ in range(200)]
+
+    def evaluate_all():
+        return sum(mm.true_runtime(c) for c in configurations)
+
+    total = benchmark(evaluate_all)
+    assert total > 0
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_bench_profiler_throughput(benchmark):
+    mm = get_benchmark("mm")
+
+    def profile_batch():
+        profiler = Profiler(mm, rng=np.random.default_rng(3))
+        for _ in range(50):
+            configuration = mm.search_space.random_configuration(profiler._rng)
+            profiler.measure(configuration, repetitions=3)
+        return profiler.ledger.total_seconds
+
+    cost = benchmark(profile_batch)
+    assert cost > 0

@@ -1,0 +1,31 @@
+"""Benchmark for the noise-injection robustness study (paper's future work).
+
+Scales the calibrated noise of one benchmark and reruns the sampling-plan
+comparison at each level, printing how the variable plan's advantage evolves
+as the simulated machine becomes more heavily loaded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.noise_robustness import run_noise_robustness
+
+
+@pytest.mark.benchmark(group="noise-robustness")
+def test_bench_noise_robustness(benchmark, scale_factory):
+    scale = scale_factory(("mm",))
+    result = benchmark.pedantic(
+        run_noise_robustness,
+        kwargs={
+            "scale": scale,
+            "benchmark_name": "mm",
+            "noise_multipliers": (0.5, 1.0, 4.0),
+        },
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(result.render())
+    assert len(result.levels) == 3

@@ -1,0 +1,70 @@
+"""Quickstart: build a runtime predictor for one SPAPT kernel.
+
+This is the smallest end-to-end use of the library:
+
+1. pick a SPAPT benchmark (dense matrix multiplication, ``mm``);
+2. build a held-out test set of configurations (each profiled a few times,
+   exactly like the paper's datasets);
+3. run the paper's active learner with the *variable observations* plan —
+   one profiling run per selection, revisiting configurations only when the
+   model thinks more samples of them are worth their cost;
+4. look at the learning curve: model error (RMSE) against cumulative
+   simulated compilation + profiling cost.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ActiveLearner, LearnerConfig, build_test_set, sequential_plan
+from repro.spapt import get_benchmark
+
+
+def main() -> None:
+    rng = np.random.default_rng(2017)
+    benchmark = get_benchmark("mm")
+    print(f"benchmark: {benchmark.name}")
+    print(benchmark.search_space.describe())
+    print()
+
+    # A held-out test set: random configurations with averaged observations.
+    test_set = build_test_set(benchmark, size=200, observations=10, rng=rng)
+
+    # Laptop-sized learner configuration; LearnerConfig.paper_scale() holds
+    # the parameters from Section 4.4 of the paper.
+    config = LearnerConfig(
+        n_initial=5,
+        seed_observations=35,
+        n_candidates=50,
+        max_training_examples=120,
+        reference_size=30,
+        evaluation_interval=10,
+        tree_particles=25,
+    )
+    learner = ActiveLearner(
+        benchmark, plan=sequential_plan(35), config=config, rng=rng
+    )
+    result = learner.run(test_set)
+
+    print("learning curve (cumulative cost -> RMSE):")
+    for point in result.curve.points:
+        print(
+            f"  {point.cost_seconds:10.1f} s   RMSE {point.rmse:.4f} s   "
+            f"({point.training_examples} examples, {point.observations} runs)"
+        )
+    print()
+    print(f"final RMSE          : {result.curve.points[-1].rmse:.4f} s")
+    print(f"best RMSE           : {result.curve.best_error:.4f} s")
+    print(f"profiling cost      : {result.total_cost_seconds:.0f} simulated seconds")
+    print(f"distinct configs    : {result.distinct_configurations}")
+    print(f"total observations  : {result.total_observations}")
+    revisited = sum(1 for count in result.observation_counts.values() if count > 1)
+    print(f"configs measured >1x: {revisited}")
+
+
+if __name__ == "__main__":
+    main()

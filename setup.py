@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this shim exists so that
+``pip install -e .`` also works on older toolchains (setuptools without
+``wheel``/PEP-660 editable support), such as fully offline environments.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Minimizing the Cost of Iterative Compilation with "
+        "Active Learning' (CGO 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy"],
+)

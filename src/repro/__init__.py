@@ -1,0 +1,37 @@
+"""repro: reproduction of "Minimizing the Cost of Iterative Compilation with
+Active Learning" (Ogilvie, Petoumenos, Wang & Leather, CGO 2017).
+
+The package is organised in layers:
+
+* :mod:`repro.ir` and :mod:`repro.machine` — the compiler/hardware
+  substrate: a loop-nest IR, the unroll / cache-tile / register-tile
+  transformation passes, and an analytical machine model that turns a
+  transformed kernel into a deterministic runtime and compile time.
+* :mod:`repro.spapt` — the 11 SPAPT search problems built on that substrate
+  (kernels, tunable search spaces, dataset generation).
+* :mod:`repro.measurement` — the simulated profiler: noise models, cost
+  accounting and summary statistics.
+* :mod:`repro.models` — the surrogate models: a from-scratch dynamic tree
+  (particle learning), a Gaussian process and simple baselines.
+* :mod:`repro.core` — the paper's contribution: the active-learning loop
+  with sequential analysis, the sampling plans it is compared against,
+  acquisition functions, learning curves and the comparison driver.
+* :mod:`repro.experiments` — one driver per table/figure of the paper.
+
+Quickstart::
+
+    from repro.spapt import get_benchmark
+    from repro.core import ActiveLearner, build_test_set, sequential_plan
+    import numpy as np
+
+    benchmark = get_benchmark("mm")
+    rng = np.random.default_rng(0)
+    test_set = build_test_set(benchmark, size=200, rng=rng)
+    learner = ActiveLearner(benchmark, plan=sequential_plan(), rng=rng)
+    result = learner.run(test_set)
+    print(result.curve.best_error, result.total_cost_seconds)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "models", "spapt", "measurement", "machine", "ir", "experiments"]

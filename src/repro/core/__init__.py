@@ -1,0 +1,55 @@
+"""Active learning with sequential analysis — the paper's contribution."""
+
+from .acquisition import (
+    AcquisitionFunction,
+    ALCAcquisition,
+    ALMAcquisition,
+    RandomAcquisition,
+    make_acquisition,
+)
+from .candidates import CandidatePool
+from .comparison import (
+    ComparisonConfig,
+    PlanComparison,
+    compare_sampling_plans,
+    speedup_between,
+)
+from .curves import (
+    CurvePoint,
+    LearningCurve,
+    average_curves,
+    lowest_common_error,
+    time_to_reach,
+)
+from .evaluation import TestSet, build_test_set, evaluate_rmse
+from .learner import ActiveLearner, LearnerConfig, LearningResult
+from .plans import SamplingPlan, adaptive_ci_plan, fixed_plan, sequential_plan, standard_plans
+
+__all__ = [
+    "AcquisitionFunction",
+    "ALCAcquisition",
+    "ALMAcquisition",
+    "RandomAcquisition",
+    "make_acquisition",
+    "CandidatePool",
+    "ComparisonConfig",
+    "PlanComparison",
+    "compare_sampling_plans",
+    "speedup_between",
+    "CurvePoint",
+    "LearningCurve",
+    "average_curves",
+    "lowest_common_error",
+    "time_to_reach",
+    "TestSet",
+    "build_test_set",
+    "evaluate_rmse",
+    "ActiveLearner",
+    "LearnerConfig",
+    "LearningResult",
+    "SamplingPlan",
+    "adaptive_ci_plan",
+    "fixed_plan",
+    "sequential_plan",
+    "standard_plans",
+]

@@ -1,0 +1,128 @@
+"""Acquisition (usefulness) functions for the active learner.
+
+Section 3.3 of the paper: the dynaTree package offers two scoring
+heuristics, MacKay's ALM (pick the candidate whose predicted output variance
+is largest) and Cohn's ALC (pick the candidate expected to most reduce the
+average predictive variance across the space).  The paper uses ALC because
+it copes better with heteroskedastic noise; Algorithm 1 expresses it as
+*minimising* ``predictAvgModelVariance``.  Both are implemented here against
+the generic :class:`~repro.models.base.SurrogateModel` interface, together
+with a random-selection control.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from ..models.base import SurrogateModel
+
+__all__ = [
+    "AcquisitionFunction",
+    "ALCAcquisition",
+    "ALMAcquisition",
+    "RandomAcquisition",
+    "make_acquisition",
+]
+
+
+class AcquisitionFunction(ABC):
+    """Scores candidates; the learner selects the candidate with the *best* score."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def score(
+        self,
+        model: SurrogateModel,
+        candidates: np.ndarray,
+        reference: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return one score per candidate; **higher is better**."""
+
+    def select(
+        self,
+        model: SurrogateModel,
+        candidates: np.ndarray,
+        reference: np.ndarray,
+        rng: np.random.Generator,
+    ) -> int:
+        """Index of the best candidate (ties broken at random)."""
+        scores = np.asarray(
+            self.score(model, candidates, reference, rng), dtype=float
+        )
+        if scores.shape[0] != np.atleast_2d(candidates).shape[0]:
+            raise ValueError("score() must return one value per candidate")
+        best = float(scores.max())
+        ties = np.flatnonzero(scores >= best - 1e-15)
+        return int(rng.choice(ties))
+
+
+class ALCAcquisition(AcquisitionFunction):
+    """Cohn's ALC: minimise the predicted average variance across the space.
+
+    This is the scoring function the paper uses (``predictAvgModelVariance``
+    in Algorithm 1, lines 14-20, where the candidate with the *lowest*
+    predicted average variance is chosen — equivalently the candidate whose
+    observation removes the most variance).  Scores returned here are the
+    negated expected average variance so that "higher is better" holds.
+    """
+
+    name = "alc"
+
+    def score(
+        self,
+        model: SurrogateModel,
+        candidates: np.ndarray,
+        reference: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        expected = model.expected_average_variance(candidates, reference)
+        return -np.asarray(expected, dtype=float)
+
+
+class ALMAcquisition(AcquisitionFunction):
+    """MacKay's ALM: pick the candidate with the largest predictive variance."""
+
+    name = "alm"
+
+    def score(
+        self,
+        model: SurrogateModel,
+        candidates: np.ndarray,
+        reference: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        prediction = model.predict(np.atleast_2d(candidates))
+        return np.asarray(prediction.variance, dtype=float)
+
+
+class RandomAcquisition(AcquisitionFunction):
+    """Uniform random selection — the non-active-learning control."""
+
+    name = "random"
+
+    def score(
+        self,
+        model: SurrogateModel,
+        candidates: np.ndarray,
+        reference: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        return rng.random(np.atleast_2d(candidates).shape[0])
+
+
+def make_acquisition(name: str) -> AcquisitionFunction:
+    """Look up an acquisition function by name (``"alc"``, ``"alm"``, ``"random"``)."""
+    registry = {
+        "alc": ALCAcquisition,
+        "alm": ALMAcquisition,
+        "random": RandomAcquisition,
+    }
+    key = name.strip().lower()
+    if key not in registry:
+        raise KeyError(f"unknown acquisition {name!r}; expected one of {sorted(registry)}")
+    return registry[key]()

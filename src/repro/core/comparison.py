@@ -1,0 +1,144 @@
+"""Head-to-head comparison of sampling plans on one benchmark.
+
+This is the driver behind Table 1, Figure 5 and Figure 6: for one SPAPT
+benchmark it runs the active learner once per sampling plan per repetition
+(sharing a held-out test set within each repetition), averages the learning
+curves across repetitions, and computes the Table 1 metrics — the lowest
+error level every plan reaches, the cost each plan needs to first reach it,
+and the resulting speed-up of the paper's variable plan over the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..spapt.suite import SpaptBenchmark
+from .acquisition import AcquisitionFunction, ALCAcquisition
+from .curves import LearningCurve, average_curves, lowest_common_error, time_to_reach
+from .evaluation import build_test_set
+from .learner import ActiveLearner, LearnerConfig, LearningResult
+from .plans import SamplingPlan, standard_plans
+
+__all__ = ["ComparisonConfig", "PlanComparison", "compare_sampling_plans", "speedup_between"]
+
+
+@dataclass(frozen=True)
+class ComparisonConfig:
+    """Scale knobs for a plan comparison.
+
+    The paper repeats every experiment ten times with fresh random seeds and
+    tests on 2 500 held-out configurations; the defaults here are laptop
+    sized and every knob is explicit so the harness (and the user) can dial
+    the experiment up to paper scale.
+    """
+
+    learner: LearnerConfig = field(default_factory=LearnerConfig)
+    repetitions: int = 2
+    test_size: int = 300
+    test_observations: int = 35
+    seed: int = 2017
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be at least 1")
+        if self.test_size < 1:
+            raise ValueError("test_size must be at least 1")
+        if self.test_observations < 1:
+            raise ValueError("test_observations must be at least 1")
+
+    @classmethod
+    def paper_scale(cls) -> "ComparisonConfig":
+        """The experimental scale used by the paper (Sections 4.4-4.5)."""
+        return cls(
+            learner=LearnerConfig.paper_scale(),
+            repetitions=10,
+            test_size=2500,
+            test_observations=35,
+        )
+
+
+@dataclass
+class PlanComparison:
+    """Outcome of comparing several sampling plans on one benchmark."""
+
+    benchmark_name: str
+    curves: Dict[str, LearningCurve]
+    results: Dict[str, List[LearningResult]]
+    lowest_common_rmse: float
+    cost_to_reach: Dict[str, float]
+
+    def speedup(self, baseline: str, contender: str) -> float:
+        """Cost of ``baseline`` divided by cost of ``contender`` (>1 means faster)."""
+        if baseline not in self.cost_to_reach or contender not in self.cost_to_reach:
+            raise KeyError("unknown plan name")
+        contender_cost = self.cost_to_reach[contender]
+        if contender_cost <= 0:
+            raise ValueError("contender cost must be positive")
+        return self.cost_to_reach[baseline] / contender_cost
+
+
+def compare_sampling_plans(
+    benchmark: SpaptBenchmark,
+    plans: Optional[Sequence[SamplingPlan]] = None,
+    config: Optional[ComparisonConfig] = None,
+    acquisition: Optional[AcquisitionFunction] = None,
+) -> PlanComparison:
+    """Run every sampling plan on ``benchmark`` and summarise the comparison."""
+    plans = list(plans) if plans is not None else standard_plans()
+    if not plans:
+        raise ValueError("at least one sampling plan is required")
+    config = config if config is not None else ComparisonConfig()
+    acquisition = acquisition if acquisition is not None else ALCAcquisition()
+
+    per_plan_curves: Dict[str, List[LearningCurve]] = {plan.name: [] for plan in plans}
+    per_plan_results: Dict[str, List[LearningResult]] = {plan.name: [] for plan in plans}
+
+    for repetition in range(config.repetitions):
+        test_rng = np.random.default_rng(config.seed + 7919 * repetition)
+        test_set = build_test_set(
+            benchmark,
+            size=config.test_size,
+            observations=config.test_observations,
+            rng=test_rng,
+        )
+        for plan_index, plan in enumerate(plans):
+            run_rng = np.random.default_rng(
+                config.seed + 104729 * repetition + 1299709 * plan_index + 1
+            )
+            learner = ActiveLearner(
+                benchmark,
+                plan=plan,
+                acquisition=acquisition,
+                config=config.learner,
+                rng=run_rng,
+            )
+            result = learner.run(test_set)
+            per_plan_curves[plan.name].append(result.curve)
+            per_plan_results[plan.name].append(result)
+
+    averaged = {
+        name: average_curves(curves) for name, curves in per_plan_curves.items()
+    }
+    common_rmse = lowest_common_error(averaged.values())
+    cost_to_reach = {
+        name: time_to_reach(curve, common_rmse) for name, curve in averaged.items()
+    }
+    return PlanComparison(
+        benchmark_name=benchmark.name,
+        curves=averaged,
+        results=per_plan_results,
+        lowest_common_rmse=common_rmse,
+        cost_to_reach=cost_to_reach,
+    )
+
+
+def speedup_between(
+    comparison: PlanComparison,
+    baseline: str = "all observations",
+    contender: str = "variable observations",
+) -> float:
+    """Convenience wrapper for the Table 1 / Figure 5 speed-up numbers."""
+    return comparison.speedup(baseline, contender)

@@ -1,0 +1,89 @@
+"""Held-out test sets and model-error evaluation.
+
+The paper scores every intermediate model by the RMSE of its predicted
+runtimes against the *observed mean* runtimes of a held-out test set of
+configurations (Section 4.3, Equation 1).  The test set is built exactly as
+the training data would be: random distinct configurations, each profiled a
+fixed number of times and averaged (Section 4.5 uses 2 500 test
+configurations with 35 observations each).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..measurement.profiler import Profiler
+from ..measurement.stats import root_mean_squared_error
+from ..models.base import SurrogateModel
+from ..spapt.suite import SpaptBenchmark
+
+__all__ = ["TestSet", "build_test_set", "evaluate_rmse"]
+
+
+@dataclass(frozen=True)
+class TestSet:
+    """Held-out configurations with their observed mean runtimes."""
+
+    # Not a pytest test class, despite the name.
+    __test__ = False
+
+    configurations: Tuple[Tuple[int, ...], ...]
+    features: np.ndarray
+    mean_runtimes: np.ndarray
+
+    def __post_init__(self) -> None:
+        features = np.atleast_2d(np.asarray(self.features, dtype=float))
+        runtimes = np.asarray(self.mean_runtimes, dtype=float).ravel()
+        if features.shape[0] != runtimes.shape[0]:
+            raise ValueError("features and mean_runtimes disagree on the number of rows")
+        if features.shape[0] != len(self.configurations):
+            raise ValueError("configurations and features disagree on the number of rows")
+        if features.shape[0] == 0:
+            raise ValueError("a test set needs at least one configuration")
+        object.__setattr__(self, "features", features)
+        object.__setattr__(self, "mean_runtimes", runtimes)
+
+    def __len__(self) -> int:
+        return len(self.configurations)
+
+
+def build_test_set(
+    benchmark: SpaptBenchmark,
+    size: int = 500,
+    observations: int = 35,
+    rng: Optional[np.random.Generator] = None,
+    exclude: Sequence[Sequence[int]] = (),
+) -> TestSet:
+    """Profile ``size`` random configurations into a test set.
+
+    ``observations`` controls how many runs are averaged per configuration
+    (35 in the paper); the test set's profiling cost is *not* charged to any
+    learner — it plays the role of the paper's pre-collected datasets.
+    """
+    if size < 1:
+        raise ValueError("size must be at least 1")
+    if observations < 1:
+        raise ValueError("observations must be at least 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    space = benchmark.search_space
+    count = min(size, space.size - len(tuple(exclude)))
+    configurations = space.sample_distinct(count, rng, exclude=exclude)
+    profiler = Profiler(benchmark, rng=rng)
+    means = []
+    for configuration in configurations:
+        profiler.measure(configuration, repetitions=observations)
+        means.append(profiler.mean_runtime(configuration))
+    return TestSet(
+        configurations=tuple(configurations),
+        features=benchmark.features_many(configurations),
+        mean_runtimes=np.asarray(means, dtype=float),
+    )
+
+
+def evaluate_rmse(model: SurrogateModel, test_set: TestSet) -> float:
+    """RMSE of the model's predictions over the test set (Equation 1)."""
+    prediction = model.predict(test_set.features)
+    return root_mean_squared_error(prediction.mean, test_set.mean_runtimes)

@@ -1,0 +1,301 @@
+"""Algorithm 1: active learning with sequential analysis.
+
+This module is the paper's primary contribution.  :class:`ActiveLearner`
+implements the learning loop of Algorithm 1 generalised over a
+:class:`~repro.core.plans.SamplingPlan`, so the same code runs the baseline
+fixed-35 plan, the single-observation plan and the paper's variable
+(sequential-analysis) plan:
+
+1. Seed the model with ``n_initial`` random configurations, each profiled
+   ``seed_observations`` times (good-quality data for the initial model).
+2. Repeat until the completion criterion (``max_training_examples``
+   selections, or a cost budget):
+
+   a. assemble the candidate set — ``n_candidates`` never-observed random
+      configurations plus, under a revisiting plan, every configuration seen
+      fewer than ``max_observations_per_example`` times;
+   b. score the candidates with the acquisition function (ALC by default)
+      and select the most useful one;
+   c. compile-and-run it according to the plan (one observation for the
+      sequential plan, ``nobs`` for the fixed plans) and charge the cost;
+   d. feed the observation(s) to the model and update the bookkeeping.
+
+3. Periodically evaluate the intermediate model's RMSE on a held-out test
+   set; the resulting :class:`~repro.core.curves.LearningCurve` is the raw
+   material of Table 1 and Figures 5-6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..measurement.profiler import CostLedger, Profiler
+from ..models.base import SurrogateModel
+from ..models.dynamic_tree import DynamicTreeConfig, DynamicTreeRegressor
+from ..spapt.suite import SpaptBenchmark
+from .acquisition import AcquisitionFunction, ALCAcquisition
+from .candidates import CandidatePool
+from .curves import CurvePoint, LearningCurve
+from .evaluation import TestSet, evaluate_rmse
+from .plans import SamplingPlan, sequential_plan
+
+__all__ = ["LearnerConfig", "LearningResult", "ActiveLearner"]
+
+ModelFactory = Callable[[np.random.Generator], SurrogateModel]
+
+
+@dataclass(frozen=True)
+class LearnerConfig:
+    """Parameters of the active-learning loop (Section 4.4 of the paper).
+
+    The paper's values are ``n_initial=5``, ``seed_observations=35``,
+    ``n_candidates=500``, ``max_training_examples=2500`` and 5 000 dynamic
+    tree particles; the defaults here are scaled down so a full comparison
+    runs in minutes on a laptop, and :meth:`paper_scale` restores the paper's
+    values.
+    """
+
+    n_initial: int = 5
+    seed_observations: int = 35
+    n_candidates: int = 60
+    max_training_examples: int = 200
+    reference_size: int = 40
+    evaluation_interval: int = 10
+    max_cost_seconds: Optional[float] = None
+    tree_particles: int = 30
+
+    def __post_init__(self) -> None:
+        if self.n_initial < 1:
+            raise ValueError("n_initial must be at least 1")
+        if self.seed_observations < 1:
+            raise ValueError("seed_observations must be at least 1")
+        if self.n_candidates < 1:
+            raise ValueError("n_candidates must be at least 1")
+        if self.max_training_examples <= self.n_initial:
+            raise ValueError("max_training_examples must exceed n_initial")
+        if self.reference_size < 1:
+            raise ValueError("reference_size must be at least 1")
+        if self.evaluation_interval < 1:
+            raise ValueError("evaluation_interval must be at least 1")
+        if self.max_cost_seconds is not None and self.max_cost_seconds <= 0:
+            raise ValueError("max_cost_seconds must be positive when given")
+        if self.tree_particles < 1:
+            raise ValueError("tree_particles must be at least 1")
+
+    @classmethod
+    def paper_scale(cls) -> "LearnerConfig":
+        """The configuration used by the paper's experiments (Section 4.4)."""
+        return cls(
+            n_initial=5,
+            seed_observations=35,
+            n_candidates=500,
+            max_training_examples=2500,
+            reference_size=100,
+            evaluation_interval=25,
+            tree_particles=5000,
+        )
+
+
+@dataclass
+class LearningResult:
+    """Everything produced by one active-learning run."""
+
+    plan_name: str
+    curve: LearningCurve
+    ledger: CostLedger
+    observation_counts: Dict[Tuple[int, ...], int]
+    training_examples: int
+    model: SurrogateModel
+
+    @property
+    def total_cost_seconds(self) -> float:
+        return self.ledger.total_seconds
+
+    @property
+    def distinct_configurations(self) -> int:
+        return len(self.observation_counts)
+
+    @property
+    def total_observations(self) -> int:
+        return sum(self.observation_counts.values())
+
+
+class ActiveLearner:
+    """The Algorithm-1 learning loop for one benchmark and one sampling plan."""
+
+    def __init__(
+        self,
+        benchmark: SpaptBenchmark,
+        plan: Optional[SamplingPlan] = None,
+        acquisition: Optional[AcquisitionFunction] = None,
+        config: Optional[LearnerConfig] = None,
+        model_factory: Optional[ModelFactory] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._benchmark = benchmark
+        self._plan = plan if plan is not None else sequential_plan()
+        self._acquisition = acquisition if acquisition is not None else ALCAcquisition()
+        self._config = config if config is not None else LearnerConfig()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._model_factory = (
+            model_factory if model_factory is not None else self._default_model_factory
+        )
+
+    @property
+    def plan(self) -> SamplingPlan:
+        return self._plan
+
+    @property
+    def config(self) -> LearnerConfig:
+        return self._config
+
+    def _default_model_factory(self, rng: np.random.Generator) -> SurrogateModel:
+        return DynamicTreeRegressor(
+            DynamicTreeConfig(n_particles=self._config.tree_particles), rng=rng
+        )
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, test_set: TestSet) -> LearningResult:
+        """Execute the learning loop and return its learning curve and costs."""
+        config = self._config
+        plan = self._plan
+        benchmark = self._benchmark
+        space = benchmark.search_space
+        rng = self._rng
+
+        profiler = Profiler(benchmark, rng=rng)
+        pool = CandidatePool(
+            space,
+            max_observations=plan.max_observations_per_example,
+            revisit=plan.revisit,
+        )
+        model = self._model_factory(np.random.default_rng(rng.integers(2 ** 63)))
+        curve = LearningCurve(plan.name)
+
+        # ---- seeding (Algorithm 1, lines 2-4) ---------------------------
+        n_seed = min(config.n_initial, space.size)
+        seed_configurations = space.sample_distinct(n_seed, rng)
+        seed_features = benchmark.features_many(seed_configurations)
+        seed_targets = []
+        for configuration in seed_configurations:
+            profiler.measure(configuration, repetitions=config.seed_observations)
+            pool.record(configuration, config.seed_observations)
+            seed_targets.append(profiler.mean_runtime(configuration))
+        model.fit(seed_features, np.asarray(seed_targets))
+        self._record_point(curve, model, test_set, profiler, pool, n_seed)
+
+        # ---- learning loop (Algorithm 1, lines 6-29) --------------------
+        training_examples = n_seed
+        for iteration in range(n_seed, config.max_training_examples):
+            if self._budget_exhausted(profiler):
+                break
+            if pool.exhausted():
+                break
+            candidates = pool.draw(config.n_candidates, rng)
+            if not candidates:
+                break
+            candidate_features = benchmark.features_many(candidates)
+            reference_features = self._reference_features(candidate_features, rng)
+            index = self._acquisition.select(
+                model, candidate_features, reference_features, rng
+            )
+            chosen = candidates[index]
+
+            observations = self._collect_observations(profiler, chosen, plan)
+            pool.record(chosen, len(observations))
+            chosen_features = benchmark.features(chosen)
+            if plan.aggregate_mean:
+                model.update(chosen_features, float(np.mean(observations)))
+            else:
+                for observation in observations:
+                    model.update(chosen_features, float(observation))
+            training_examples = iteration + 1
+
+            evaluate_now = (
+                (training_examples - n_seed) % config.evaluation_interval == 0
+                or training_examples == config.max_training_examples
+            )
+            if evaluate_now:
+                self._record_point(
+                    curve, model, test_set, profiler, pool, training_examples
+                )
+
+        if not curve.points or curve.points[-1].training_examples != training_examples:
+            self._record_point(curve, model, test_set, profiler, pool, training_examples)
+
+        return LearningResult(
+            plan_name=plan.name,
+            curve=curve,
+            ledger=profiler.ledger.snapshot(),
+            observation_counts=pool.observation_counts,
+            training_examples=training_examples,
+            model=model,
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _collect_observations(
+        self, profiler: Profiler, configuration: Tuple[int, ...], plan: SamplingPlan
+    ) -> np.ndarray:
+        """Profile ``configuration`` according to the plan's per-selection rule.
+
+        Fixed and sequential plans take exactly
+        ``observations_per_selection`` runs.  Plans with a ``ci_threshold``
+        (the raced-profiles-style stopping rule) keep adding runs, one at a
+        time, until the 95% CI/mean ratio of the runs taken so far falls
+        below the threshold or the per-example cap is reached.
+        """
+        observations = list(
+            profiler.measure(configuration, repetitions=plan.observations_per_selection)
+        )
+        if plan.ci_threshold is None:
+            return np.asarray(observations)
+        already = profiler.observation_count(configuration)
+        while (
+            already < plan.max_observations_per_example
+            and not profiler.summary(configuration).passes_ci_validation(plan.ci_threshold)
+        ):
+            observations.extend(profiler.measure(configuration, repetitions=1))
+            already += 1
+        return np.asarray(observations)
+
+    def _budget_exhausted(self, profiler: Profiler) -> bool:
+        budget = self._config.max_cost_seconds
+        return budget is not None and profiler.ledger.total_seconds >= budget
+
+    def _reference_features(
+        self, candidate_features: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Reference locations over which the ALC score averages the variance.
+
+        Following dynaTree practice the reference set is a random subset of
+        the current candidate set, so the score concentrates on the part of
+        the space the learner is actually choosing between.
+        """
+        n = candidate_features.shape[0]
+        size = min(self._config.reference_size, n)
+        indices = rng.choice(n, size=size, replace=False)
+        return candidate_features[indices]
+
+    def _record_point(
+        self,
+        curve: LearningCurve,
+        model: SurrogateModel,
+        test_set: TestSet,
+        profiler: Profiler,
+        pool: CandidatePool,
+        training_examples: int,
+    ) -> None:
+        rmse = evaluate_rmse(model, test_set)
+        curve.add(
+            CurvePoint(
+                cost_seconds=profiler.ledger.total_seconds,
+                rmse=rmse,
+                training_examples=training_examples,
+                observations=profiler.ledger.executions,
+            )
+        )

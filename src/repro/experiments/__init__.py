@@ -1,0 +1,50 @@
+"""Experiment harness: one driver per table/figure of the paper.
+
+========  ===============================================================
+Artifact  Driver
+========  ===============================================================
+Table 1   :func:`repro.experiments.table1.run_table1`
+Table 2   :func:`repro.experiments.table2.run_table2`
+Figure 1  :func:`repro.experiments.figure1.run_figure1`
+Figure 2  :func:`repro.experiments.figure2.run_figure2`
+Figure 5  :func:`repro.experiments.figure5.run_figure5`
+Figure 6  :func:`repro.experiments.figure6.run_figure6`
+========  ===============================================================
+
+Every driver takes an :class:`repro.experiments.config.ExperimentScale`
+(``smoke``, ``laptop`` or ``paper``) and returns structured results with a
+``render()`` method that prints the same rows/series the paper reports.
+"""
+
+from .config import ExperimentScale
+from .figure1 import Figure1Result, run_figure1
+from .figure2 import Figure2Result, run_figure2
+from .figure5 import Figure5Result, figure5_from_table1, run_figure5
+from .figure6 import PAPER_FIGURE6_BENCHMARKS, Figure6Result, run_figure6
+from .noise_robustness import NoiseRobustnessResult, run_noise_robustness, scaled_benchmark
+from .run_all import run_all
+from .table1 import PAPER_TABLE1_SPEEDUPS, Table1Result, run_table1
+from .table2 import Table2Result, run_table2
+
+__all__ = [
+    "ExperimentScale",
+    "Figure1Result",
+    "run_figure1",
+    "Figure2Result",
+    "run_figure2",
+    "Figure5Result",
+    "figure5_from_table1",
+    "run_figure5",
+    "PAPER_FIGURE6_BENCHMARKS",
+    "Figure6Result",
+    "run_figure6",
+    "NoiseRobustnessResult",
+    "run_noise_robustness",
+    "scaled_benchmark",
+    "run_all",
+    "PAPER_TABLE1_SPEEDUPS",
+    "Table1Result",
+    "run_table1",
+    "Table2Result",
+    "run_table2",
+]

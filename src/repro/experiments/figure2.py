@@ -1,0 +1,115 @@
+"""Figure 2: adi runtime versus unroll factor with a single sample per point.
+
+The figure demonstrates that even single-sample measurements reveal the
+structure of the space to a human eye: adi's runtime sits on a plateau for
+small unroll factors of loop ``i1``, climbs from around a factor of 10, and
+levels off at a higher plateau for large factors — despite the noise.  The
+active learner exploits exactly this: points that fit the local pattern are
+probably fine with one sample; points that stick out deserve more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..measurement.profiler import Profiler
+from ..spapt.suite import SpaptBenchmark, get_benchmark
+from .config import ExperimentScale
+from .reporting import format_table
+
+__all__ = ["Figure2Point", "Figure2Result", "run_figure2"]
+
+
+@dataclass(frozen=True)
+class Figure2Point:
+    unroll_factor: int
+    observed_runtime: float
+    true_runtime: float
+
+
+@dataclass
+class Figure2Result:
+    benchmark: str
+    loop_parameter: str
+    points: List[Figure2Point]
+
+    @property
+    def low_plateau(self) -> float:
+        """Mean observed runtime over the smallest quarter of unroll factors."""
+        ordered = sorted(self.points, key=lambda p: p.unroll_factor)
+        quarter = max(len(ordered) // 4, 1)
+        return float(np.mean([p.observed_runtime for p in ordered[:quarter]]))
+
+    @property
+    def high_plateau(self) -> float:
+        """Mean observed runtime over the largest quarter of unroll factors."""
+        ordered = sorted(self.points, key=lambda p: p.unroll_factor)
+        quarter = max(len(ordered) // 4, 1)
+        return float(np.mean([p.observed_runtime for p in ordered[-quarter:]]))
+
+    def render(self) -> str:
+        rows = [
+            [p.unroll_factor, f"{p.observed_runtime:.4g}", f"{p.true_runtime:.4g}"]
+            for p in sorted(self.points, key=lambda p: p.unroll_factor)
+        ]
+        table = format_table(
+            headers=["unroll factor", "observed runtime (s)", "true mean runtime (s)"],
+            rows=rows,
+            title=f"Figure 2: runtime vs {self.loop_parameter} unroll factor ({self.benchmark})",
+        )
+        summary = (
+            f"\nlow plateau ~{self.low_plateau:.3g}s, "
+            f"high plateau ~{self.high_plateau:.3g}s "
+            f"(ratio {self.high_plateau / self.low_plateau:.2f}x)"
+        )
+        return table + summary
+
+
+def run_figure2(
+    scale: Optional[ExperimentScale] = None,
+    benchmark: Optional[SpaptBenchmark] = None,
+    loop_parameter: str = "U_i1",
+    max_unroll: int = 30,
+) -> Figure2Result:
+    """Sweep one unroll factor of adi, taking a single observation per point."""
+    scale = scale if scale is not None else ExperimentScale.laptop()
+    benchmark = benchmark if benchmark is not None else get_benchmark("adi")
+    rng = np.random.default_rng(scale.seed + 202)
+    profiler = Profiler(benchmark, rng=rng)
+    space = benchmark.search_space
+    parameter_names = [p.name for p in space.parameters]
+    if loop_parameter not in parameter_names:
+        raise ValueError(
+            f"benchmark {benchmark.name!r} has no parameter {loop_parameter!r}"
+        )
+    index = parameter_names.index(loop_parameter)
+    parameter = space.parameters[index]
+    baseline = list(space.default_configuration())
+    points: List[Figure2Point] = []
+    for value in parameter.values:
+        if value > max_unroll:
+            break
+        configuration = list(baseline)
+        configuration[index] = int(value)
+        observed = float(profiler.measure(tuple(configuration), repetitions=1)[0])
+        points.append(
+            Figure2Point(
+                unroll_factor=int(value),
+                observed_runtime=observed,
+                true_runtime=benchmark.true_runtime(tuple(configuration)),
+            )
+        )
+    return Figure2Result(
+        benchmark=benchmark.name, loop_parameter=loop_parameter, points=points
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run_figure2().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

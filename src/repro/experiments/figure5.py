@@ -1,0 +1,88 @@
+"""Figure 5: reduction of profiling cost per benchmark (the speed-up bars).
+
+Figure 5 is a bar chart of the Table 1 speed-ups — how much less profiling
+time the variable-observation approach needs than the 35-observation
+baseline to reach the same error level — ordered per benchmark, with the
+geometric mean as the summary bar.  The driver reuses the Table 1
+computation and renders the bars as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..measurement.stats import geometric_mean
+from .config import ExperimentScale
+from .reporting import format_table
+from .table1 import PAPER_TABLE1_SPEEDUPS, Table1Result, run_table1
+
+__all__ = ["Figure5Bar", "Figure5Result", "run_figure5", "figure5_from_table1"]
+
+
+@dataclass(frozen=True)
+class Figure5Bar:
+    benchmark: str
+    speedup: float
+    paper_speedup: float
+
+
+@dataclass
+class Figure5Result:
+    bars: List[Figure5Bar]
+
+    @property
+    def geometric_mean_speedup(self) -> float:
+        return geometric_mean([bar.speedup for bar in self.bars])
+
+    def render(self, width: int = 40) -> str:
+        """ASCII bar chart plus the underlying numbers."""
+        maximum = max(max(bar.speedup for bar in self.bars), 1.0)
+        rows = []
+        for bar in sorted(self.bars, key=lambda b: b.speedup):
+            length = max(int(round(width * bar.speedup / maximum)), 1)
+            rows.append(
+                [
+                    bar.benchmark,
+                    f"{bar.speedup:.2f}x",
+                    f"{bar.paper_speedup:.2f}x",
+                    "#" * length,
+                ]
+            )
+        rows.append(
+            ["geometric mean", f"{self.geometric_mean_speedup:.2f}x", "3.97x", ""]
+        )
+        return format_table(
+            headers=["benchmark", "speed-up", "paper", "profiling-cost reduction"],
+            rows=rows,
+            title="Figure 5: reduction of profiling cost vs the 35-observation baseline",
+        )
+
+
+def figure5_from_table1(table1: Table1Result) -> Figure5Result:
+    """Build the Figure 5 bars from an existing Table 1 result."""
+    bars = [
+        Figure5Bar(
+            benchmark=row.benchmark,
+            speedup=row.speedup,
+            paper_speedup=row.paper_speedup,
+        )
+        for row in table1.rows
+    ]
+    return Figure5Result(bars=bars)
+
+
+def run_figure5(
+    scale: Optional[ExperimentScale] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Figure5Result:
+    """Regenerate the Figure 5 bars (runs the Table 1 experiment)."""
+    return figure5_from_table1(run_table1(scale=scale, benchmarks=benchmarks))
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run_figure5().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,103 @@
+"""Figure 6: RMSE versus evaluation time for the three sampling plans.
+
+Figure 6 of the paper shows, for six representative benchmarks (adi, atax,
+correlation, gemver, jacobi and mvt), how the model error evolves with
+cumulative profiling cost under the three plans — 35 observations, one
+observation and variable observations per training point.  The qualitative
+patterns it documents are:
+
+* **adi / correlation** — noisy spaces where the single-observation plan
+  plateaus at a higher error than the other two;
+* **atax / bicgkernel** — quiet spaces where a single observation is enough
+  and the 35-observation baseline simply wastes time;
+* **gemver / dgemv3 / hessian** — large wins for the variable plan;
+* **jacobi / lu / mm / mvt** — modest but consistent wins.
+
+The driver returns the averaged curves (cost, RMSE series) for each plan so
+the benchmark harness can print them and tests can assert on their shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.comparison import PlanComparison, compare_sampling_plans
+from ..core.curves import LearningCurve
+from ..core.plans import standard_plans
+from ..spapt.suite import get_benchmark
+from .config import ExperimentScale
+from .reporting import format_table
+
+__all__ = ["Figure6Panel", "Figure6Result", "run_figure6", "PAPER_FIGURE6_BENCHMARKS"]
+
+#: The six benchmarks shown in Figure 6 of the paper.
+PAPER_FIGURE6_BENCHMARKS = ("adi", "atax", "correlation", "gemver", "jacobi", "mvt")
+
+
+@dataclass
+class Figure6Panel:
+    """One sub-figure: the three learning curves of a single benchmark."""
+
+    benchmark: str
+    curves: Dict[str, LearningCurve]
+    comparison: PlanComparison
+
+    def series(self, plan_name: str) -> List[tuple]:
+        """(cost_seconds, rmse) pairs for one plan's averaged curve."""
+        curve = self.curves[plan_name]
+        return [(p.cost_seconds, p.rmse) for p in curve.points]
+
+    def render(self, samples: int = 8) -> str:
+        rows = []
+        for name, curve in self.curves.items():
+            points = curve.points
+            step = max(len(points) // samples, 1)
+            sampled = points[::step]
+            for point in sampled:
+                rows.append([name, f"{point.cost_seconds:.4g}", f"{point.rmse:.4g}"])
+        return format_table(
+            headers=["plan", "evaluation time (s)", "RMSE (s)"],
+            rows=rows,
+            title=f"Figure 6 panel: {self.benchmark}",
+        )
+
+
+@dataclass
+class Figure6Result:
+    panels: Dict[str, Figure6Panel]
+
+    def render(self) -> str:
+        return "\n\n".join(panel.render() for panel in self.panels.values())
+
+
+def run_figure6(
+    scale: Optional[ExperimentScale] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Figure6Result:
+    """Regenerate the Figure 6 learning curves at the requested scale."""
+    scale = scale if scale is not None else ExperimentScale.laptop()
+    if benchmarks is None:
+        benchmarks = [b for b in PAPER_FIGURE6_BENCHMARKS if b in scale.benchmarks]
+        if not benchmarks:
+            benchmarks = list(scale.benchmarks)
+    panels: Dict[str, Figure6Panel] = {}
+    for name in benchmarks:
+        benchmark = get_benchmark(name)
+        comparison = compare_sampling_plans(
+            benchmark,
+            plans=standard_plans(),
+            config=scale.comparison_config(),
+        )
+        panels[name] = Figure6Panel(
+            benchmark=name, curves=comparison.curves, comparison=comparison
+        )
+    return Figure6Result(panels=panels)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run_figure6().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,147 @@
+"""Noise-injection robustness study (the paper's stated future work).
+
+The conclusion of the paper: *"We intend to test the bounds of our technique
+by artificially introducing noise into the system to see how robustly it
+performs in extreme cases.  Success would allow our strategies to be used in
+heavily loaded multi-user environments."*
+
+The simulated substrate makes that study straightforward: this driver scales
+a benchmark's calibrated noise profile by a sequence of multipliers (0.5x …
+8x, where 1x is the calibration of Table 2) and, at every noise level, runs
+the Table 1 comparison between the 35-observation baseline and the variable
+plan.  The questions it answers:
+
+* does the variable plan keep reaching the common error level cheaper as
+  the environment gets noisier (the "heavily loaded machine" scenario)?
+* how does the achievable error level itself degrade with noise for each
+  plan?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..core.comparison import PlanComparison, compare_sampling_plans
+from ..core.plans import standard_plans
+from ..measurement.noise import NoiseProfile
+from ..spapt.suite import BENCHMARK_SPECS, SpaptBenchmark
+from .config import ExperimentScale
+from .reporting import format_table
+
+__all__ = ["NoiseLevelResult", "NoiseRobustnessResult", "scaled_benchmark", "run_noise_robustness"]
+
+BASELINE_PLAN = "all observations"
+VARIABLE_PLAN = "variable observations"
+
+
+def _scale_profile(profile: NoiseProfile, multiplier: float) -> NoiseProfile:
+    """Scale every stochastic component of a noise profile by ``multiplier``."""
+    if multiplier <= 0:
+        raise ValueError("noise multiplier must be positive")
+    return NoiseProfile(
+        interference_sigma=profile.interference_sigma * multiplier,
+        layout_sigma_high=profile.layout_sigma_high * multiplier,
+        spike_probability=min(profile.spike_probability * multiplier, 0.5),
+        spike_scale=profile.spike_scale * multiplier,
+        jitter_seconds=profile.jitter_seconds * multiplier,
+        drift_sigma=profile.drift_sigma * multiplier,
+    )
+
+
+def scaled_benchmark(name: str, noise_multiplier: float) -> SpaptBenchmark:
+    """A SPAPT benchmark whose noise profile is scaled by ``noise_multiplier``."""
+    if name not in BENCHMARK_SPECS:
+        raise KeyError(f"unknown benchmark {name!r}")
+    spec = BENCHMARK_SPECS[name]
+    scaled = replace(spec, noise_profile=_scale_profile(spec.noise_profile, noise_multiplier))
+    return SpaptBenchmark(scaled)
+
+
+@dataclass(frozen=True)
+class NoiseLevelResult:
+    """Outcome of the plan comparison at one noise level."""
+
+    noise_multiplier: float
+    lowest_common_rmse: float
+    baseline_cost_seconds: float
+    variable_cost_seconds: float
+    speedup: float
+    baseline_best_rmse: float
+    variable_best_rmse: float
+
+
+@dataclass
+class NoiseRobustnessResult:
+    benchmark: str
+    levels: List[NoiseLevelResult]
+    comparisons: Dict[float, PlanComparison]
+
+    def render(self) -> str:
+        rows = [
+            [
+                f"{level.noise_multiplier:g}x",
+                f"{level.lowest_common_rmse:.4g}",
+                f"{level.baseline_cost_seconds:.4g}",
+                f"{level.variable_cost_seconds:.4g}",
+                f"{level.speedup:.2f}",
+                f"{level.baseline_best_rmse:.4g}",
+                f"{level.variable_best_rmse:.4g}",
+            ]
+            for level in self.levels
+        ]
+        return format_table(
+            headers=[
+                "noise level",
+                "lowest common RMSE",
+                "baseline cost (s)",
+                "variable cost (s)",
+                "speed-up",
+                "baseline best RMSE",
+                "variable best RMSE",
+            ],
+            rows=rows,
+            title=(
+                f"Noise-injection robustness ({self.benchmark}): plan comparison as the "
+                "calibrated noise is scaled"
+            ),
+        )
+
+
+def run_noise_robustness(
+    scale: Optional[ExperimentScale] = None,
+    benchmark_name: str = "mm",
+    noise_multipliers: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+) -> NoiseRobustnessResult:
+    """Run the future-work noise-injection study for one benchmark."""
+    scale = scale if scale is not None else ExperimentScale.laptop()
+    levels: List[NoiseLevelResult] = []
+    comparisons: Dict[float, PlanComparison] = {}
+    for multiplier in noise_multipliers:
+        benchmark = scaled_benchmark(benchmark_name, multiplier)
+        comparison = compare_sampling_plans(
+            benchmark, plans=standard_plans(), config=scale.comparison_config()
+        )
+        comparisons[multiplier] = comparison
+        levels.append(
+            NoiseLevelResult(
+                noise_multiplier=float(multiplier),
+                lowest_common_rmse=comparison.lowest_common_rmse,
+                baseline_cost_seconds=comparison.cost_to_reach[BASELINE_PLAN],
+                variable_cost_seconds=comparison.cost_to_reach[VARIABLE_PLAN],
+                speedup=comparison.speedup(BASELINE_PLAN, VARIABLE_PLAN),
+                baseline_best_rmse=comparison.curves[BASELINE_PLAN].best_error,
+                variable_best_rmse=comparison.curves[VARIABLE_PLAN].best_error,
+            )
+        )
+    return NoiseRobustnessResult(
+        benchmark=benchmark_name, levels=levels, comparisons=comparisons
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run_noise_robustness().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

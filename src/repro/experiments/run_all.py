@@ -1,0 +1,89 @@
+"""Run every experiment and emit a single consolidated report.
+
+``python -m repro.experiments.run_all [--scale smoke|laptop|paper] [--output FILE]``
+
+regenerates, in order, Table 2, Figure 1, Figure 2, Table 1, Figure 5 and
+Figure 6 (the last two are derived from the Table 1 comparisons so nothing
+is recomputed twice) and prints — or writes to ``--output`` — the rendered
+rows/series for all of them.  This is the one-command entry point for
+filling in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from .config import ExperimentScale
+from .figure1 import run_figure1
+from .figure2 import run_figure2
+from .figure5 import figure5_from_table1
+from .figure6 import Figure6Panel, Figure6Result
+from .table1 import run_table1
+from .table2 import run_table2
+
+__all__ = ["run_all", "main"]
+
+
+def _scale_from_name(name: str) -> ExperimentScale:
+    factories = {
+        "smoke": ExperimentScale.smoke,
+        "laptop": ExperimentScale.laptop,
+        "paper": ExperimentScale.paper,
+    }
+    if name not in factories:
+        raise ValueError(f"unknown scale {name!r}; expected one of {sorted(factories)}")
+    return factories[name]()
+
+
+def run_all(scale: Optional[ExperimentScale] = None) -> str:
+    """Run every table/figure driver and return the consolidated text report."""
+    scale = scale if scale is not None else ExperimentScale.laptop()
+    sections = []
+    started = time.time()
+
+    table2 = run_table2(scale)
+    sections.append(table2.render())
+
+    figure1 = run_figure1(scale)
+    sections.append(figure1.render())
+
+    figure2 = run_figure2(scale)
+    sections.append(figure2.render())
+
+    table1 = run_table1(scale)
+    sections.append(table1.render())
+    sections.append(figure5_from_table1(table1).render())
+
+    panels = {
+        name: Figure6Panel(benchmark=name, curves=comparison.curves, comparison=comparison)
+        for name, comparison in table1.comparisons.items()
+    }
+    sections.append(Figure6Result(panels=panels).render())
+
+    elapsed = time.time() - started
+    header = (
+        f"Experiment report (scale: {scale.name}, benchmarks: {', '.join(scale.benchmarks)}, "
+        f"wall time {elapsed:.0f}s)"
+    )
+    return "\n\n".join([header] + sections)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="laptop", choices=["smoke", "laptop", "paper"])
+    parser.add_argument("--output", default=None, help="write the report to this file")
+    args = parser.parse_args(argv)
+    report = run_all(_scale_from_name(args.scale))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Table 1: lowest common RMSE, profiling cost and speed-up per benchmark.
+
+For every benchmark the paper reports the size of its search space, the
+lowest RMSE level reached by both the 35-observation baseline and the
+variable-observation approach, the profiling cost (seconds of simulated
+compilation + execution) each needed to first reach that level, the
+resulting speed-up, and the geometric-mean speed-up across all 11
+benchmarks (3.97x in the paper, with a maximum of 26x on gemver and one
+regression, adi at 0.29x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.comparison import PlanComparison, compare_sampling_plans
+from ..core.plans import standard_plans
+from ..measurement.stats import geometric_mean
+from ..spapt.suite import get_benchmark
+from .config import ExperimentScale
+from .reporting import format_scientific, format_table
+
+__all__ = ["Table1Row", "Table1Result", "run_table1", "PAPER_TABLE1_SPEEDUPS"]
+
+BASELINE_PLAN = "all observations"
+VARIABLE_PLAN = "variable observations"
+
+#: Speed-ups reported in Table 1 of the paper, for side-by-side reporting.
+PAPER_TABLE1_SPEEDUPS: Dict[str, float] = {
+    "adi": 0.29,
+    "atax": 13.93,
+    "bicgkernel": 3.59,
+    "correlation": 7.07,
+    "dgemv3": 23.52,
+    "gemver": 26.00,
+    "hessian": 3.69,
+    "jacobi": 3.55,
+    "lu": 3.62,
+    "mm": 1.11,
+    "mvt": 1.18,
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One benchmark's row of Table 1."""
+
+    benchmark: str
+    search_space_size: float
+    paper_search_space_size: float
+    lowest_common_rmse: float
+    baseline_cost_seconds: float
+    our_cost_seconds: float
+    speedup: float
+    paper_speedup: float
+
+
+@dataclass
+class Table1Result:
+    """All rows plus the geometric-mean speed-up."""
+
+    rows: List[Table1Row]
+    comparisons: Dict[str, PlanComparison]
+
+    @property
+    def geometric_mean_speedup(self) -> float:
+        return geometric_mean([row.speedup for row in self.rows])
+
+    @property
+    def paper_geometric_mean_speedup(self) -> float:
+        return geometric_mean([row.paper_speedup for row in self.rows])
+
+    def to_rows(self) -> List[List[object]]:
+        data: List[List[object]] = []
+        for row in self.rows:
+            data.append(
+                [
+                    row.benchmark,
+                    format_scientific(row.search_space_size),
+                    f"{row.lowest_common_rmse:.4g}",
+                    f"{row.baseline_cost_seconds:.4g}",
+                    f"{row.our_cost_seconds:.4g}",
+                    f"{row.speedup:.2f}",
+                    f"{row.paper_speedup:.2f}",
+                ]
+            )
+        data.append(
+            [
+                "geometric mean",
+                "",
+                "",
+                "",
+                "",
+                f"{self.geometric_mean_speedup:.2f}",
+                f"{self.paper_geometric_mean_speedup:.2f}",
+            ]
+        )
+        return data
+
+    def render(self) -> str:
+        return format_table(
+            headers=[
+                "benchmark",
+                "search space",
+                "lowest common RMSE",
+                "cost of the baseline (s)",
+                "cost of our approach (s)",
+                "speed-up",
+                "paper speed-up",
+            ],
+            rows=self.to_rows(),
+            title="Table 1: profiling cost to reach the lowest common error",
+        )
+
+
+def run_table1(
+    scale: Optional[ExperimentScale] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Table1Result:
+    """Regenerate Table 1 at the requested scale."""
+    scale = scale if scale is not None else ExperimentScale.laptop()
+    names = list(benchmarks) if benchmarks is not None else list(scale.benchmarks)
+    rows: List[Table1Row] = []
+    comparisons: Dict[str, PlanComparison] = {}
+    for name in names:
+        benchmark = get_benchmark(name)
+        comparison = compare_sampling_plans(
+            benchmark,
+            plans=standard_plans(),
+            config=scale.comparison_config(),
+        )
+        comparisons[name] = comparison
+        rows.append(
+            Table1Row(
+                benchmark=name,
+                search_space_size=float(benchmark.search_space.size),
+                paper_search_space_size=benchmark.paper_search_space_size,
+                lowest_common_rmse=comparison.lowest_common_rmse,
+                baseline_cost_seconds=comparison.cost_to_reach[BASELINE_PLAN],
+                our_cost_seconds=comparison.cost_to_reach[VARIABLE_PLAN],
+                speedup=comparison.speedup(BASELINE_PLAN, VARIABLE_PLAN),
+                paper_speedup=PAPER_TABLE1_SPEEDUPS.get(name, float("nan")),
+            )
+        )
+    return Table1Result(rows=rows, comparisons=comparisons)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    result = run_table1()
+    print(result.render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,76 @@
+"""Loop-nest IR, analyses and transformation passes.
+
+This package is the "compiler" half of the substrate: SPAPT kernels are
+expressed as loop nests over dense arrays, and the tunable parameters of the
+paper's search spaces (unroll factors, cache tiles, register tiles) are
+lowered onto the IR as source-to-source transformation passes.
+"""
+
+from .expr import Add, Const, Expr, Mul, Var, affine_coefficients, substitute, to_expr
+from .loopnest import (
+    ArrayDecl,
+    ArrayRef,
+    Kernel,
+    Loop,
+    Statement,
+    loop_by_name,
+    render,
+    walk_loops,
+    walk_statements,
+)
+from .analysis import (
+    InnermostBodyStats,
+    LoopContext,
+    dynamic_flop_count,
+    dynamic_memory_refs,
+    dynamic_statement_count,
+    innermost_bodies,
+    loop_footprint_bytes,
+    max_loop_depth,
+    reference_stride,
+)
+from .transforms import (
+    CacheTile,
+    LoopUnroll,
+    StripMine,
+    TransformError,
+    TransformPass,
+    TransformPipeline,
+    UnrollAndJam,
+)
+
+__all__ = [
+    "Add",
+    "Const",
+    "Expr",
+    "Mul",
+    "Var",
+    "affine_coefficients",
+    "substitute",
+    "to_expr",
+    "ArrayDecl",
+    "ArrayRef",
+    "Kernel",
+    "Loop",
+    "Statement",
+    "loop_by_name",
+    "render",
+    "walk_loops",
+    "walk_statements",
+    "InnermostBodyStats",
+    "LoopContext",
+    "dynamic_flop_count",
+    "dynamic_memory_refs",
+    "dynamic_statement_count",
+    "innermost_bodies",
+    "loop_footprint_bytes",
+    "max_loop_depth",
+    "reference_stride",
+    "CacheTile",
+    "LoopUnroll",
+    "StripMine",
+    "TransformError",
+    "TransformPass",
+    "TransformPipeline",
+    "UnrollAndJam",
+]

@@ -1,0 +1,199 @@
+"""Affine index expressions for the loop-nest IR.
+
+SPAPT kernels are dense stencil and linear-algebra codes, so every array
+subscript is an affine expression over loop index variables and symbolic
+problem sizes (``i``, ``j``, ``i + 1``, ``i * N + j`` ...).  The expression
+language here is deliberately small — constants, variables, addition and
+multiplication — which is all those kernels need, and it keeps every
+analysis (stride extraction, free variables, evaluation) exact.
+
+Expressions are immutable; transformation passes build new expressions via
+:func:`substitute` rather than mutating in place.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Union
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "Add",
+    "Mul",
+    "to_expr",
+    "substitute",
+    "affine_coefficients",
+]
+
+ExprLike = Union["Expr", int, str]
+
+
+class Expr(ABC):
+    """Base class of all index expressions."""
+
+    @abstractmethod
+    def evaluate(self, bindings: Mapping[str, int]) -> int:
+        """Evaluate the expression with concrete values for every variable."""
+
+    @abstractmethod
+    def free_vars(self) -> FrozenSet[str]:
+        """Names of all variables appearing in the expression."""
+
+    @abstractmethod
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        ...
+
+    # Operator sugar keeps kernel definitions readable.
+    def __add__(self, other: ExprLike) -> "Expr":
+        return Add(self, to_expr(other))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return Add(to_expr(other), self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return Mul(self, to_expr(other))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return Mul(to_expr(other), self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return Add(self, Mul(Const(-1), to_expr(other)))
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """An integer constant."""
+
+    value: int
+
+    def evaluate(self, bindings: Mapping[str, int]) -> int:
+        return self.value
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A loop index variable or a symbolic problem-size parameter."""
+
+    name: str
+
+    def evaluate(self, bindings: Mapping[str, int]) -> int:
+        if self.name not in bindings:
+            raise KeyError(f"unbound variable {self.name!r}")
+        return int(bindings[self.name])
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Add(Expr):
+    """Sum of two expressions."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, bindings: Mapping[str, int]) -> int:
+        return self.left.evaluate(bindings) + self.right.evaluate(bindings)
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def __str__(self) -> str:
+        return f"({self.left} + {self.right})"
+
+
+@dataclass(frozen=True)
+class Mul(Expr):
+    """Product of two expressions."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, bindings: Mapping[str, int]) -> int:
+        return self.left.evaluate(bindings) * self.right.evaluate(bindings)
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def __str__(self) -> str:
+        return f"({self.left} * {self.right})"
+
+
+def to_expr(value: ExprLike) -> Expr:
+    """Coerce an ``int``, ``str`` or :class:`Expr` into an :class:`Expr`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not valid index expressions")
+    if isinstance(value, int):
+        return Const(value)
+    if isinstance(value, str):
+        return Var(value)
+    raise TypeError(f"cannot convert {value!r} to an index expression")
+
+
+def substitute(expr: Expr, mapping: Mapping[str, ExprLike]) -> Expr:
+    """Return ``expr`` with every variable in ``mapping`` replaced.
+
+    Used by transformation passes, e.g. unrolling replaces the loop variable
+    ``i`` with ``i + k`` for each replica ``k`` of the body.
+    """
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Var):
+        if expr.name in mapping:
+            return to_expr(mapping[expr.name])
+        return expr
+    if isinstance(expr, Add):
+        return Add(substitute(expr.left, mapping), substitute(expr.right, mapping))
+    if isinstance(expr, Mul):
+        return Mul(substitute(expr.left, mapping), substitute(expr.right, mapping))
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def affine_coefficients(expr: Expr) -> Dict[str, int]:
+    """Extract the affine coefficients of an expression.
+
+    Returns a mapping from variable name to its integer coefficient, with the
+    constant term stored under the empty-string key ``""``.  Raises
+    ``ValueError`` for non-affine expressions (a product of two variables).
+
+    The cache model uses the coefficient of the innermost loop variable in an
+    array subscript as the access stride.
+    """
+    if isinstance(expr, Const):
+        return {"": expr.value}
+    if isinstance(expr, Var):
+        return {expr.name: 1}
+    if isinstance(expr, Add):
+        left = affine_coefficients(expr.left)
+        right = affine_coefficients(expr.right)
+        merged = dict(left)
+        for name, coeff in right.items():
+            merged[name] = merged.get(name, 0) + coeff
+        return merged
+    if isinstance(expr, Mul):
+        left = affine_coefficients(expr.left)
+        right = affine_coefficients(expr.right)
+        left_vars = [name for name in left if name]
+        right_vars = [name for name in right if name]
+        if left_vars and right_vars:
+            raise ValueError(f"expression {expr} is not affine")
+        if not left_vars:
+            scale = left.get("", 0)
+            return {name: coeff * scale for name, coeff in right.items()}
+        scale = right.get("", 0)
+        return {name: coeff * scale for name, coeff in left.items()}
+    raise TypeError(f"unknown expression node {type(expr).__name__}")

@@ -1,0 +1,371 @@
+"""Source-to-source transformation passes over the loop-nest IR.
+
+These are the transformations whose parameters form the SPAPT search
+spaces:
+
+* :class:`LoopUnroll` — replicate the body of a loop ``factor`` times,
+  rewriting the loop variable in each replica and widening the step.  This
+  is what the paper calls the *unroll factor* (``U<loop>`` parameters in
+  SPAPT).
+* :class:`UnrollAndJam` (register tiling) — unroll an *outer* loop and fuse
+  the replicas into the inner body, exposing register reuse across outer
+  iterations (``RT<loop>`` parameters).
+* :class:`StripMine` and :class:`CacheTile` — split a loop into a tile loop
+  and a point loop, and, for perfectly nested bands, hoist the tile loops
+  outward, restructuring the iteration space for cache locality
+  (``T<loop>`` parameters).
+
+Passes never mutate the input kernel; they return a new :class:`Kernel`.
+A :class:`TransformPipeline` applies a sequence of passes, which is how a
+configuration vector from the search space is lowered onto the IR.
+
+Legality note: SPAPT kernels come with transformation annotations that are
+legal by construction (the suite was built for autotuning), so these passes
+perform structural validity checks (the loop exists, factors are positive,
+tiles do not exceed trip counts) but not dependence analysis.  That mirrors
+Orio, the annotation-driven transformer used by the paper's comparison
+work.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .expr import Const, Var, substitute
+from .loopnest import ArrayRef, Kernel, Loop, Node, Statement, loop_by_name, walk_loops
+
+__all__ = [
+    "TransformError",
+    "TransformPass",
+    "LoopUnroll",
+    "UnrollAndJam",
+    "StripMine",
+    "CacheTile",
+    "TransformPipeline",
+]
+
+
+class TransformError(ValueError):
+    """Raised when a transformation cannot be applied to a kernel."""
+
+
+class TransformPass(ABC):
+    """Base class for IR-to-IR transformation passes."""
+
+    @abstractmethod
+    def run(self, kernel: Kernel) -> Kernel:
+        """Apply the pass and return the transformed kernel."""
+
+    def __call__(self, kernel: Kernel) -> Kernel:
+        return self.run(kernel)
+
+
+def _require_loop(kernel: Kernel, var: str) -> None:
+    """Raise :class:`TransformError` when the kernel has no loop named ``var``."""
+    try:
+        loop_by_name(kernel, var)
+    except KeyError as exc:
+        raise TransformError(str(exc)) from exc
+
+
+def _rewrite_loop(
+    nodes: Sequence[Node], var: str, rewrite
+) -> Tuple[List[Node], bool]:
+    """Apply ``rewrite`` to the loop named ``var`` anywhere in ``nodes``.
+
+    Returns the rewritten node list and a flag saying whether the loop was
+    found.  ``rewrite`` maps a :class:`Loop` to a list of replacement nodes.
+    """
+    result: List[Node] = []
+    found = False
+    for node in nodes:
+        if isinstance(node, Loop):
+            if node.var == var and not found:
+                result.extend(rewrite(node))
+                found = True
+            else:
+                new_body, inner_found = _rewrite_loop(node.body, var, rewrite)
+                if inner_found:
+                    found = True
+                    result.append(node.with_body(new_body))
+                else:
+                    result.append(node)
+        else:
+            result.append(node)
+    return result, found
+
+
+def _substitute_nodes(nodes: Sequence[Node], mapping: Dict[str, object]) -> List[Node]:
+    """Substitute index expressions throughout a list of nodes."""
+    rewritten: List[Node] = []
+    for node in nodes:
+        if isinstance(node, Loop):
+            rewritten.append(
+                replace(
+                    node,
+                    lower=substitute(node.lower, mapping),
+                    upper=substitute(node.upper, mapping),
+                    body=tuple(_substitute_nodes(node.body, mapping)),
+                )
+            )
+        else:
+            rewritten.append(
+                Statement(
+                    writes=tuple(
+                        ArrayRef(r.array, tuple(substitute(i, mapping) for i in r.indices))
+                        for r in node.writes
+                    ),
+                    reads=tuple(
+                        ArrayRef(r.array, tuple(substitute(i, mapping) for i in r.indices))
+                        for r in node.reads
+                    ),
+                    flops=node.flops,
+                    label=node.label,
+                )
+            )
+    return rewritten
+
+
+@dataclass(frozen=True)
+class LoopUnroll(TransformPass):
+    """Unroll the loop named ``loop_var`` by ``factor``.
+
+    The body is replicated ``factor`` times with the loop variable offset by
+    ``k * step`` in replica ``k``, and the loop step is multiplied by
+    ``factor``.  Trip counts are assumed divisible by the factor (the cost
+    model charges the remainder analytically); ``unrolled_by`` accumulates so
+    repeated unrolling composes.
+    """
+
+    loop_var: str
+    factor: int
+
+    def run(self, kernel: Kernel) -> Kernel:
+        if self.factor < 1:
+            raise TransformError(f"unroll factor must be >= 1, got {self.factor}")
+        if self.factor == 1:
+            # Still validate the loop exists so configuration errors surface.
+            _require_loop(kernel, self.loop_var)
+            return kernel
+
+        def rewrite(loop: Loop) -> List[Node]:
+            replicas: List[Node] = []
+            for k in range(self.factor):
+                offset = k * loop.step
+                if offset == 0:
+                    replicas.extend(list(loop.body))
+                else:
+                    mapping = {loop.var: Var(loop.var) + Const(offset)}
+                    replicas.extend(_substitute_nodes(loop.body, mapping))
+            return [
+                replace(
+                    loop,
+                    body=tuple(replicas),
+                    step=loop.step * self.factor,
+                    unrolled_by=loop.unrolled_by * self.factor,
+                )
+            ]
+
+        loops, found = _rewrite_loop(kernel.loops, self.loop_var, rewrite)
+        if not found:
+            raise TransformError(
+                f"kernel {kernel.name!r} has no loop {self.loop_var!r} to unroll"
+            )
+        return kernel.with_loops([l for l in loops if isinstance(l, Loop)])
+
+
+@dataclass(frozen=True)
+class UnrollAndJam(TransformPass):
+    """Register tiling: unroll an outer loop and jam the replicas inward.
+
+    The outer loop's step is widened by ``factor`` and each statement nested
+    anywhere below it is replicated ``factor`` times with the outer variable
+    offset, keeping the inner loop structure intact.  This exposes reuse of
+    values held in registers across consecutive outer iterations, which is
+    exactly what SPAPT's register-tiling parameters control.
+    """
+
+    loop_var: str
+    factor: int
+
+    def run(self, kernel: Kernel) -> Kernel:
+        if self.factor < 1:
+            raise TransformError(f"register tile factor must be >= 1, got {self.factor}")
+        if self.factor == 1:
+            _require_loop(kernel, self.loop_var)
+            return kernel
+
+        def jam(nodes: Sequence[Node], var: str, step: int) -> List[Node]:
+            jammed: List[Node] = []
+            for node in nodes:
+                if isinstance(node, Loop):
+                    jammed.append(node.with_body(jam(node.body, var, step)))
+                else:
+                    for k in range(self.factor):
+                        offset = k * step
+                        if offset == 0:
+                            jammed.append(node)
+                        else:
+                            mapping = {var: Var(var) + Const(offset)}
+                            jammed.extend(_substitute_nodes([node], mapping))
+            return jammed
+
+        def rewrite(loop: Loop) -> List[Node]:
+            return [
+                replace(
+                    loop,
+                    body=tuple(jam(loop.body, loop.var, loop.step)),
+                    step=loop.step * self.factor,
+                    unrolled_by=loop.unrolled_by * self.factor,
+                )
+            ]
+
+        loops, found = _rewrite_loop(kernel.loops, self.loop_var, rewrite)
+        if not found:
+            raise TransformError(
+                f"kernel {kernel.name!r} has no loop {self.loop_var!r} to register-tile"
+            )
+        return kernel.with_loops([l for l in loops if isinstance(l, Loop)])
+
+
+@dataclass(frozen=True)
+class StripMine(TransformPass):
+    """Split loop ``loop_var`` into a tile loop and a point loop.
+
+    ``for i in [L, U)`` becomes::
+
+        for i_t in [L, U) step tile:
+            for i in [i_t, i_t + tile):
+                ...
+
+    Trip counts are assumed divisible by the tile size (as with unrolling,
+    the remainder is charged analytically by the cost model).  The tile loop
+    variable is ``loop_var + tile_suffix``.
+    """
+
+    loop_var: str
+    tile: int
+    tile_suffix: str = "_t"
+
+    @property
+    def tile_var(self) -> str:
+        return f"{self.loop_var}{self.tile_suffix}"
+
+    def run(self, kernel: Kernel) -> Kernel:
+        if self.tile < 1:
+            raise TransformError(f"tile size must be >= 1, got {self.tile}")
+        if self.tile == 1:
+            _require_loop(kernel, self.loop_var)
+            return kernel
+        existing = {loop.var for loop in walk_loops(kernel.loops)}
+        if self.tile_var in existing:
+            raise TransformError(
+                f"tile variable {self.tile_var!r} already exists in kernel {kernel.name!r}"
+            )
+
+        def rewrite(loop: Loop) -> List[Node]:
+            point_loop = Loop(
+                var=loop.var,
+                lower=Var(self.tile_var),
+                upper=Var(self.tile_var) + Const(self.tile * loop.step),
+                body=loop.body,
+                step=loop.step,
+                unrolled_by=loop.unrolled_by,
+            )
+            tile_loop = Loop(
+                var=self.tile_var,
+                lower=loop.lower,
+                upper=loop.upper,
+                body=(point_loop,),
+                step=self.tile * loop.step,
+            )
+            return [tile_loop]
+
+        loops, found = _rewrite_loop(kernel.loops, self.loop_var, rewrite)
+        if not found:
+            raise TransformError(
+                f"kernel {kernel.name!r} has no loop {self.loop_var!r} to strip-mine"
+            )
+        return kernel.with_loops([l for l in loops if isinstance(l, Loop)])
+
+
+@dataclass(frozen=True)
+class CacheTile(TransformPass):
+    """Cache tiling of a perfectly nested band of loops.
+
+    Each named loop is strip-mined by its tile size; when the named loops
+    form a prefix of a perfectly nested band the tile loops are hoisted so
+    that all tile loops are outermost (the classic loop-tiling shape).  When
+    the nest is not perfect the pass degrades gracefully to in-place
+    strip-mining, which still reduces the per-tile working set.
+    """
+
+    loop_vars: Tuple[str, ...]
+    tiles: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "loop_vars", tuple(self.loop_vars))
+        object.__setattr__(self, "tiles", tuple(self.tiles))
+        if len(self.loop_vars) != len(self.tiles):
+            raise TransformError("loop_vars and tiles must have the same length")
+
+    def run(self, kernel: Kernel) -> Kernel:
+        result = kernel
+        for var, tile in zip(self.loop_vars, self.tiles):
+            result = StripMine(var, tile).run(result)
+        result = self._hoist_tile_loops(result)
+        return result
+
+    def _hoist_tile_loops(self, kernel: Kernel) -> Kernel:
+        """Move tile loops outward within each perfectly nested band."""
+        tile_vars = {f"{var}_t" for var, tile in zip(self.loop_vars, self.tiles) if tile > 1}
+        if not tile_vars:
+            return kernel
+
+        def hoist(loop: Loop) -> Loop:
+            band: List[Loop] = []
+            current = loop
+            while True:
+                band.append(current)
+                if len(current.body) == 1 and isinstance(current.body[0], Loop):
+                    current = current.body[0]
+                else:
+                    break
+            innermost_body = band[-1].body
+            tile_loops = [l for l in band if l.var in tile_vars]
+            point_loops = [l for l in band if l.var not in tile_vars]
+            ordered = tile_loops + point_loops
+            rebuilt_body: Tuple[Node, ...] = innermost_body
+            rebuilt: Optional[Loop] = None
+            for level in reversed(ordered):
+                rebuilt = level.with_body(rebuilt_body)
+                rebuilt_body = (rebuilt,)
+            assert rebuilt is not None
+            return rebuilt
+
+        new_top: List[Loop] = []
+        for loop in kernel.loops:
+            new_top.append(hoist(loop))
+        return kernel.with_loops(new_top)
+
+
+class TransformPipeline:
+    """Apply a sequence of transformation passes in order."""
+
+    def __init__(self, passes: Sequence[TransformPass]) -> None:
+        self._passes: Tuple[TransformPass, ...] = tuple(passes)
+
+    @property
+    def passes(self) -> Tuple[TransformPass, ...]:
+        return self._passes
+
+    def run(self, kernel: Kernel) -> Kernel:
+        result = kernel
+        for pipeline_pass in self._passes:
+            result = pipeline_pass.run(result)
+        return result
+
+    def __call__(self, kernel: Kernel) -> Kernel:
+        return self.run(kernel)

@@ -1,0 +1,496 @@
+"""Runtime and compile-time cost model for transformed loop nests.
+
+This is the piece that replaces "compile with gcc and run on the i7-4770K":
+given a kernel in the loop-nest IR and a :class:`TransformConfiguration`
+(the unroll factors, cache tiles and register tiles selected by a point in
+the SPAPT search space), it returns a deterministic *true mean runtime* in
+seconds and a *compile time* in seconds.  The measurement substrate then
+perturbs the runtime with noise to produce individual observations.
+
+The model composes three families of effects, each grounded in the classic
+analytical treatments of dense loop nests:
+
+1. **Computation and issue throughput** — flops and memory operations per
+   source iteration divided by the core's per-cycle throughput
+   (:class:`repro.machine.cpu.CoreModel`).
+2. **Memory hierarchy behaviour** — every array reference is classified by
+   its stride in the innermost loop (spatial locality) and by its reuse
+   footprint, i.e. the volume of data touched between consecutive reuses of
+   the same element (temporal locality).  Cache tiling caps the extents used
+   in that footprint, which is precisely how tiling helps; register tiling
+   (unroll-and-jam) removes a fraction of loads by keeping values live in
+   registers across jammed iterations.
+3. **Code-size effects of unrolling** — loop overhead decreases with the
+   unroll factor while register pressure and, eventually, instruction-cache
+   pressure increase with the product of unroll and register-tile factors.
+   This produces the plateau → climb → plateau response the paper shows for
+   ``adi`` (Figure 2) and the broad sweet spots of Figure 1.
+
+The model works from the *base* (untransformed) kernel plus the
+configuration, using closed forms for the effect of each transformation,
+which keeps a single evaluation at a few tens of microseconds — fast enough
+to generate the paper's 10 000-configuration datasets for all 11 benchmarks.
+The transformation passes in :mod:`repro.ir.transforms` produce the actual
+transformed IR and are used by the tests to validate the closed forms
+(statement replication counts, step widening, footprint capping).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ir.analysis import innermost_bodies, InnermostBodyStats, reference_stride
+from ..ir.expr import affine_coefficients
+from ..ir.loopnest import ArrayRef, Kernel, Loop, Statement
+from .cache import MemoryHierarchy, haswell_hierarchy
+from .cpu import CoreModel, haswell_core
+
+__all__ = ["TransformConfiguration", "CostBreakdown", "MachineCostModel"]
+
+
+@dataclass(frozen=True)
+class TransformConfiguration:
+    """The transformation parameters selected by one search-space point.
+
+    Keys are loop variable names of the *base* kernel.  Missing entries mean
+    "leave that loop alone" (factor 1).
+    """
+
+    unroll: Mapping[str, int] = field(default_factory=dict)
+    cache_tiles: Mapping[str, int] = field(default_factory=dict)
+    register_tiles: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "unroll", dict(self.unroll))
+        object.__setattr__(self, "cache_tiles", dict(self.cache_tiles))
+        object.__setattr__(self, "register_tiles", dict(self.register_tiles))
+        for name, mapping in (
+            ("unroll", self.unroll),
+            ("cache_tiles", self.cache_tiles),
+            ("register_tiles", self.register_tiles),
+        ):
+            for var, value in mapping.items():
+                if int(value) < 1:
+                    raise ValueError(
+                        f"{name}[{var!r}] must be a positive integer, got {value}"
+                    )
+
+    def unroll_factor(self, var: str) -> int:
+        return int(self.unroll.get(var, 1))
+
+    def cache_tile(self, var: str) -> Optional[int]:
+        """Tile size for ``var``, or ``None`` when the loop is untiled.
+
+        A tile of 1 is the SPAPT convention for "do not tile this loop", so
+        it is reported as untiled rather than as single-iteration tiles.
+        """
+        tile = self.cache_tiles.get(var)
+        if tile is None or int(tile) <= 1:
+            return None
+        return int(tile)
+
+    def register_tile(self, var: str) -> int:
+        return int(self.register_tiles.get(var, 1))
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-component contributions to the estimated runtime (seconds)."""
+
+    compute_seconds: float
+    memory_seconds: float
+    overhead_seconds: float
+    spill_seconds: float
+    icache_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        # Compute and memory overlap on an out-of-order core; penalties add.
+        return (
+            max(self.compute_seconds, self.memory_seconds)
+            + self.overhead_seconds
+            + self.spill_seconds
+            + self.icache_seconds
+        )
+
+
+@dataclass(frozen=True)
+class _BodyInfo:
+    """Pre-computed, configuration-independent facts about one innermost body."""
+
+    stats: InnermostBodyStats
+    loop_vars: Tuple[str, ...]
+    trip_counts: Dict[str, float]
+    refs: Tuple[ArrayRef, ...]
+    ref_strides: Tuple[int, ...]
+    ref_loop_vars: Tuple[frozenset, ...]
+    array_dims: Dict[str, Tuple[int, ...]]
+    element_bytes: Dict[str, int]
+
+
+class MachineCostModel:
+    """Deterministic runtime / compile-time estimator for one kernel.
+
+    Parameters
+    ----------
+    kernel:
+        The base (untransformed) kernel.
+    hierarchy, core:
+        The simulated machine; defaults to the paper's Haswell server.
+    time_scale:
+        A per-benchmark multiplicative calibration factor applied to the
+        runtime, used by the SPAPT substrate to place each kernel's runtime
+        in the same range as the paper's measurements.
+    compile_base_seconds / compile_per_statement_seconds:
+        Compile-time model: a fixed front-end/back-end cost plus a sub-linear
+        cost in the number of generated (unrolled and jammed) statements —
+        heavily unrolled configurations take visibly longer to compile, as
+        they do with gcc, but the cost saturates at ``compile_cap_seconds``
+        (register allocation and scheduling slow down, they do not hang).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        core: Optional[CoreModel] = None,
+        time_scale: float = 1.0,
+        compile_base_seconds: float = 1.0,
+        compile_per_statement_seconds: float = 0.0015,
+        compile_statement_exponent: float = 0.8,
+        compile_cap_seconds: float = 45.0,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self._kernel = kernel
+        self._hierarchy = hierarchy if hierarchy is not None else haswell_hierarchy()
+        self._core = core if core is not None else haswell_core()
+        self._time_scale = time_scale
+        self._compile_base = compile_base_seconds
+        self._compile_per_statement = compile_per_statement_seconds
+        self._compile_exponent = compile_statement_exponent
+        self._compile_cap = compile_cap_seconds
+        self._bodies = [self._analyse_body(b) for b in innermost_bodies(kernel)]
+        if not self._bodies:
+            raise ValueError(f"kernel {kernel.name!r} has no innermost bodies")
+
+    @property
+    def kernel(self) -> Kernel:
+        return self._kernel
+
+    @property
+    def hierarchy(self) -> MemoryHierarchy:
+        return self._hierarchy
+
+    @property
+    def core(self) -> CoreModel:
+        return self._core
+
+    # ------------------------------------------------------------------ setup
+
+    def _analyse_body(self, stats: InnermostBodyStats) -> _BodyInfo:
+        chain = stats.context.loops
+        loop_vars = tuple(loop.var for loop in chain)
+        trip_counts: Dict[str, float] = {}
+        bindings: Dict[str, int] = dict(self._kernel.sizes)
+        for loop in chain:
+            lower = loop.lower.evaluate(bindings)
+            upper = loop.upper.evaluate(bindings)
+            trip = max((upper - lower) / loop.step, 1.0)
+            trip_counts[loop.var] = trip
+            bindings[loop.var] = (lower + max(upper - 1, lower)) // 2
+        statements = [
+            node for node in stats.context.innermost.body if isinstance(node, Statement)
+        ]
+        refs: List[ArrayRef] = []
+        for stmt in statements:
+            refs.extend(stmt.refs())
+        innermost_var = loop_vars[-1]
+        array_dims: Dict[str, Tuple[int, ...]] = {}
+        element_bytes: Dict[str, int] = {}
+        strides: List[int] = []
+        ref_loop_vars: List[frozenset] = []
+        loop_var_set = set(loop_vars)
+        for ref in refs:
+            decl = self._kernel.array(ref.array)
+            if ref.array not in array_dims:
+                array_dims[ref.array] = tuple(
+                    d.evaluate(self._kernel.sizes) for d in decl.dims
+                )
+                element_bytes[ref.array] = decl.element_bytes
+            strides.append(
+                reference_stride(
+                    ref, innermost_var, self._kernel, array_dims[ref.array]
+                )
+            )
+            ref_loop_vars.append(frozenset(ref.free_vars() & loop_var_set))
+        return _BodyInfo(
+            stats=stats,
+            loop_vars=loop_vars,
+            trip_counts=trip_counts,
+            refs=tuple(refs),
+            ref_strides=tuple(strides),
+            ref_loop_vars=tuple(ref_loop_vars),
+            array_dims=array_dims,
+            element_bytes=element_bytes,
+        )
+
+    # -------------------------------------------------------------- public API
+
+    def runtime_seconds(self, configuration: TransformConfiguration) -> float:
+        """True mean runtime (seconds) of the kernel under ``configuration``."""
+        return self.breakdown(configuration).total_seconds * self._time_scale
+
+    def breakdown(self, configuration: TransformConfiguration) -> CostBreakdown:
+        """Per-component runtime contributions (before the time-scale factor)."""
+        compute = memory = overhead = spill = icache = 0.0
+        for body in self._bodies:
+            c, m, o, s, i = self._body_cycles(body, configuration)
+            iterations = body.stats.iterations
+            compute += c * iterations
+            memory += m * iterations
+            overhead += o * iterations
+            spill += s * iterations
+            icache += i * iterations
+        cycle = self._core.cycle_seconds
+        return CostBreakdown(
+            compute_seconds=compute * cycle,
+            memory_seconds=memory * cycle,
+            overhead_seconds=overhead * cycle,
+            spill_seconds=spill * cycle,
+            icache_seconds=icache * cycle,
+        )
+
+    def compile_seconds(self, configuration: TransformConfiguration) -> float:
+        """Compile time (seconds) of the kernel under ``configuration``."""
+        generated_statements = 0.0
+        tile_loops = sum(
+            1
+            for var, tile in configuration.cache_tiles.items()
+            if tile and tile > 1
+        )
+        for body in self._bodies:
+            unroll_product = self._unroll_product(body, configuration)
+            generated_statements += body.stats.statements * unroll_product
+        optimisation_cost = (
+            self._compile_per_statement * generated_statements ** self._compile_exponent
+        )
+        return (
+            self._compile_base
+            + min(optimisation_cost, self._compile_cap)
+            + 0.05 * tile_loops
+        )
+
+    def noise_sensitivity(self, configuration: TransformConfiguration) -> float:
+        """Heteroskedasticity knob in [0, 1] for the noise substrate.
+
+        Two kinds of configurations are especially sensitive to memory-layout
+        perturbations (the dominant noise source the paper discusses):
+
+        * configurations whose per-tile working set sits near a cache
+          capacity boundary — ASLR and physical page allocation then decide
+          whether conflict misses appear or not; and
+        * configurations in the register-pressure *transition* region, where
+          small code-layout changes decide whether the spill code stays in
+          the fast path.
+
+        The returned value is the maximum contribution over all loop nests.
+        """
+        sensitivity = 0.0
+        for body in self._bodies:
+            # Check the footprint of every loop depth: tiling and problem
+            # size decide which of them lands near a capacity boundary.
+            for level in range(len(body.loop_vars)):
+                footprint = self._tile_footprint_bytes(body, configuration, level)
+                sensitivity = max(
+                    sensitivity, self._hierarchy.boundary_proximity(footprint)
+                )
+            pressure = self._live_values(body, configuration) / self._core.vector_registers
+            onset = self._core.spill_onset_ratio
+            width = max(self._core.spill_transition_width, 1e-6)
+            transition = math.exp(-(((pressure - (onset + width)) / width) ** 2))
+            sensitivity = max(sensitivity, 0.6 * transition)
+        return min(sensitivity, 1.0)
+
+    # ----------------------------------------------------------- per-body math
+
+    def _unroll_product(
+        self, body: _BodyInfo, configuration: TransformConfiguration
+    ) -> int:
+        product = 1
+        for var in body.loop_vars:
+            product *= configuration.unroll_factor(var)
+            product *= configuration.register_tile(var)
+        return product
+
+    def _effective_extent(
+        self, body: _BodyInfo, var: str, configuration: TransformConfiguration
+    ) -> float:
+        trip = body.trip_counts.get(var, 1.0)
+        tile = configuration.cache_tile(var)
+        if tile is not None and tile >= 1:
+            return float(min(trip, tile))
+        return trip
+
+    def _touched_bytes(
+        self,
+        body: _BodyInfo,
+        inner_vars: Sequence[str],
+        configuration: TransformConfiguration,
+    ) -> float:
+        """Bytes touched by one full execution of the loops in ``inner_vars``."""
+        inner = set(inner_vars)
+        seen: set[Tuple[str, Tuple[str, ...]]] = set()
+        total = 0.0
+        for ref in body.refs:
+            key = (ref.array, tuple(str(i) for i in ref.indices))
+            if key in seen:
+                continue
+            seen.add(key)
+            dims = body.array_dims[ref.array]
+            elements = 1.0
+            for dim_size, index in zip(dims, ref.indices):
+                coeffs = affine_coefficients(index)
+                extent = 1.0
+                for var, coeff in coeffs.items():
+                    if var in inner and coeff != 0:
+                        extent *= max(
+                            abs(coeff)
+                            * self._effective_extent(body, var, configuration),
+                            1.0,
+                        )
+                elements *= min(extent, float(dim_size))
+            total += elements * body.element_bytes[ref.array]
+        return total
+
+    def _tile_footprint_bytes(
+        self, body: _BodyInfo, configuration: TransformConfiguration, level: int
+    ) -> float:
+        """Footprint of the loops inside (and including) depth ``level``."""
+        inner_vars = body.loop_vars[level:]
+        return self._touched_bytes(body, inner_vars, configuration)
+
+    def _reuse_footprint(
+        self,
+        body: _BodyInfo,
+        ref_vars: frozenset,
+        configuration: TransformConfiguration,
+    ) -> float:
+        """Data volume touched between consecutive reuses of a reference.
+
+        The reuse of a reference is carried by the innermost enclosing loop
+        whose variable does not appear in its subscripts; the footprint is
+        everything touched by the loops nested inside that one.  References
+        that vary with every loop have no temporal reuse — their footprint is
+        effectively the whole traversal.
+        """
+        reuse_level: Optional[int] = None
+        for level in range(len(body.loop_vars) - 1, -1, -1):
+            if body.loop_vars[level] not in ref_vars:
+                reuse_level = level
+                break
+        if reuse_level is None:
+            return self._touched_bytes(body, body.loop_vars, configuration)
+        inner_vars = body.loop_vars[reuse_level + 1 :]
+        if not inner_vars:
+            return 0.0
+        return self._touched_bytes(body, inner_vars, configuration)
+
+    def _live_values(
+        self, body: _BodyInfo, configuration: TransformConfiguration
+    ) -> float:
+        """Approximate simultaneously live values in the unrolled/jammed body."""
+        live = 0.0
+        for ref_vars in body.ref_loop_vars:
+            replicas = 1.0
+            for var in body.loop_vars:
+                factor = configuration.unroll_factor(var) * configuration.register_tile(var)
+                if var in ref_vars:
+                    replicas *= factor
+            live += replicas
+        # A handful of scalars (accumulators, induction variables) are always live.
+        return live + 4.0
+
+    def _body_cycles(
+        self, body: _BodyInfo, configuration: TransformConfiguration
+    ) -> Tuple[float, float, float, float, float]:
+        """Per-source-iteration (compute, memory, overhead, spill, icache) cycles.
+
+        The spill and I-cache contributions are the *extra* cycles caused by
+        the multiplicative register-pressure and instruction-cache slowdowns
+        applied to the compute/memory/overhead base.
+        """
+        stats = body.stats
+        innermost_var = body.loop_vars[-1]
+        inner_unroll = configuration.unroll_factor(innermost_var) * configuration.register_tile(
+            innermost_var
+        )
+
+        compute = self._core.compute_cycles(stats.flops)
+
+        # Memory: per-reference expected latency.  Register tiling
+        # (unroll-and-jam) keeps values live across jammed replicas, so
+        # references that are invariant to a register-tiled loop issue less
+        # often; plain unrolling of a loop gives the same effect for
+        # references invariant to that loop only when it is the innermost one
+        # (the compiler can then reuse the loaded value within the body).
+        loads = 0.0
+        memory = 0.0
+        for ref, stride, ref_vars in zip(body.refs, body.ref_strides, body.ref_loop_vars):
+            weight = 1.0
+            for var in body.loop_vars:
+                if var in ref_vars:
+                    continue
+                reuse_factor = configuration.register_tile(var)
+                if var == innermost_var:
+                    reuse_factor *= configuration.unroll_factor(var)
+                if reuse_factor > 1:
+                    weight /= reuse_factor
+            element_bytes = body.element_bytes[ref.array]
+            footprint = self._reuse_footprint(body, ref_vars, configuration)
+            access_cycles = self._hierarchy.expected_access_cycles(
+                footprint, stride * element_bytes
+            )
+            memory += weight * access_cycles
+            loads += weight
+        store_fraction = stats.stores / max(stats.loads + stats.stores, 1)
+        stores = store_fraction * loads
+        issue = self._core.issue_cycles(loads, stores)
+        memory = max(memory / max(self._core.load_ports, 1.0), issue)
+
+        # Loop overhead: branch/induction work amortised by the innermost
+        # unroll factor, plus a small cost for each extra tile-loop level and
+        # for remainder iterations when the unroll factor does not divide the
+        # (average) trip count.
+        overhead = self._core.loop_overhead_cycles(max(inner_unroll, 1))
+        inner_trip = body.trip_counts[innermost_var]
+        if inner_unroll > 1 and inner_trip > 0:
+            remainder = (inner_trip % inner_unroll) / inner_trip
+            overhead += self._core.branch_overhead_cycles * remainder * 0.5
+        for var in body.loop_vars:
+            tile = configuration.cache_tile(var)
+            if tile is not None:
+                # One extra loop level: setup cost paid once per tile, spread
+                # across the iterations of the loops nested inside it.
+                extra = self._core.loop_setup_cycles / max(tile, 1.0)
+                inner_iterations = 1.0
+                for inner_var in body.loop_vars[body.loop_vars.index(var) + 1 :]:
+                    inner_iterations *= max(body.trip_counts.get(inner_var, 1.0), 1.0)
+                overhead += extra / max(inner_iterations, 1.0)
+
+        base = max(compute, memory) + overhead
+
+        spill_multiplier = self._core.register_pressure_multiplier(
+            self._live_values(body, configuration)
+        )
+        body_instructions = (
+            (stats.flops + stats.loads + stats.stores) * 1.3 + 4.0
+        ) * self._unroll_product(body, configuration)
+        icache_multiplier = self._core.icache_multiplier(body_instructions)
+
+        spill = base * (spill_multiplier - 1.0)
+        icache = base * spill_multiplier * (icache_multiplier - 1.0)
+
+        return compute, memory, overhead, spill, icache

@@ -1,0 +1,111 @@
+"""Core execution model: issue throughput, registers, loop overhead, I-cache.
+
+Together with the cache model this forms the "hardware" the substrate runs
+on.  The parameters default to a Haswell-class core (the i7-4770K used in
+the paper): 4-wide issue, two FP pipes, two load ports and one store port,
+sixteen architectural vector registers, a 32 KB instruction cache.
+
+The core model supplies three effects that shape the optimization space:
+
+* **loop overhead** amortised by unrolling (the initial benefit of larger
+  unroll factors),
+* **register pressure / spilling** once the unrolled-and-jammed body needs
+  more simultaneously live values than the register file holds (the climb
+  after the sweet spot, clearly visible in Figure 2 of the paper), and
+* **instruction-cache pressure** for extreme unroll products (the final
+  plateau at a higher runtime level).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["CoreModel", "haswell_core"]
+
+
+@dataclass(frozen=True)
+class CoreModel:
+    """Analytical model of one out-of-order core."""
+
+    frequency_ghz: float = 3.4
+    flops_per_cycle: float = 4.0
+    load_ports: float = 2.0
+    store_ports: float = 1.0
+    branch_overhead_cycles: float = 2.0
+    loop_setup_cycles: float = 6.0
+    vector_registers: int = 16
+    spill_onset_ratio: float = 2.5
+    spill_transition_width: float = 2.5
+    spill_max_slowdown: float = 0.55
+    icache_bytes: int = 32 * 1024
+    bytes_per_instruction: float = 4.5
+    icache_max_slowdown: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.flops_per_cycle <= 0:
+            raise ValueError("flops_per_cycle must be positive")
+        if self.vector_registers <= 0:
+            raise ValueError("vector_registers must be positive")
+
+    @property
+    def cycle_seconds(self) -> float:
+        """Duration of one clock cycle in seconds."""
+        return 1.0 / (self.frequency_ghz * 1e9)
+
+    def compute_cycles(self, flops: float) -> float:
+        """Cycles to retire ``flops`` floating-point operations (throughput-bound)."""
+        return flops / self.flops_per_cycle
+
+    def issue_cycles(self, loads: float, stores: float) -> float:
+        """Cycles the load/store ports need to issue the given accesses."""
+        return max(loads / self.load_ports, stores / self.store_ports)
+
+    def loop_overhead_cycles(self, unroll_factor: int) -> float:
+        """Per-source-iteration loop maintenance cost after unrolling by ``unroll_factor``.
+
+        The compare-and-branch plus induction-variable update is paid once per
+        *unrolled* iteration, i.e. once every ``unroll_factor`` source
+        iterations.
+        """
+        if unroll_factor < 1:
+            raise ValueError("unroll factor must be >= 1")
+        return self.branch_overhead_cycles / unroll_factor
+
+    def register_pressure_multiplier(self, live_values: float) -> float:
+        """Multiplicative slowdown caused by register pressure and spilling.
+
+        Out-of-order cores tolerate bodies whose live values exceed the
+        architectural register file by a comfortable margin (renaming, cheap
+        store-to-load forwarding for stack slots), so the penalty only turns
+        on once the pressure ratio passes ``spill_onset_ratio`` and then
+        saturates at ``1 + spill_max_slowdown`` — the plateau → climb →
+        plateau response the paper's Figure 2 shows for ``adi``.
+        """
+        if live_values < 0:
+            raise ValueError("live_values cannot be negative")
+        pressure_ratio = live_values / self.vector_registers
+        excess = (pressure_ratio - self.spill_onset_ratio) / self.spill_transition_width
+        if excess <= 0:
+            return 1.0
+        return 1.0 + self.spill_max_slowdown * (1.0 - math.exp(-excess))
+
+    def icache_multiplier(self, body_instructions: float) -> float:
+        """Multiplicative slowdown once the loop body overflows the I-cache.
+
+        Below capacity there is no penalty; above it the front end has to
+        stream instructions from L2 every iteration, with the slowdown
+        saturating at ``1 + icache_max_slowdown``.
+        """
+        body_bytes = body_instructions * self.bytes_per_instruction
+        if body_bytes <= self.icache_bytes:
+            return 1.0
+        overflow_ratio = body_bytes / self.icache_bytes - 1.0
+        return 1.0 + self.icache_max_slowdown * (1.0 - math.exp(-overflow_ratio))
+
+
+def haswell_core() -> CoreModel:
+    """The core model for the paper's i7-4770K at 3.4 GHz."""
+    return CoreModel()

@@ -1,0 +1,291 @@
+"""Measurement-noise models for simulated profiling runs.
+
+The paper goes to some length (Sections 1 and 2, Table 2) to characterise the
+noise that plagues runtime measurements on real machines:
+
+* **interference** from other processes competing for cores, caches and
+  memory bandwidth — multiplicative, bursty, occasionally extreme;
+* **frequency/thermal effects** (e.g. Turbo Boost) — slow multiplicative
+  drift;
+* **memory-layout effects** (ASLR, physical page allocation) — the layout is
+  fixed per *execution*, so it behaves like a per-run random offset whose
+  magnitude depends on how sensitive the generated code is to conflict
+  misses, i.e. it is *heteroskedastic* across the optimization space;
+* **timer quantisation and OS jitter** — small additive noise;
+* **heavy-tailed spikes** — a daemon waking up at the wrong moment.
+
+Because we replace real hardware with a cost-model substrate
+(:mod:`repro.machine`), the noise must be recreated synthetically.  Each
+noise component below perturbs a *true* runtime into an *observed* runtime.
+A :class:`NoiseModel` composes components and is attached to a benchmark by
+the SPAPT substrate, calibrated so that the per-benchmark variance and
+CI/mean spreads resemble Table 2 of the paper (low for ``lu``/``mvt``/
+``hessian``, extreme for ``correlation``).
+
+All randomness flows through a caller-supplied :class:`numpy.random.Generator`
+so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "NoiseComponent",
+    "LognormalInterference",
+    "GaussianJitter",
+    "HeavyTailedSpikes",
+    "HeteroskedasticLayoutNoise",
+    "FrequencyDrift",
+    "NoiseModel",
+    "NoiseProfile",
+    "noise_model_from_profile",
+]
+
+
+class NoiseComponent(ABC):
+    """A single source of measurement noise.
+
+    A component maps a true runtime (seconds) to a perturbed runtime.  The
+    optional ``sensitivity`` argument is a per-configuration scalar in
+    ``[0, 1]`` produced by the benchmark substrate; it lets a component be
+    heteroskedastic — stronger in some regions of the optimization space
+    than others — which is the property Table 2 documents and the
+    sequential-analysis learner exploits.
+    """
+
+    @abstractmethod
+    def apply(
+        self, runtime: float, rng: np.random.Generator, sensitivity: float = 0.0
+    ) -> float:
+        """Return the runtime perturbed by this component."""
+
+
+@dataclass
+class LognormalInterference(NoiseComponent):
+    """Multiplicative interference from competing processes.
+
+    The observed runtime is ``runtime * exp(eps)`` with
+    ``eps ~ Normal(0, sigma)``.  A lognormal factor is the standard model for
+    contention-induced slowdowns: it is always positive, skewed towards
+    slowdowns, and scales with the runtime itself.
+    """
+
+    sigma: float = 0.005
+
+    def apply(
+        self, runtime: float, rng: np.random.Generator, sensitivity: float = 0.0
+    ) -> float:
+        if self.sigma <= 0:
+            return runtime
+        return runtime * float(np.exp(rng.normal(0.0, self.sigma)))
+
+
+@dataclass
+class GaussianJitter(NoiseComponent):
+    """Small additive noise from timer resolution and OS scheduling jitter.
+
+    ``sigma_seconds`` is an absolute perturbation; the result is clamped to
+    stay positive.
+    """
+
+    sigma_seconds: float = 1e-4
+
+    def apply(
+        self, runtime: float, rng: np.random.Generator, sensitivity: float = 0.0
+    ) -> float:
+        if self.sigma_seconds <= 0:
+            return runtime
+        perturbed = runtime + float(rng.normal(0.0, self.sigma_seconds))
+        return max(perturbed, runtime * 0.01)
+
+
+@dataclass
+class HeavyTailedSpikes(NoiseComponent):
+    """Occasional large slowdowns (a daemon or cron job stealing the core).
+
+    With probability ``probability`` the run is slowed down by a factor drawn
+    from ``1 + Exponential(scale)``.
+    """
+
+    probability: float = 0.01
+    scale: float = 0.05
+
+    def apply(
+        self, runtime: float, rng: np.random.Generator, sensitivity: float = 0.0
+    ) -> float:
+        if self.probability <= 0:
+            return runtime
+        if rng.random() < self.probability:
+            return runtime * (1.0 + float(rng.exponential(self.scale)))
+        return runtime
+
+
+@dataclass
+class HeteroskedasticLayoutNoise(NoiseComponent):
+    """Memory-layout (ASLR / page-colouring) noise that varies across the space.
+
+    Curtsinger & Berger (STABILIZER) and de Oliveira et al. showed that
+    layout-induced variation can dwarf the effect of the optimizations being
+    studied, and that its magnitude depends on the code being measured.  The
+    benchmark substrate supplies a per-configuration ``sensitivity`` in
+    ``[0, 1]`` (e.g. configurations whose working set sits near a cache-size
+    boundary are sensitive); the multiplicative noise sigma interpolates
+    between ``sigma_low`` and ``sigma_high`` accordingly.
+    """
+
+    sigma_low: float = 0.002
+    sigma_high: float = 0.08
+
+    def apply(
+        self, runtime: float, rng: np.random.Generator, sensitivity: float = 0.0
+    ) -> float:
+        sensitivity = min(max(sensitivity, 0.0), 1.0)
+        sigma = self.sigma_low + (self.sigma_high - self.sigma_low) * sensitivity
+        if sigma <= 0:
+            return runtime
+        return runtime * float(np.exp(rng.normal(0.0, sigma)))
+
+
+@dataclass
+class FrequencyDrift(NoiseComponent):
+    """Slow multiplicative drift from DVFS / Turbo Boost / thermal throttling.
+
+    Modelled as a bounded random walk shared across consecutive observations:
+    each call nudges the current frequency factor and applies it.  The state
+    is intentionally kept inside the component so that back-to-back
+    observations of the *same* configuration are correlated, as they are on a
+    machine whose clock is drifting.
+    """
+
+    step_sigma: float = 0.002
+    max_deviation: float = 0.03
+    _state: float = field(default=0.0, repr=False)
+
+    def apply(
+        self, runtime: float, rng: np.random.Generator, sensitivity: float = 0.0
+    ) -> float:
+        if self.step_sigma <= 0:
+            return runtime
+        self._state += float(rng.normal(0.0, self.step_sigma))
+        self._state = min(max(self._state, -self.max_deviation), self.max_deviation)
+        return runtime * (1.0 + self._state)
+
+
+@dataclass(frozen=True)
+class NoiseProfile:
+    """Calibration knobs describing how noisy a benchmark's measurements are.
+
+    The values are chosen per benchmark by :mod:`repro.spapt.suite` so that
+    the resulting variance and CI/mean spreads have the same qualitative
+    structure as Table 2 of the paper.
+
+    Attributes
+    ----------
+    interference_sigma:
+        Baseline multiplicative noise applied everywhere.
+    layout_sigma_high:
+        Multiplicative noise in the most layout-sensitive regions.
+    spike_probability / spike_scale:
+        Frequency and magnitude of heavy-tailed slowdowns.
+    jitter_seconds:
+        Additive timer jitter.
+    drift_sigma:
+        Step size of the slow frequency drift (0 disables it).
+    """
+
+    interference_sigma: float = 0.004
+    layout_sigma_high: float = 0.05
+    spike_probability: float = 0.01
+    spike_scale: float = 0.05
+    jitter_seconds: float = 5e-5
+    drift_sigma: float = 0.0
+
+
+def noise_model_from_profile(profile: NoiseProfile) -> "NoiseModel":
+    """Build a :class:`NoiseModel` from a calibration profile."""
+    components: list[NoiseComponent] = [
+        LognormalInterference(sigma=profile.interference_sigma),
+        HeteroskedasticLayoutNoise(
+            sigma_low=profile.interference_sigma / 2.0,
+            sigma_high=profile.layout_sigma_high,
+        ),
+        HeavyTailedSpikes(
+            probability=profile.spike_probability, scale=profile.spike_scale
+        ),
+        GaussianJitter(sigma_seconds=profile.jitter_seconds),
+    ]
+    if profile.drift_sigma > 0:
+        components.append(FrequencyDrift(step_sigma=profile.drift_sigma))
+    return NoiseModel(components)
+
+
+class NoiseModel:
+    """A composition of noise components applied to a true runtime.
+
+    The model itself is stateless apart from any stateful components (such as
+    :class:`FrequencyDrift`); the random generator is supplied per call so the
+    profiler controls reproducibility.
+    """
+
+    def __init__(self, components: Optional[Sequence[NoiseComponent]] = None) -> None:
+        self._components: list[NoiseComponent] = list(components or [])
+
+    @property
+    def components(self) -> tuple[NoiseComponent, ...]:
+        return tuple(self._components)
+
+    def observe(
+        self,
+        true_runtime: float,
+        rng: np.random.Generator,
+        sensitivity: float = 0.0,
+    ) -> float:
+        """Produce one noisy observation of ``true_runtime``.
+
+        Parameters
+        ----------
+        true_runtime:
+            The deterministic runtime predicted by the machine cost model.
+        rng:
+            Random generator owned by the caller (profiler or dataset
+            generator).
+        sensitivity:
+            Per-configuration heteroskedasticity knob in ``[0, 1]``.
+        """
+        if true_runtime <= 0:
+            raise ValueError(f"true_runtime must be positive, got {true_runtime!r}")
+        if not math.isfinite(true_runtime):
+            raise ValueError("true_runtime must be finite")
+        observed = float(true_runtime)
+        for component in self._components:
+            observed = component.apply(observed, rng, sensitivity=sensitivity)
+        return max(observed, true_runtime * 1e-3)
+
+    def observe_many(
+        self,
+        true_runtime: float,
+        count: int,
+        rng: np.random.Generator,
+        sensitivity: float = 0.0,
+    ) -> np.ndarray:
+        """Produce ``count`` independent observations as a numpy array."""
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        return np.array(
+            [
+                self.observe(true_runtime, rng, sensitivity=sensitivity)
+                for _ in range(count)
+            ],
+            dtype=float,
+        )
+
+    @classmethod
+    def noiseless(cls) -> "NoiseModel":
+        """A model with no components — observations equal the true runtime."""
+        return cls([])

@@ -1,0 +1,19 @@
+"""Surrogate regression models: dynamic trees, Gaussian processes, baselines."""
+
+from .base import Prediction, SurrogateModel
+from .baselines import ConstantMeanModel, KNNRegressor
+from .dynamic_tree import DynamicTreeConfig, DynamicTreeRegressor
+from .gp import GaussianProcessRegressor
+from .leaf import GaussianLeafModel, NIGPrior
+
+__all__ = [
+    "Prediction",
+    "SurrogateModel",
+    "ConstantMeanModel",
+    "KNNRegressor",
+    "DynamicTreeConfig",
+    "DynamicTreeRegressor",
+    "GaussianProcessRegressor",
+    "GaussianLeafModel",
+    "NIGPrior",
+]

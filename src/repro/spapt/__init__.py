@@ -1,0 +1,32 @@
+"""SPAPT benchmark substrate: kernels, search spaces, suite and datasets."""
+
+from .dataset import Dataset, DatasetEntry, TrainTestSplit, generate_dataset
+from .kernels import KERNEL_BUILDERS
+from .search_space import ParameterKind, SearchSpace, TunableParameter
+from .suite import (
+    BENCHMARK_SPECS,
+    BenchmarkSpec,
+    PAPER_SEARCH_SPACE_SIZES,
+    SpaptBenchmark,
+    benchmark_names,
+    get_benchmark,
+    load_suite,
+)
+
+__all__ = [
+    "Dataset",
+    "DatasetEntry",
+    "TrainTestSplit",
+    "generate_dataset",
+    "KERNEL_BUILDERS",
+    "ParameterKind",
+    "SearchSpace",
+    "TunableParameter",
+    "BENCHMARK_SPECS",
+    "BenchmarkSpec",
+    "PAPER_SEARCH_SPACE_SIZES",
+    "SpaptBenchmark",
+    "benchmark_names",
+    "get_benchmark",
+    "load_suite",
+]

@@ -1,0 +1,300 @@
+"""Tunable parameters and search spaces for the SPAPT benchmarks.
+
+Each SPAPT search problem is defined by a kernel, a (fixed) input size and a
+set of tunable integer parameters.  Following the paper (Section 4.2) we
+consider the integer parameters only — loop unroll factors, cache tile
+sizes and register tile factors — and leave binary flags and input size
+fixed so the comparison against Balaprakash et al. is like-for-like.
+
+A configuration is a plain tuple of integers, one entry per parameter in
+declaration order; this is what the profiler, the models and the learner all
+pass around.  The :class:`SearchSpace` converts configurations to
+
+* :class:`~repro.machine.cost_model.TransformConfiguration` objects consumed
+  by the machine cost model and the transformation passes, and
+* normalised feature vectors (scaled and centred, as in Section 4.5 of the
+  paper) consumed by the surrogate models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..machine.cost_model import TransformConfiguration
+
+__all__ = ["ParameterKind", "TunableParameter", "SearchSpace"]
+
+
+class ParameterKind(str, Enum):
+    """The three kinds of integer tunables used by the paper."""
+
+    UNROLL = "unroll"
+    CACHE_TILE = "cache_tile"
+    REGISTER_TILE = "register_tile"
+
+
+@dataclass(frozen=True)
+class TunableParameter:
+    """One tunable integer parameter bound to a loop of the kernel.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name, e.g. ``"U_i1"`` or ``"T_j2"``.
+    kind:
+        Which transformation the parameter controls.
+    loop_var:
+        The loop variable of the base kernel the transformation applies to.
+    values:
+        The ordered tuple of admissible values (all positive integers).
+    """
+
+    name: str
+    kind: ParameterKind
+    loop_var: str
+    values: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        values = tuple(int(v) for v in self.values)
+        object.__setattr__(self, "values", values)
+        if not values:
+            raise ValueError(f"parameter {self.name!r} has no admissible values")
+        if any(v < 1 for v in values):
+            raise ValueError(f"parameter {self.name!r} has non-positive values")
+        if len(set(values)) != len(values):
+            raise ValueError(f"parameter {self.name!r} has duplicate values")
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.values)
+
+    def value_at(self, index: int) -> int:
+        """The parameter value at position ``index`` of the value list."""
+        return self.values[index]
+
+    def index_of(self, value: int) -> int:
+        """Position of ``value`` in the value list (raises if absent)."""
+        try:
+            return self.values.index(int(value))
+        except ValueError as exc:
+            raise ValueError(
+                f"{value} is not an admissible value of parameter {self.name!r}"
+            ) from exc
+
+    @classmethod
+    def unroll(cls, name: str, loop_var: str, max_factor: int = 32) -> "TunableParameter":
+        """An unroll factor parameter ranging over 1..max_factor."""
+        return cls(name, ParameterKind.UNROLL, loop_var, tuple(range(1, max_factor + 1)))
+
+    @classmethod
+    def register_tile(
+        cls, name: str, loop_var: str, max_factor: int = 16
+    ) -> "TunableParameter":
+        """A register-tile (unroll-and-jam) factor ranging over 1..max_factor."""
+        return cls(
+            name, ParameterKind.REGISTER_TILE, loop_var, tuple(range(1, max_factor + 1))
+        )
+
+    @classmethod
+    def cache_tile(
+        cls, name: str, loop_var: str, values: Optional[Sequence[int]] = None
+    ) -> "TunableParameter":
+        """A cache-tile size parameter.
+
+        The default value set (1 plus multiples of 16 up to 1024) mirrors the
+        tile ranges SPAPT exposes; 1 means "do not tile this loop".
+        """
+        if values is None:
+            values = (1,) + tuple(range(16, 1025, 16))
+        return cls(name, ParameterKind.CACHE_TILE, loop_var, tuple(values))
+
+
+class SearchSpace:
+    """The Cartesian product of a list of tunable parameters."""
+
+    def __init__(self, parameters: Sequence[TunableParameter]) -> None:
+        if not parameters:
+            raise ValueError("a search space needs at least one parameter")
+        names = [p.name for p in parameters]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate parameter names in search space")
+        self._parameters: Tuple[TunableParameter, ...] = tuple(parameters)
+
+    @property
+    def parameters(self) -> Tuple[TunableParameter, ...]:
+        return self._parameters
+
+    @property
+    def dimensions(self) -> int:
+        return len(self._parameters)
+
+    @property
+    def size(self) -> int:
+        """Total number of configurations (product of cardinalities)."""
+        total = 1
+        for param in self._parameters:
+            total *= param.cardinality
+        return total
+
+    def parameter(self, name: str) -> TunableParameter:
+        for param in self._parameters:
+            if param.name == name:
+                return param
+        raise KeyError(f"no parameter named {name!r}")
+
+    # ------------------------------------------------------------ validation
+
+    def validate(self, configuration: Sequence[int]) -> Tuple[int, ...]:
+        """Check a configuration and return it as a canonical tuple."""
+        values = tuple(int(v) for v in configuration)
+        if len(values) != self.dimensions:
+            raise ValueError(
+                f"configuration has {len(values)} values, expected {self.dimensions}"
+            )
+        for value, param in zip(values, self._parameters):
+            if value not in param.values:
+                raise ValueError(
+                    f"{value} is not admissible for parameter {param.name!r}"
+                )
+        return values
+
+    def __contains__(self, configuration: Sequence[int]) -> bool:
+        try:
+            self.validate(configuration)
+        except ValueError:
+            return False
+        return True
+
+    # -------------------------------------------------------------- sampling
+
+    def default_configuration(self) -> Tuple[int, ...]:
+        """The baseline configuration: every parameter at its first value.
+
+        With the constructors above the first value of every parameter is 1,
+        i.e. "apply no transformation" — the ``-O2``-only baseline the paper
+        compiles against.
+        """
+        return tuple(param.values[0] for param in self._parameters)
+
+    def random_configuration(self, rng: np.random.Generator) -> Tuple[int, ...]:
+        """One configuration sampled uniformly at random."""
+        return tuple(
+            param.values[int(rng.integers(param.cardinality))]
+            for param in self._parameters
+        )
+
+    def sample_distinct(
+        self, count: int, rng: np.random.Generator, exclude: Iterable[Sequence[int]] = ()
+    ) -> List[Tuple[int, ...]]:
+        """Sample ``count`` distinct configurations uniformly at random.
+
+        ``exclude`` lists configurations that must not be returned (e.g. the
+        training examples already seen, so the candidate pool stays fresh).
+        Raises ``ValueError`` if the space cannot supply that many distinct
+        configurations.
+        """
+        if count < 0:
+            raise ValueError("count cannot be negative")
+        excluded = {tuple(int(v) for v in cfg) for cfg in exclude}
+        available = self.size - len(excluded)
+        if count > available:
+            raise ValueError(
+                f"cannot sample {count} distinct configurations: only {available} available"
+            )
+        chosen: set[Tuple[int, ...]] = set()
+        result: List[Tuple[int, ...]] = []
+        # Rejection sampling is efficient because SPAPT spaces are many orders
+        # of magnitude larger than any sample we draw; fall back to exhaustive
+        # enumeration only for tiny synthetic spaces used in tests.
+        attempts = 0
+        max_attempts = max(1000, count * 50)
+        while len(result) < count and attempts < max_attempts:
+            attempts += 1
+            candidate = self.random_configuration(rng)
+            if candidate in excluded or candidate in chosen:
+                continue
+            chosen.add(candidate)
+            result.append(candidate)
+        if len(result) < count:
+            for candidate in self._enumerate():
+                if candidate in excluded or candidate in chosen:
+                    continue
+                chosen.add(candidate)
+                result.append(candidate)
+                if len(result) == count:
+                    break
+        return result
+
+    def _enumerate(self) -> Iterator[Tuple[int, ...]]:
+        """Enumerate every configuration (only sensible for tiny spaces)."""
+        def recurse(prefix: Tuple[int, ...], remaining: Tuple[TunableParameter, ...]):
+            if not remaining:
+                yield prefix
+                return
+            head, tail = remaining[0], remaining[1:]
+            for value in head.values:
+                yield from recurse(prefix + (value,), tail)
+
+        yield from recurse((), self._parameters)
+
+    # ---------------------------------------------------------- conversions
+
+    def to_transform_configuration(
+        self, configuration: Sequence[int]
+    ) -> TransformConfiguration:
+        """Lower a configuration tuple onto transformation parameters."""
+        values = self.validate(configuration)
+        unroll: Dict[str, int] = {}
+        cache_tiles: Dict[str, int] = {}
+        register_tiles: Dict[str, int] = {}
+        for value, param in zip(values, self._parameters):
+            if param.kind is ParameterKind.UNROLL:
+                unroll[param.loop_var] = unroll.get(param.loop_var, 1) * value
+            elif param.kind is ParameterKind.CACHE_TILE:
+                cache_tiles[param.loop_var] = value
+            else:
+                register_tiles[param.loop_var] = (
+                    register_tiles.get(param.loop_var, 1) * value
+                )
+        return TransformConfiguration(
+            unroll=unroll, cache_tiles=cache_tiles, register_tiles=register_tiles
+        )
+
+    def normalize(self, configuration: Sequence[int]) -> np.ndarray:
+        """Scale and centre a configuration into model feature space.
+
+        Each parameter is mapped to ``(value - midpoint) / scale`` where the
+        midpoint and scale are those of a uniform distribution over the
+        parameter's admissible values — the "scaling and centring to
+        something similar to the Standard Normal Distribution" described in
+        Section 4.5 of the paper.
+        """
+        values = self.validate(configuration)
+        features = np.empty(self.dimensions, dtype=float)
+        for i, (value, param) in enumerate(zip(values, self._parameters)):
+            lo = param.values[0]
+            hi = param.values[-1]
+            mid = (lo + hi) / 2.0
+            # Standard deviation of a uniform distribution over [lo, hi].
+            scale = (hi - lo) / math.sqrt(12.0) if hi > lo else 1.0
+            features[i] = (value - mid) / scale
+        return features
+
+    def normalize_many(self, configurations: Sequence[Sequence[int]]) -> np.ndarray:
+        """Normalise a batch of configurations into a 2-D feature matrix."""
+        return np.vstack([self.normalize(cfg) for cfg in configurations])
+
+    def describe(self) -> str:
+        """A human-readable multi-line description of the space."""
+        lines = [f"search space with {self.dimensions} parameters, {self.size:.3g} points"]
+        for param in self._parameters:
+            lines.append(
+                f"  {param.name:>8} ({param.kind.value:>13}) on loop {param.loop_var:>4}: "
+                f"{param.cardinality} values in [{param.values[0]}, {param.values[-1]}]"
+            )
+        return "\n".join(lines)

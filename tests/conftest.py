@@ -1,0 +1,92 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir.expr import Var
+from repro.ir.loopnest import ArrayDecl, ArrayRef, Kernel, Loop, Statement
+from repro.measurement.noise import NoiseModel
+from repro.spapt.suite import get_benchmark
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for every test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def mm_benchmark():
+    """The mm SPAPT benchmark (session-scoped: construction is not free)."""
+    return get_benchmark("mm")
+
+
+@pytest.fixture(scope="session")
+def adi_benchmark():
+    return get_benchmark("adi")
+
+
+@pytest.fixture
+def tiny_kernel():
+    """A small, perfectly nested 2-D kernel for IR/transform tests.
+
+    for i in [0, N):
+        for j in [0, N):
+            C[i][j] += A[i][j] * B[j][i]
+    """
+    statement = Statement(
+        writes=(ArrayRef("C", (Var("i"), Var("j"))),),
+        reads=(
+            ArrayRef("C", (Var("i"), Var("j"))),
+            ArrayRef("A", (Var("i"), Var("j"))),
+            ArrayRef("B", (Var("j"), Var("i"))),
+        ),
+        flops=2,
+        label="update",
+    )
+    inner = Loop(var="j", lower=0, upper="N", body=(statement,))
+    outer = Loop(var="i", lower=0, upper="N", body=(inner,))
+    return Kernel(
+        name="tiny",
+        sizes={"N": 64},
+        arrays=(
+            ArrayDecl("A", ("N", "N")),
+            ArrayDecl("B", ("N", "N")),
+            ArrayDecl("C", ("N", "N")),
+        ),
+        loops=(outer,),
+    )
+
+
+class StubProgram:
+    """A minimal TunableProgram used by profiler/learner unit tests.
+
+    The "configuration" is a pair ``(a, b)`` with runtime ``1 + 0.1*a + 0.01*b``
+    seconds, compile time 0.5 s and no noise unless a model is supplied.
+    """
+
+    name = "stub"
+
+    def __init__(self, noise_model: NoiseModel | None = None) -> None:
+        self._noise = noise_model if noise_model is not None else NoiseModel.noiseless()
+
+    def true_runtime(self, configuration):
+        a, b = configuration
+        return 1.0 + 0.1 * a + 0.01 * b
+
+    def compile_time(self, configuration):
+        return 0.5
+
+    def noise_sensitivity(self, configuration):
+        return 0.0
+
+    @property
+    def noise_model(self):
+        return self._noise
+
+
+@pytest.fixture
+def stub_program():
+    return StubProgram()

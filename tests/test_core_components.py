@@ -1,0 +1,267 @@
+"""Tests for the core building blocks: plans, acquisition, candidates, curves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.acquisition import (
+    ALCAcquisition,
+    ALMAcquisition,
+    RandomAcquisition,
+    make_acquisition,
+)
+from repro.core.candidates import CandidatePool
+from repro.core.curves import (
+    CurvePoint,
+    LearningCurve,
+    average_curves,
+    lowest_common_error,
+    time_to_reach,
+)
+from repro.core.plans import SamplingPlan, fixed_plan, sequential_plan, standard_plans
+from repro.models.dynamic_tree import DynamicTreeConfig, DynamicTreeRegressor
+from repro.spapt.search_space import SearchSpace, TunableParameter
+
+
+class TestSamplingPlans:
+    def test_fixed_plan_names(self):
+        assert fixed_plan(35).name == "all observations"
+        assert fixed_plan(1).name == "one observation"
+        assert fixed_plan(10, name="ten").name == "ten"
+
+    def test_fixed_plan_does_not_revisit(self):
+        plan = fixed_plan(35)
+        assert not plan.revisit
+        assert not plan.is_sequential
+        assert plan.observations_per_selection == 35
+        assert plan.max_observations_per_example == 35
+
+    def test_sequential_plan_is_sequential(self):
+        plan = sequential_plan(35)
+        assert plan.revisit
+        assert plan.is_sequential
+        assert plan.observations_per_selection == 1
+        assert not plan.aggregate_mean
+
+    def test_standard_plans_match_paper(self):
+        plans = standard_plans()
+        assert [p.name for p in plans] == [
+            "all observations",
+            "one observation",
+            "variable observations",
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingPlan("bad", 0, 1, False)
+        with pytest.raises(ValueError):
+            SamplingPlan("bad", 5, 3, False)
+
+
+class _FakeModel:
+    """Deterministic model stub for acquisition tests."""
+
+    def __init__(self, variances):
+        self._variances = np.asarray(variances, dtype=float)
+
+    def predict(self, X):
+        from repro.models.base import Prediction
+
+        X = np.atleast_2d(X)
+        return Prediction(mean=np.zeros(X.shape[0]), variance=self._variances[: X.shape[0]])
+
+    def expected_average_variance(self, candidates, reference):
+        # Pretend the candidate with the highest own variance removes the most.
+        return 1.0 - self._variances[: np.atleast_2d(candidates).shape[0]] * 0.1
+
+
+class TestAcquisition:
+    def test_alm_selects_highest_variance(self, rng):
+        model = _FakeModel([0.1, 0.9, 0.3])
+        index = ALMAcquisition().select(model, np.zeros((3, 2)), np.zeros((2, 2)), rng)
+        assert index == 1
+
+    def test_alc_selects_lowest_expected_average_variance(self, rng):
+        model = _FakeModel([0.1, 0.9, 0.3])
+        index = ALCAcquisition().select(model, np.zeros((3, 2)), np.zeros((2, 2)), rng)
+        assert index == 1  # highest variance -> lowest remaining average variance
+
+    def test_random_is_uniformish(self, rng):
+        model = _FakeModel([0.5] * 4)
+        picks = {
+            RandomAcquisition().select(model, np.zeros((4, 2)), np.zeros((1, 2)), rng)
+            for _ in range(60)
+        }
+        assert len(picks) > 1
+
+    def test_make_acquisition(self):
+        assert isinstance(make_acquisition("alc"), ALCAcquisition)
+        assert isinstance(make_acquisition("ALM"), ALMAcquisition)
+        assert isinstance(make_acquisition(" random "), RandomAcquisition)
+        with pytest.raises(KeyError):
+            make_acquisition("bogus")
+
+    def test_alc_with_real_dynamic_tree_prefers_sparse_noisy_region(self, rng):
+        """A candidate in a barely-sampled region must score at least as well
+        (lower expected remaining variance is better) than one in a densely
+        sampled, low-noise region."""
+        model = DynamicTreeRegressor(
+            DynamicTreeConfig(n_particles=20), rng=np.random.default_rng(0)
+        )
+        dense = rng.normal(loc=(-1.0, -1.0), scale=0.05, size=(40, 2))
+        sparse = np.array([[1.0, 1.0]])
+        X = np.vstack([dense, sparse])
+        y = np.concatenate([np.full(40, 1.0) + rng.normal(0, 0.01, 40), [5.0]])
+        model.fit(X, y)
+        candidates = np.array([[-1.0, -1.0], [1.0, 1.0]])
+        reference = np.vstack([dense[:10], sparse])
+        scores = ALCAcquisition().score(model, candidates, reference, rng)
+        assert scores[1] >= scores[0]
+
+
+class TestCandidatePool:
+    @pytest.fixture
+    def space(self):
+        return SearchSpace(
+            [
+                TunableParameter.unroll("U_i", "i", max_factor=4),
+                TunableParameter.unroll("U_j", "j", max_factor=4),
+            ]
+        )
+
+    def test_draw_excludes_seen(self, space, rng):
+        pool = CandidatePool(space, max_observations=3, revisit=False)
+        seen = (1, 1)
+        pool.record(seen)
+        for _ in range(5):
+            candidates = pool.draw(5, rng)
+            assert seen not in candidates
+
+    def test_revisit_pool_includes_unsaturated_examples(self, space, rng):
+        pool = CandidatePool(space, max_observations=3, revisit=True)
+        pool.record((1, 1), observations=1)
+        pool.record((2, 2), observations=3)
+        candidates = pool.draw(0, rng)
+        assert (1, 1) in candidates
+        assert (2, 2) not in candidates
+
+    def test_non_revisit_pool_never_returns_seen(self, space, rng):
+        pool = CandidatePool(space, max_observations=3, revisit=False)
+        pool.record((1, 1), observations=1)
+        assert pool.revisitable() == []
+
+    def test_counts_accumulate(self, space):
+        pool = CandidatePool(space, max_observations=5, revisit=True)
+        pool.record((1, 2))
+        pool.record((1, 2), observations=2)
+        assert pool.count((1, 2)) == 3
+        assert pool.count((3, 3)) == 0
+        assert pool.observation_counts == {(1, 2): 3}
+
+    def test_exhaustion(self, space, rng):
+        pool = CandidatePool(space, max_observations=1, revisit=True)
+        for configuration in space.sample_distinct(space.size, rng):
+            pool.record(configuration)
+        assert pool.exhausted()
+        assert pool.draw(10, rng) == []
+
+    def test_validation(self, space):
+        with pytest.raises(ValueError):
+            CandidatePool(space, max_observations=0, revisit=True)
+        pool = CandidatePool(space, max_observations=2, revisit=True)
+        with pytest.raises(ValueError):
+            pool.record((1, 1), observations=0)
+        with pytest.raises(ValueError):
+            pool.draw(-1, np.random.default_rng(0))
+
+
+class TestLearningCurves:
+    def make_curve(self, label, pairs):
+        return LearningCurve(
+            label,
+            [
+                CurvePoint(cost_seconds=c, rmse=r, training_examples=i, observations=i)
+                for i, (c, r) in enumerate(pairs)
+            ],
+        )
+
+    def test_best_error_and_time_to_error(self):
+        curve = self.make_curve("a", [(1, 0.5), (2, 0.3), (3, 0.4), (4, 0.2)])
+        assert curve.best_error == 0.2
+        assert curve.time_to_error(0.3) == 2
+        assert curve.time_to_error(0.1) is None
+
+    def test_error_at_cost_is_running_minimum(self):
+        curve = self.make_curve("a", [(1, 0.5), (2, 0.3), (3, 0.4)])
+        assert curve.error_at_cost(2.5) == 0.3
+        assert curve.error_at_cost(3.5) == 0.3
+        assert curve.error_at_cost(0.5) == float("inf")
+
+    def test_points_must_be_cost_ordered(self):
+        with pytest.raises(ValueError):
+            self.make_curve("a", [(2, 0.5), (1, 0.3)])
+        curve = self.make_curve("a", [(1, 0.5)])
+        with pytest.raises(ValueError):
+            curve.add(CurvePoint(cost_seconds=0.5, rmse=0.1, training_examples=1, observations=1))
+
+    def test_lowest_common_error(self):
+        fast = self.make_curve("fast", [(1, 0.5), (2, 0.1)])
+        slow = self.make_curve("slow", [(1, 0.6), (5, 0.3)])
+        assert lowest_common_error([fast, slow]) == 0.3
+
+    def test_time_to_reach(self):
+        fast = self.make_curve("fast", [(1, 0.5), (2, 0.1)])
+        assert time_to_reach(fast, 0.3) == 2
+        with pytest.raises(ValueError):
+            time_to_reach(fast, 0.01)
+
+    def test_average_curves(self):
+        a = self.make_curve("plan", [(1, 0.5), (10, 0.3)])
+        b = self.make_curve("plan", [(1, 0.7), (10, 0.1)])
+        averaged = average_curves([a, b], grid_size=10)
+        assert averaged.label == "plan"
+        assert len(averaged) > 0
+        assert averaged.best_error == pytest.approx(0.2, abs=0.01)
+
+    def test_average_single_curve_passthrough(self):
+        a = self.make_curve("plan", [(1, 0.5)])
+        assert average_curves([a]) is a
+
+    def test_average_requires_curves(self):
+        with pytest.raises(ValueError):
+            average_curves([])
+
+    def test_curve_point_validation(self):
+        with pytest.raises(ValueError):
+            CurvePoint(cost_seconds=-1, rmse=0.1, training_examples=0, observations=0)
+        with pytest.raises(ValueError):
+            CurvePoint(cost_seconds=1, rmse=-0.1, training_examples=0, observations=0)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1000, allow_nan=False),
+            st.floats(min_value=0.001, max_value=10, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_curve_best_error_reachable_property(pairs):
+    pairs = sorted(pairs, key=lambda p: p[0])
+    curve = LearningCurve(
+        "p",
+        [
+            CurvePoint(cost_seconds=c, rmse=r, training_examples=i, observations=i)
+            for i, (c, r) in enumerate(pairs)
+        ],
+    )
+    # The time needed to reach the curve's own best error is always defined
+    # and never exceeds the final cost.
+    cost = time_to_reach(curve, curve.best_error)
+    assert cost <= curve.final_cost + 1e-9

@@ -1,0 +1,198 @@
+"""Tests for the experiment harness (tables, figures, reporting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure5 import figure5_from_table1, run_figure5
+from repro.experiments.figure6 import PAPER_FIGURE6_BENCHMARKS, run_figure6
+from repro.experiments.reporting import format_scientific, format_table, to_csv
+from repro.experiments.table1 import PAPER_TABLE1_SPEEDUPS, run_table1
+from repro.experiments.table2 import run_table2
+
+
+SCALE = ExperimentScale.smoke(benchmarks=("mm",))
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_scientific(self):
+        assert format_scientific(3.78e14) == "3.78e+14"
+
+    def test_to_csv(self):
+        text = to_csv(["a", "b"], [[1, 2], [3, 4]])
+        assert text.splitlines()[0] == "a,b"
+        assert text.splitlines()[2] == "3,4"
+
+
+class TestExperimentScale:
+    def test_three_scales_exist(self):
+        assert ExperimentScale.smoke().name == "smoke"
+        assert ExperimentScale.laptop().name == "laptop"
+        assert ExperimentScale.paper().name == "paper"
+
+    def test_laptop_covers_all_benchmarks(self):
+        assert len(ExperimentScale.laptop().benchmarks) == 11
+
+    def test_paper_scale_parameters(self):
+        paper = ExperimentScale.paper()
+        assert paper.dataset_configurations == 10_000
+        assert paper.test_size == 2500
+        assert paper.repetitions == 10
+        assert paper.learner.max_training_examples == 2500
+
+    def test_comparison_config_propagates(self):
+        scale = ExperimentScale.smoke()
+        config = scale.comparison_config()
+        assert config.repetitions == scale.repetitions
+        assert config.test_size == scale.test_size
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1(SCALE)
+
+    def test_rows_per_benchmark(self, result):
+        assert [row.benchmark for row in result.rows] == ["mm"]
+        row = result.rows[0]
+        assert row.speedup > 0
+        assert row.baseline_cost_seconds > 0
+        assert row.our_cost_seconds > 0
+        assert row.lowest_common_rmse > 0
+
+    def test_speedup_consistency(self, result):
+        row = result.rows[0]
+        assert row.speedup == pytest.approx(
+            row.baseline_cost_seconds / row.our_cost_seconds
+        )
+
+    def test_geometric_mean(self, result):
+        assert result.geometric_mean_speedup == pytest.approx(result.rows[0].speedup)
+
+    def test_paper_reference_numbers(self, result):
+        assert result.rows[0].paper_speedup == PAPER_TABLE1_SPEEDUPS["mm"]
+        assert result.paper_geometric_mean_speedup == pytest.approx(1.11, abs=0.01)
+
+    def test_render_contains_headline_columns(self, result):
+        text = result.render()
+        assert "lowest common RMSE" in text
+        assert "geometric mean" in text
+        assert "mm" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2(SCALE)
+
+    def test_row_fields_ordered(self, result):
+        row = result.rows[0]
+        assert row.variance_min <= row.variance_mean <= row.variance_max
+        assert row.ci35_min <= row.ci35_mean <= row.ci35_max
+        assert row.ci5_min <= row.ci5_mean <= row.ci5_max
+
+    def test_smaller_samples_have_wider_intervals(self, result):
+        row = result.rows[0]
+        assert row.ci5_mean >= row.ci35_mean
+
+    def test_render(self, result):
+        assert "Table 2" in result.render()
+
+    def test_noisy_benchmark_has_larger_variance(self):
+        result = run_table2(ExperimentScale.smoke(benchmarks=("mvt", "correlation")))
+        by_name = {row.benchmark: row for row in result.rows}
+        assert (
+            by_name["correlation"].variance_mean > by_name["mvt"].variance_mean * 10
+        )
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure1(ExperimentScale.smoke(benchmarks=("mm",)))
+
+    def test_grid_is_square(self, result):
+        grid = result.grid("single_sample_mae")
+        assert grid.shape[0] == grid.shape[1]
+        assert np.all(grid >= 0)
+
+    def test_optimal_plan_uses_fewer_runs(self, result):
+        assert result.total_optimal_runs < result.total_fixed_plan_runs
+        assert result.total_optimal_runs >= len(result.cells)
+
+    def test_sample_counts_bounded(self, result):
+        samples = result.grid("optimal_samples")
+        assert samples.min() >= 1
+        assert samples.max() <= result.observations_per_point
+
+    def test_render(self, result):
+        assert "Figure 1 summary" in result.render()
+
+    def test_requires_mm_like_parameters(self):
+        from repro.spapt.suite import get_benchmark
+
+        with pytest.raises(ValueError):
+            run_figure1(SCALE, benchmark=get_benchmark("adi"))
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure2(ExperimentScale.smoke(benchmarks=("adi",)))
+
+    def test_sweep_covers_unroll_factors(self, result):
+        factors = [p.unroll_factor for p in result.points]
+        assert factors == sorted(factors)
+        assert factors[0] == 1
+        assert factors[-1] >= 28
+
+    def test_plateau_climb_shape(self, result):
+        assert result.high_plateau > result.low_plateau
+
+    def test_render(self, result):
+        assert "Figure 2" in result.render()
+
+    def test_unknown_parameter_raises(self):
+        with pytest.raises(ValueError):
+            run_figure2(SCALE, loop_parameter="U_missing")
+
+
+class TestFigure5And6:
+    def test_figure5_from_table1(self):
+        table1 = run_table1(SCALE)
+        figure5 = figure5_from_table1(table1)
+        assert len(figure5.bars) == len(table1.rows)
+        assert figure5.geometric_mean_speedup == pytest.approx(
+            table1.geometric_mean_speedup
+        )
+        assert "Figure 5" in figure5.render()
+
+    def test_figure6_panels(self):
+        result = run_figure6(SCALE, benchmarks=["mm"])
+        assert set(result.panels) == {"mm"}
+        panel = result.panels["mm"]
+        series = panel.series("variable observations")
+        assert len(series) >= 2
+        assert all(cost >= 0 and rmse >= 0 for cost, rmse in series)
+        assert "Figure 6 panel" in result.render()
+
+    def test_figure6_default_benchmarks_are_the_papers(self):
+        assert PAPER_FIGURE6_BENCHMARKS == (
+            "adi",
+            "atax",
+            "correlation",
+            "gemver",
+            "jacobi",
+            "mvt",
+        )

@@ -1,0 +1,148 @@
+"""Tests for the affine index-expression language."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.expr import Add, Const, Mul, Var, affine_coefficients, substitute, to_expr
+
+
+class TestConstruction:
+    def test_to_expr_int(self):
+        expr = to_expr(5)
+        assert isinstance(expr, Const)
+        assert expr.evaluate({}) == 5
+
+    def test_to_expr_str(self):
+        expr = to_expr("i")
+        assert isinstance(expr, Var)
+        assert expr.evaluate({"i": 7}) == 7
+
+    def test_to_expr_passthrough(self):
+        expr = Var("i")
+        assert to_expr(expr) is expr
+
+    def test_to_expr_rejects_bool_and_float(self):
+        with pytest.raises(TypeError):
+            to_expr(True)
+        with pytest.raises(TypeError):
+            to_expr(1.5)
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(KeyError):
+            Var("i").evaluate({"j": 3})
+
+
+class TestOperators:
+    def test_addition_and_multiplication(self):
+        expr = Var("i") * 3 + 2
+        assert expr.evaluate({"i": 4}) == 14
+
+    def test_right_hand_operators(self):
+        expr = 2 + 3 * Var("i")
+        assert expr.evaluate({"i": 5}) == 17
+
+    def test_subtraction(self):
+        expr = Var("i") - 1
+        assert expr.evaluate({"i": 10}) == 9
+
+    def test_free_vars(self):
+        expr = Var("i") * Var("N") + Var("j")
+        assert expr.free_vars() == frozenset({"i", "N", "j"})
+        assert Const(3).free_vars() == frozenset()
+
+    def test_str_rendering(self):
+        assert str(Var("i") + 1) == "(i + 1)"
+
+
+class TestSubstitute:
+    def test_substitute_variable(self):
+        expr = Var("i") + Var("j")
+        result = substitute(expr, {"i": Var("i") + 4})
+        assert result.evaluate({"i": 1, "j": 2}) == 7
+
+    def test_substitute_with_int(self):
+        expr = Var("i") * 2
+        assert substitute(expr, {"i": 3}).evaluate({}) == 6
+
+    def test_substitute_leaves_other_vars(self):
+        expr = Var("i") + Var("j")
+        result = substitute(expr, {"i": 0})
+        assert result.free_vars() == frozenset({"j"})
+
+    def test_substitute_constant_is_identity(self):
+        expr = Const(5)
+        assert substitute(expr, {"i": 1}) is expr
+
+
+class TestAffineCoefficients:
+    def test_simple_variable(self):
+        assert affine_coefficients(Var("i")) == {"i": 1}
+
+    def test_constant(self):
+        assert affine_coefficients(Const(7)) == {"": 7}
+
+    def test_linear_combination(self):
+        expr = Var("i") * 4 + Var("j") + 3
+        coeffs = affine_coefficients(expr)
+        assert coeffs["i"] == 4
+        assert coeffs["j"] == 1
+        assert coeffs[""] == 3
+
+    def test_subtraction_coefficients(self):
+        coeffs = affine_coefficients(Var("i") - 1)
+        assert coeffs["i"] == 1
+        assert coeffs[""] == -1
+
+    def test_nonaffine_raises(self):
+        with pytest.raises(ValueError):
+            affine_coefficients(Var("i") * Var("j"))
+
+    def test_scaled_sum(self):
+        coeffs = affine_coefficients((Var("i") + Var("j")) * 3)
+        assert coeffs == {"i": 3, "j": 3}
+
+
+# --------------------------------------------------------------------------
+# Property-based tests
+# --------------------------------------------------------------------------
+
+small_ints = st.integers(min_value=-20, max_value=20)
+
+
+@st.composite
+def affine_exprs(draw, depth=0):
+    """Random affine expressions over variables i, j, k."""
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return Const(draw(small_ints))
+        return Var(draw(st.sampled_from(["i", "j", "k"])))
+    left = draw(affine_exprs(depth=depth + 1))
+    right = draw(affine_exprs(depth=depth + 1))
+    if draw(st.booleans()):
+        return Add(left, right)
+    # Keep products affine: one side must be constant.
+    return Mul(Const(draw(small_ints)), right)
+
+
+@given(affine_exprs(), small_ints, small_ints, small_ints)
+@settings(max_examples=80, deadline=None)
+def test_affine_coefficients_reconstruct_value(expr, i, j, k):
+    """Evaluating via the extracted coefficients matches direct evaluation."""
+    bindings = {"i": i, "j": j, "k": k}
+    coeffs = affine_coefficients(expr)
+    reconstructed = coeffs.get("", 0) + sum(
+        c * bindings[name] for name, c in coeffs.items() if name
+    )
+    assert reconstructed == expr.evaluate(bindings)
+
+
+@given(affine_exprs(), small_ints, small_ints, small_ints, small_ints)
+@settings(max_examples=80, deadline=None)
+def test_substitution_matches_direct_binding(expr, i, j, k, offset):
+    """substitute(i -> i + offset) then evaluating equals evaluating at i + offset."""
+    shifted = substitute(expr, {"i": Var("i") + Const(offset)})
+    direct = expr.evaluate({"i": i + offset, "j": j, "k": k})
+    assert shifted.evaluate({"i": i, "j": j, "k": k}) == direct

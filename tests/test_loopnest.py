@@ -1,0 +1,159 @@
+"""Tests for the loop-nest IR data structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.expr import Var
+from repro.ir.loopnest import (
+    ArrayDecl,
+    ArrayRef,
+    Kernel,
+    Loop,
+    Statement,
+    loop_by_name,
+    render,
+    walk_loops,
+    walk_statements,
+)
+
+
+class TestArrayDecl:
+    def test_footprint(self):
+        decl = ArrayDecl("A", ("N", "N"), element_bytes=8)
+        assert decl.element_count({"N": 4}) == 16
+        assert decl.footprint_bytes({"N": 4}) == 128
+
+    def test_rejects_bad_element_size(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("A", ("N",), element_bytes=0)
+
+
+class TestStatement:
+    def test_refs_order(self):
+        write = ArrayRef("C", (Var("i"),))
+        read = ArrayRef("A", (Var("i"),))
+        stmt = Statement(writes=(write,), reads=(read,), flops=1)
+        assert stmt.refs() == (write, read)
+
+    def test_rejects_empty_statement(self):
+        with pytest.raises(ValueError):
+            Statement(writes=(), reads=(), flops=1)
+
+    def test_rejects_negative_flops(self):
+        with pytest.raises(ValueError):
+            Statement(writes=(ArrayRef("C", (Var("i"),)),), reads=(), flops=-1)
+
+    def test_free_vars(self):
+        stmt = Statement(
+            writes=(ArrayRef("C", (Var("i"), Var("j"))),),
+            reads=(ArrayRef("A", (Var("k"),)),),
+        )
+        assert stmt.free_vars() == frozenset({"i", "j", "k"})
+
+
+class TestLoop:
+    def test_trip_count(self):
+        loop = Loop(
+            var="i", lower=0, upper="N",
+            body=(Statement(writes=(ArrayRef("A", (Var("i"),)),), reads=()),),
+        )
+        assert loop.trip_count({"N": 10}) == 10
+
+    def test_trip_count_with_step(self):
+        loop = Loop(
+            var="i", lower=0, upper=10, step=3,
+            body=(Statement(writes=(ArrayRef("A", (Var("i"),)),), reads=()),),
+        )
+        assert loop.trip_count({}) == 4
+
+    def test_empty_range(self):
+        loop = Loop(
+            var="i", lower=5, upper=5,
+            body=(Statement(writes=(ArrayRef("A", (Var("i"),)),), reads=()),),
+        )
+        assert loop.trip_count({}) == 0
+
+    def test_rejects_empty_body(self):
+        with pytest.raises(ValueError):
+            Loop(var="i", lower=0, upper=10, body=())
+
+    def test_rejects_bad_step_and_unroll(self):
+        body = (Statement(writes=(ArrayRef("A", (Var("i"),)),), reads=()),)
+        with pytest.raises(ValueError):
+            Loop(var="i", lower=0, upper=10, body=body, step=0)
+        with pytest.raises(ValueError):
+            Loop(var="i", lower=0, upper=10, body=body, unrolled_by=0)
+
+
+class TestKernel:
+    def test_validation_passes_for_tiny_kernel(self, tiny_kernel):
+        assert tiny_kernel.name == "tiny"
+        assert tiny_kernel.loop_names() == ["i", "j"]
+
+    def test_undeclared_array_rejected(self):
+        stmt = Statement(writes=(ArrayRef("Z", (Var("i"),)),), reads=())
+        loop = Loop(var="i", lower=0, upper="N", body=(stmt,))
+        with pytest.raises(ValueError, match="undeclared array"):
+            Kernel(name="bad", sizes={"N": 8}, arrays=(), loops=(loop,))
+
+    def test_unbound_subscript_rejected(self):
+        stmt = Statement(writes=(ArrayRef("A", (Var("q"),)),), reads=())
+        loop = Loop(var="i", lower=0, upper="N", body=(stmt,))
+        with pytest.raises(ValueError, match="unbound"):
+            Kernel(
+                name="bad", sizes={"N": 8},
+                arrays=(ArrayDecl("A", ("N",)),), loops=(loop,),
+            )
+
+    def test_duplicate_arrays_rejected(self, tiny_kernel):
+        with pytest.raises(ValueError, match="duplicate"):
+            Kernel(
+                name="bad",
+                sizes={"N": 8},
+                arrays=(ArrayDecl("A", ("N",)), ArrayDecl("A", ("N",))),
+                loops=tiny_kernel.loops,
+            )
+
+    def test_kernel_needs_loops(self):
+        with pytest.raises(ValueError):
+            Kernel(name="bad", sizes={}, arrays=(), loops=())
+
+    def test_array_lookup(self, tiny_kernel):
+        assert tiny_kernel.array("A").name == "A"
+        with pytest.raises(KeyError):
+            tiny_kernel.array("missing")
+
+    def test_total_footprint(self, tiny_kernel):
+        # Three 64x64 arrays of 8-byte doubles.
+        assert tiny_kernel.total_footprint_bytes() == 3 * 64 * 64 * 8
+
+    def test_with_loops_returns_new_kernel(self, tiny_kernel):
+        clone = tiny_kernel.with_loops(tiny_kernel.loops)
+        assert clone is not tiny_kernel
+        assert clone.loop_names() == tiny_kernel.loop_names()
+
+
+class TestWalkers:
+    def test_walk_loops_depth_first(self, tiny_kernel):
+        names = [loop.var for loop in walk_loops(tiny_kernel.loops)]
+        assert names == ["i", "j"]
+
+    def test_walk_statements(self, tiny_kernel):
+        statements = list(walk_statements(tiny_kernel.loops))
+        assert len(statements) == 1
+        assert statements[0].label == "update"
+
+    def test_loop_by_name(self, tiny_kernel):
+        assert loop_by_name(tiny_kernel, "j").var == "j"
+        with pytest.raises(KeyError):
+            loop_by_name(tiny_kernel, "zz")
+
+
+class TestRender:
+    def test_render_contains_structure(self, tiny_kernel):
+        text = render(tiny_kernel)
+        assert "kernel tiny" in text
+        assert "#define N 64" in text
+        assert "for (i = 0; i < N; i++)" in text
+        assert "C[i][j]" in text

@@ -1,0 +1,241 @@
+"""Tests for the surrogate models: dynamic tree, GP, baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.base import Prediction
+from repro.models.baselines import ConstantMeanModel, KNNRegressor
+from repro.models.dynamic_tree import DynamicTreeConfig, DynamicTreeRegressor
+from repro.models.gp import GaussianProcessRegressor
+
+
+def piecewise(X: np.ndarray) -> np.ndarray:
+    """A noise-free piecewise-constant-ish target, tree-friendly by design."""
+    return np.where(X[:, 0] > 0.0, 2.0 + 0.3 * X[:, 1], -1.0 + 0.1 * X[:, 0])
+
+
+@pytest.fixture
+def training_data(rng):
+    X = rng.uniform(-2, 2, size=(120, 2))
+    y = piecewise(X) + rng.normal(0, 0.05, size=120)
+    return X, y
+
+
+class TestPrediction:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Prediction(mean=np.zeros(3), variance=np.zeros(2))
+
+
+class TestDynamicTreeConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicTreeConfig(n_particles=0)
+        with pytest.raises(ValueError):
+            DynamicTreeConfig(split_alpha=1.5)
+        with pytest.raises(ValueError):
+            DynamicTreeConfig(min_leaf=0)
+        with pytest.raises(ValueError):
+            DynamicTreeConfig(resample_threshold=0.0)
+
+    def test_split_probability_decreases_with_depth(self):
+        config = DynamicTreeConfig()
+        assert config.split_probability(0) > config.split_probability(2) > 0
+
+
+class TestDynamicTree:
+    def make_model(self, particles=20, seed=0):
+        return DynamicTreeRegressor(
+            DynamicTreeConfig(n_particles=particles),
+            rng=np.random.default_rng(seed),
+        )
+
+    def test_requires_fit_before_use(self):
+        model = self.make_model()
+        with pytest.raises(RuntimeError):
+            model.update(np.zeros(2), 1.0)
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((1, 2)))
+
+    def test_fit_and_predict_shapes(self, training_data):
+        X, y = training_data
+        model = self.make_model()
+        model.fit(X[:30], y[:30])
+        prediction = model.predict(X[30:40])
+        assert prediction.mean.shape == (10,)
+        assert prediction.variance.shape == (10,)
+        assert np.all(prediction.variance > 0)
+        assert model.training_size == 30
+        assert model.n_particles == 20
+
+    def test_learns_piecewise_structure(self, training_data, rng):
+        X, y = training_data
+        model = self.make_model(particles=30)
+        model.fit(X[:20], y[:20])
+        for i in range(20, len(X)):
+            model.update(X[i], y[i])
+        X_test = rng.uniform(-2, 2, size=(200, 2))
+        prediction = model.predict(X_test)
+        rmse = float(np.sqrt(np.mean((prediction.mean - piecewise(X_test)) ** 2)))
+        # The two levels are ~3 apart; a model that learned nothing scores ~1.5.
+        assert rmse < 0.5
+
+    def test_beats_constant_baseline(self, training_data, rng):
+        X, y = training_data
+        tree = self.make_model(particles=25)
+        tree.fit(X, y)
+        constant = ConstantMeanModel()
+        constant.fit(X, y)
+        X_test = rng.uniform(-2, 2, size=(150, 2))
+        truth = piecewise(X_test)
+        tree_rmse = np.sqrt(np.mean((tree.predict(X_test).mean - truth) ** 2))
+        const_rmse = np.sqrt(np.mean((constant.predict(X_test).mean - truth) ** 2))
+        assert tree_rmse < const_rmse * 0.6
+
+    def test_trees_actually_grow(self, training_data):
+        X, y = training_data
+        model = self.make_model()
+        model.fit(X, y)
+        assert np.mean(model.leaf_counts()) > 1.5
+
+    def test_variance_shrinks_with_repeated_observations(self):
+        """Sequential analysis foundation: more samples => tighter prediction."""
+        model = self.make_model(particles=20)
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-1, 1, size=(10, 2))
+        y = 1.0 + 0.1 * X[:, 0] + rng.normal(0, 0.2, size=10)
+        model.fit(X, y)
+        target = np.array([0.5, 0.5])
+        before = float(model.predict(target[None, :]).variance[0])
+        for _ in range(25):
+            model.update(target, 1.05 + rng.normal(0, 0.02))
+        after = float(model.predict(target[None, :]).variance[0])
+        assert after < before
+
+    def test_feature_dimension_mismatch_rejected(self, training_data):
+        X, y = training_data
+        model = self.make_model()
+        model.fit(X[:10], y[:10])
+        with pytest.raises(ValueError):
+            model.update(np.zeros(5), 1.0)
+
+    def test_fit_rejects_inconsistent_shapes(self):
+        model = self.make_model()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_expected_average_variance_shape_and_bounds(self, training_data, rng):
+        X, y = training_data
+        model = self.make_model()
+        model.fit(X, y)
+        candidates = rng.uniform(-2, 2, size=(15, 2))
+        reference = rng.uniform(-2, 2, size=(25, 2))
+        scores = model.expected_average_variance(candidates, reference)
+        assert scores.shape == (15,)
+        assert np.all(scores >= 0)
+        base = float(np.mean(model.predict(reference).variance))
+        assert np.all(scores <= base + 1e-9)
+
+    def test_deterministic_given_seed(self, training_data):
+        X, y = training_data
+        a = self.make_model(seed=7)
+        b = self.make_model(seed=7)
+        a.fit(X[:50], y[:50])
+        b.fit(X[:50], y[:50])
+        grid = np.array([[0.0, 0.0], [1.0, -1.0]])
+        np.testing.assert_allclose(a.predict(grid).mean, b.predict(grid).mean)
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self, rng):
+        X = rng.uniform(-1, 1, size=(30, 2))
+        y = np.sin(X[:, 0]) + X[:, 1]
+        gp = GaussianProcessRegressor(noise_variance=1e-8)
+        gp.fit(X, y)
+        prediction = gp.predict(X)
+        assert np.allclose(prediction.mean, y, atol=1e-2)
+
+    def test_variance_larger_far_from_data(self, rng):
+        X = rng.uniform(-1, 1, size=(30, 2))
+        y = X[:, 0]
+        gp = GaussianProcessRegressor()
+        gp.fit(X, y)
+        near = gp.predict(np.array([[0.0, 0.0]])).variance[0]
+        far = gp.predict(np.array([[30.0, 30.0]])).variance[0]
+        assert far > near
+
+    def test_update_appends_data(self, rng):
+        gp = GaussianProcessRegressor()
+        gp.update(np.array([0.0, 0.0]), 1.0)
+        gp.update(np.array([1.0, 1.0]), 2.0)
+        assert gp.training_size == 2
+        assert gp.predict(np.array([[0.0, 0.0]])).mean.shape == (1,)
+
+    def test_expected_average_variance_improves_near_candidate(self, rng):
+        X = rng.uniform(-1, 1, size=(25, 2))
+        y = X[:, 0] + 0.5 * X[:, 1]
+        gp = GaussianProcessRegressor()
+        gp.fit(X, y)
+        reference = np.array([[3.0, 3.0]])
+        near_reference = np.array([[3.0, 3.0]])
+        far_from_reference = np.array([[0.0, 0.0]])
+        scores = gp.expected_average_variance(
+            np.vstack([near_reference, far_from_reference]), reference
+        )
+        # Sampling right at the lonely reference point removes more variance.
+        assert scores[0] < scores[1]
+
+    def test_predict_requires_data(self):
+        gp = GaussianProcessRegressor()
+        with pytest.raises(RuntimeError):
+            gp.predict(np.zeros((1, 2)))
+
+
+class TestBaselines:
+    def test_constant_model(self, rng):
+        model = ConstantMeanModel()
+        model.fit(np.zeros((4, 2)), np.array([1.0, 2.0, 3.0, 4.0]))
+        prediction = model.predict(rng.normal(size=(5, 2)))
+        assert np.allclose(prediction.mean, 2.5)
+        model.update(np.zeros(2), 10.0)
+        assert model.training_size == 5
+
+    def test_constant_model_requires_data(self):
+        with pytest.raises(RuntimeError):
+            ConstantMeanModel().predict(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            ConstantMeanModel().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_knn_predicts_local_mean(self):
+        X = np.array([[0.0], [0.1], [5.0], [5.1]])
+        y = np.array([1.0, 1.2, 9.0, 9.2])
+        model = KNNRegressor(k=2)
+        model.fit(X, y)
+        prediction = model.predict(np.array([[0.05], [5.05]]))
+        assert prediction.mean[0] == pytest.approx(1.1)
+        assert prediction.mean[1] == pytest.approx(9.1)
+
+    def test_knn_variance_grows_with_distance(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 1.0])
+        model = KNNRegressor(k=2)
+        model.fit(X, y)
+        near = model.predict(np.array([[0.5]])).variance[0]
+        far = model.predict(np.array([[50.0]])).variance[0]
+        assert far > near
+
+    def test_knn_validation(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(k=0)
+        model = KNNRegressor()
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((1, 1)))
+
+    def test_knn_update(self):
+        model = KNNRegressor(k=1)
+        model.update(np.array([0.0]), 5.0)
+        assert model.predict(np.array([[0.0]])).mean[0] == pytest.approx(5.0)

@@ -1,0 +1,107 @@
+"""Tests of the public API surface: imports, exports and documentation.
+
+A downstream user should be able to reach everything through the documented
+package entry points; these tests pin the public names so accidental
+breakage of the API surface is caught.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+PACKAGES = [
+    "repro.core",
+    "repro.models",
+    "repro.spapt",
+    "repro.measurement",
+    "repro.machine",
+    "repro.ir",
+    "repro.experiments",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_subpackage_importable(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__, f"{package} has no module docstring"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package}.{name} is exported but missing"
+
+    def test_version_present(self):
+        assert repro.__version__
+
+
+class TestDocumentedQuickstart:
+    def test_readme_quickstart_names_exist(self):
+        """The names used by the README quickstart are part of the public API."""
+        from repro.core import ActiveLearner, LearnerConfig, build_test_set, sequential_plan
+        from repro.spapt import get_benchmark
+
+        assert callable(build_test_set)
+        assert callable(sequential_plan)
+        assert callable(get_benchmark)
+        assert ActiveLearner is not None
+        assert LearnerConfig is not None
+
+    def test_core_public_classes_have_docstrings(self):
+        from repro import core, models
+
+        for module in (core, models):
+            for name in module.__all__:
+                obj = getattr(module, name)
+                if isinstance(obj, type):
+                    assert obj.__doc__, f"{module.__name__}.{name} lacks a docstring"
+
+    def test_benchmark_names_are_the_papers_eleven(self):
+        from repro.spapt import benchmark_names
+
+        assert benchmark_names() == [
+            "adi",
+            "atax",
+            "bicgkernel",
+            "correlation",
+            "dgemv3",
+            "gemver",
+            "hessian",
+            "jacobi",
+            "lu",
+            "mm",
+            "mvt",
+        ]
+
+    def test_paper_reference_tables_are_consistent(self):
+        from repro.experiments import PAPER_TABLE1_SPEEDUPS
+        from repro.spapt import PAPER_SEARCH_SPACE_SIZES
+
+        assert set(PAPER_TABLE1_SPEEDUPS) == set(PAPER_SEARCH_SPACE_SIZES)
+
+
+class TestRunAll:
+    def test_run_all_smoke(self):
+        from repro.experiments import ExperimentScale
+        from repro.experiments.run_all import run_all
+
+        report = run_all(ExperimentScale.smoke(benchmarks=("mm",)))
+        assert "Table 1" in report
+        assert "Table 2" in report
+        assert "Figure 1" in report
+        assert "Figure 2" in report
+        assert "Figure 5" in report
+        assert "Figure 6" in report
+
+    def test_scale_lookup(self):
+        from repro.experiments.run_all import _scale_from_name
+
+        assert _scale_from_name("smoke").name == "smoke"
+        with pytest.raises(ValueError):
+            _scale_from_name("huge")

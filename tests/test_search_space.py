@@ -1,0 +1,174 @@
+"""Tests for the SPAPT search-space machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cost_model import TransformConfiguration
+from repro.spapt.search_space import ParameterKind, SearchSpace, TunableParameter
+
+
+@pytest.fixture
+def small_space():
+    return SearchSpace(
+        [
+            TunableParameter.unroll("U_i", "i", max_factor=4),
+            TunableParameter.cache_tile("T_j", "j", values=(1, 16, 32)),
+            TunableParameter.register_tile("RT_i", "i", max_factor=2),
+        ]
+    )
+
+
+class TestTunableParameter:
+    def test_unroll_constructor(self):
+        param = TunableParameter.unroll("U_i", "i", max_factor=8)
+        assert param.kind is ParameterKind.UNROLL
+        assert param.values == tuple(range(1, 9))
+        assert param.cardinality == 8
+
+    def test_cache_tile_default_values(self):
+        param = TunableParameter.cache_tile("T_j", "j")
+        assert param.values[0] == 1
+        assert param.values[-1] == 1024
+
+    def test_value_index_roundtrip(self):
+        param = TunableParameter.cache_tile("T_j", "j", values=(1, 16, 32))
+        assert param.value_at(param.index_of(16)) == 16
+        with pytest.raises(ValueError):
+            param.index_of(17)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TunableParameter("p", ParameterKind.UNROLL, "i", ())
+        with pytest.raises(ValueError):
+            TunableParameter("p", ParameterKind.UNROLL, "i", (0, 1))
+        with pytest.raises(ValueError):
+            TunableParameter("p", ParameterKind.UNROLL, "i", (2, 2))
+
+
+class TestSearchSpace:
+    def test_size_is_product_of_cardinalities(self, small_space):
+        assert small_space.size == 4 * 3 * 2
+
+    def test_duplicate_parameter_names_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace(
+                [
+                    TunableParameter.unroll("U_i", "i"),
+                    TunableParameter.unroll("U_i", "j"),
+                ]
+            )
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace([])
+
+    def test_default_configuration_is_identity(self, small_space):
+        assert small_space.default_configuration() == (1, 1, 1)
+
+    def test_validate_rejects_wrong_length_and_values(self, small_space):
+        with pytest.raises(ValueError):
+            small_space.validate((1, 1))
+        with pytest.raises(ValueError):
+            small_space.validate((5, 1, 1))
+        assert (2, 16, 1) in small_space
+        assert (2, 17, 1) not in small_space
+
+    def test_random_configuration_is_member(self, small_space, rng):
+        for _ in range(20):
+            assert small_space.random_configuration(rng) in small_space
+
+    def test_sample_distinct_returns_unique(self, small_space, rng):
+        sample = small_space.sample_distinct(10, rng)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_sample_distinct_respects_exclusions(self, small_space, rng):
+        exclude = small_space.sample_distinct(5, rng)
+        sample = small_space.sample_distinct(10, rng, exclude=exclude)
+        assert not (set(sample) & set(exclude))
+
+    def test_sample_distinct_can_exhaust_space(self, small_space, rng):
+        sample = small_space.sample_distinct(small_space.size, rng)
+        assert len(sample) == small_space.size
+        assert len(set(sample)) == small_space.size
+
+    def test_sample_more_than_available_raises(self, small_space, rng):
+        with pytest.raises(ValueError):
+            small_space.sample_distinct(small_space.size + 1, rng)
+
+    def test_parameter_lookup(self, small_space):
+        assert small_space.parameter("T_j").kind is ParameterKind.CACHE_TILE
+        with pytest.raises(KeyError):
+            small_space.parameter("missing")
+
+    def test_describe_mentions_every_parameter(self, small_space):
+        text = small_space.describe()
+        for name in ("U_i", "T_j", "RT_i"):
+            assert name in text
+
+
+class TestTransformLowering:
+    def test_kinds_map_to_their_slots(self, small_space):
+        config = small_space.to_transform_configuration((4, 32, 2))
+        assert isinstance(config, TransformConfiguration)
+        assert config.unroll_factor("i") == 4
+        assert config.cache_tile("j") == 32
+        assert config.register_tile("i") == 2
+
+    def test_identity_configuration_lowers_to_identity(self, small_space):
+        config = small_space.to_transform_configuration((1, 1, 1))
+        assert config.unroll_factor("i") == 1
+        assert config.cache_tile("j") is None
+        assert config.register_tile("i") == 1
+
+    def test_multiple_unrolls_on_same_loop_multiply(self):
+        space = SearchSpace(
+            [
+                TunableParameter.unroll("U_a", "i", max_factor=4),
+                TunableParameter.unroll("U_b", "i", max_factor=4),
+            ]
+        )
+        config = space.to_transform_configuration((2, 3))
+        assert config.unroll_factor("i") == 6
+
+
+class TestNormalization:
+    def test_normalized_shape_and_centre(self, small_space):
+        features = small_space.normalize(small_space.default_configuration())
+        assert features.shape == (3,)
+        # The first value of each parameter lies below the midpoint.
+        assert np.all(features < 0)
+
+    def test_midpoint_maps_to_zero(self):
+        space = SearchSpace([TunableParameter.unroll("U_i", "i", max_factor=3)])
+        assert space.normalize((2,))[0] == pytest.approx(0.0)
+
+    def test_normalize_many_stacks_rows(self, small_space, rng):
+        configs = small_space.sample_distinct(6, rng)
+        matrix = small_space.normalize_many(configs)
+        assert matrix.shape == (6, 3)
+
+    def test_normalized_scale_is_of_order_one(self, small_space, rng):
+        configs = small_space.sample_distinct(20, rng)
+        matrix = small_space.normalize_many(configs)
+        assert np.all(np.abs(matrix) < 2.5)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_random_configurations_always_valid_property(seed):
+    space = SearchSpace(
+        [
+            TunableParameter.unroll("U_i", "i", max_factor=7),
+            TunableParameter.cache_tile("T_j", "j", values=(1, 8, 64, 512)),
+        ]
+    )
+    rng = np.random.default_rng(seed)
+    configuration = space.random_configuration(rng)
+    assert configuration in space
+    lowered = space.to_transform_configuration(configuration)
+    assert lowered.unroll_factor("i") in range(1, 8)

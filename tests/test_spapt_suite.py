@@ -1,0 +1,215 @@
+"""Tests for the SPAPT kernels, the benchmark suite and dataset generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir.analysis import dynamic_flop_count, max_loop_depth
+from repro.spapt.dataset import generate_dataset
+from repro.spapt.kernels import KERNEL_BUILDERS
+from repro.spapt.suite import (
+    BENCHMARK_SPECS,
+    PAPER_SEARCH_SPACE_SIZES,
+    SpaptBenchmark,
+    benchmark_names,
+    get_benchmark,
+    load_suite,
+)
+
+
+class TestKernels:
+    def test_all_eleven_kernels_build(self):
+        assert set(KERNEL_BUILDERS) == set(PAPER_SEARCH_SPACE_SIZES)
+        for name, builder in KERNEL_BUILDERS.items():
+            kernel = builder()
+            assert kernel.name == name
+            assert dynamic_flop_count(kernel) > 0
+
+    def test_loop_names_are_unique_within_each_kernel(self):
+        for builder in KERNEL_BUILDERS.values():
+            kernel = builder()
+            names = kernel.loop_names()
+            assert len(names) == len(set(names)), kernel.name
+
+    def test_expected_depths(self):
+        assert max_loop_depth(KERNEL_BUILDERS["mm"]()) == 3
+        assert max_loop_depth(KERNEL_BUILDERS["mvt"]()) == 2
+        assert max_loop_depth(KERNEL_BUILDERS["lu"]()) == 3
+        assert max_loop_depth(KERNEL_BUILDERS["correlation"]()) == 3
+
+    def test_kernel_sizes_are_configurable(self):
+        small = KERNEL_BUILDERS["mm"](n=16)
+        assert small.sizes["N"] == 16
+
+
+class TestBenchmarkSpecs:
+    def test_eleven_benchmarks(self):
+        assert len(BENCHMARK_SPECS) == 11
+        assert benchmark_names() == sorted(PAPER_SEARCH_SPACE_SIZES)
+
+    def test_parameters_reference_existing_loops(self):
+        for spec in BENCHMARK_SPECS.values():
+            kernel = spec.build_kernel()
+            loop_vars = set(kernel.loop_names())
+            for parameter in spec.parameters:
+                assert parameter.loop_var in loop_vars, (spec.name, parameter.name)
+
+    def test_noise_calibration_ordering(self):
+        """correlation must be far noisier than mvt, as in Table 2."""
+        quiet = BENCHMARK_SPECS["mvt"].noise_profile
+        noisy = BENCHMARK_SPECS["correlation"].noise_profile
+        assert noisy.layout_sigma_high > quiet.layout_sigma_high * 20
+        assert noisy.spike_probability > quiet.spike_probability
+
+
+class TestSpaptBenchmark:
+    def test_get_benchmark_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_benchmark("unknown")
+
+    def test_search_space_sizes_close_to_paper(self):
+        """Reproduction spaces are within ~1.5 orders of magnitude of Table 1."""
+        for name in benchmark_names():
+            benchmark = get_benchmark(name)
+            ratio = benchmark.search_space.size / benchmark.paper_search_space_size
+            assert 10 ** -1.5 < ratio < 10 ** 1.5, (name, ratio)
+
+    def test_default_runtime_matches_target(self, mm_benchmark):
+        spec = BENCHMARK_SPECS["mm"]
+        default = mm_benchmark.search_space.default_configuration()
+        assert mm_benchmark.true_runtime(default) == pytest.approx(
+            spec.target_runtime_seconds, rel=1e-6
+        )
+
+    def test_runtimes_positive_and_cached(self, mm_benchmark, rng):
+        configuration = mm_benchmark.search_space.random_configuration(rng)
+        first = mm_benchmark.true_runtime(configuration)
+        second = mm_benchmark.true_runtime(list(configuration))
+        assert first == second
+        assert first > 0
+
+    def test_compile_time_and_sensitivity_bounds(self, mm_benchmark, rng):
+        for _ in range(10):
+            configuration = mm_benchmark.search_space.random_configuration(rng)
+            assert mm_benchmark.compile_time(configuration) > 0
+            assert 0.0 <= mm_benchmark.noise_sensitivity(configuration) <= 1.0
+
+    def test_features_shape(self, mm_benchmark, rng):
+        configurations = [
+            mm_benchmark.search_space.random_configuration(rng) for _ in range(4)
+        ]
+        matrix = mm_benchmark.features_many(configurations)
+        assert matrix.shape == (4, mm_benchmark.search_space.dimensions)
+
+    def test_invalid_configuration_rejected(self, mm_benchmark):
+        bad = tuple([999] * mm_benchmark.search_space.dimensions)
+        with pytest.raises(ValueError):
+            mm_benchmark.true_runtime(bad)
+
+    def test_response_surface_is_not_flat(self, mm_benchmark, rng):
+        runtimes = [
+            mm_benchmark.true_runtime(mm_benchmark.search_space.random_configuration(rng))
+            for _ in range(50)
+        ]
+        assert max(runtimes) > min(runtimes) * 1.5
+
+    def test_tuning_can_beat_the_default(self, mm_benchmark, rng):
+        """Some configurations are faster than -O2 alone (the point of autotuning)."""
+        default = mm_benchmark.true_runtime(
+            mm_benchmark.search_space.default_configuration()
+        )
+        best = min(
+            mm_benchmark.true_runtime(mm_benchmark.search_space.random_configuration(rng))
+            for _ in range(100)
+        )
+        assert best < default
+
+    def test_load_suite_subset(self):
+        suite = load_suite(["mm", "lu"])
+        assert [b.name for b in suite] == ["mm", "lu"]
+        assert all(isinstance(b, SpaptBenchmark) for b in suite)
+
+    def test_adi_unroll_plateau_climb_plateau(self, adi_benchmark):
+        """The Figure 2 response: flat, then a climb, then a higher plateau."""
+        space = adi_benchmark.search_space
+        names = [p.name for p in space.parameters]
+        index = names.index("U_i1")
+        base = list(space.default_configuration())
+
+        def runtime(factor):
+            configuration = list(base)
+            configuration[index] = factor
+            return adi_benchmark.true_runtime(tuple(configuration))
+
+        low = runtime(1)
+        mid = runtime(12)
+        high = runtime(30)
+        assert runtime(2) == pytest.approx(low, rel=0.05)  # plateau at the start
+        assert mid > low * 1.05  # the climb has begun
+        assert high > low * 1.15  # high plateau is clearly above the low one
+        assert high == pytest.approx(runtime(28), rel=0.05)  # and it is a plateau
+
+
+class TestDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        benchmark = get_benchmark("mm")
+        return generate_dataset(
+            benchmark,
+            configurations=40,
+            observations_per_configuration=6,
+            rng=np.random.default_rng(3),
+        )
+
+    def test_size_and_uniqueness(self, dataset):
+        assert len(dataset) == 40
+        assert len(set(dataset.configurations())) == 40
+
+    def test_entries_are_consistent(self, dataset):
+        entry = dataset[0]
+        assert len(entry.observations) == 6
+        assert entry.mean_runtime == pytest.approx(np.mean(entry.observations))
+        assert entry.variance >= 0
+        assert entry.true_runtime > 0
+        assert 0.0 <= entry.noise_sensitivity <= 1.0
+
+    def test_arrays_have_matching_shapes(self, dataset):
+        assert dataset.mean_runtimes().shape == (40,)
+        assert dataset.variances().shape == (40,)
+        assert dataset.features().shape[0] == 40
+
+    def test_split_partitions_everything(self, dataset):
+        split = dataset.split(test_fraction=0.25, rng=np.random.default_rng(0))
+        assert len(split.train_indices) + len(split.test_indices) == 40
+        assert not (set(split.train_indices) & set(split.test_indices))
+        assert len(split.test_indices) == 10
+
+    def test_split_rejects_bad_fraction(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.split(test_fraction=0.0)
+        with pytest.raises(ValueError):
+            dataset.split(test_fraction=1.0)
+
+    def test_subset(self, dataset):
+        subset = dataset.subset([0, 1, 2])
+        assert len(subset) == 3
+        assert subset[0].configuration == dataset[0].configuration
+
+    def test_generate_dataset_validation(self):
+        benchmark = get_benchmark("mm")
+        with pytest.raises(ValueError):
+            generate_dataset(benchmark, configurations=0)
+        with pytest.raises(ValueError):
+            generate_dataset(benchmark, configurations=5, observations_per_configuration=0)
+
+    def test_mean_near_true_runtime_for_many_observations(self):
+        benchmark = get_benchmark("lu")  # the quietest benchmarks
+        dataset = generate_dataset(
+            benchmark,
+            configurations=10,
+            observations_per_configuration=20,
+            rng=np.random.default_rng(5),
+        )
+        for entry in dataset.entries:
+            assert entry.mean_runtime == pytest.approx(entry.true_runtime, rel=0.1)

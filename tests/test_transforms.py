@@ -1,0 +1,205 @@
+"""Tests for the loop transformation passes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.analysis import dynamic_statement_count, innermost_bodies, max_loop_depth
+from repro.ir.loopnest import Loop, Statement, loop_by_name, walk_loops, walk_statements
+from repro.ir.transforms import (
+    CacheTile,
+    LoopUnroll,
+    StripMine,
+    TransformError,
+    TransformPipeline,
+    UnrollAndJam,
+)
+
+
+class TestLoopUnroll:
+    def test_replicates_body(self, tiny_kernel):
+        unrolled = LoopUnroll("j", 4).run(tiny_kernel)
+        inner = loop_by_name(unrolled, "j")
+        assert len([n for n in inner.body if isinstance(n, Statement)]) == 4
+        assert inner.step == 4
+        assert inner.unrolled_by == 4
+
+    def test_factor_one_is_identity(self, tiny_kernel):
+        assert LoopUnroll("j", 1).run(tiny_kernel) is tiny_kernel
+
+    def test_unknown_loop_raises(self, tiny_kernel):
+        with pytest.raises(TransformError):
+            LoopUnroll("zz", 2).run(tiny_kernel)
+        with pytest.raises(TransformError):
+            LoopUnroll("zz", 1).run(tiny_kernel)
+
+    def test_invalid_factor_raises(self, tiny_kernel):
+        with pytest.raises(TransformError):
+            LoopUnroll("j", 0).run(tiny_kernel)
+
+    def test_replica_indices_are_offset(self, tiny_kernel):
+        unrolled = LoopUnroll("j", 2).run(tiny_kernel)
+        statements = list(walk_statements(unrolled.loops))
+        rendered = [str(s) for s in statements]
+        assert any("(j + 1)" in text for text in rendered)
+
+    def test_does_not_mutate_original(self, tiny_kernel):
+        before = dynamic_statement_count(tiny_kernel)
+        LoopUnroll("j", 8).run(tiny_kernel)
+        assert dynamic_statement_count(tiny_kernel) == before
+
+    def test_composes(self, tiny_kernel):
+        twice = LoopUnroll("j", 2).run(LoopUnroll("j", 2).run(tiny_kernel))
+        inner = loop_by_name(twice, "j")
+        assert inner.unrolled_by == 4
+        assert inner.step == 4
+
+    def test_dynamic_statement_count_preserved(self, tiny_kernel):
+        """Unrolling does not change the total dynamic work (divisible trip count)."""
+        unrolled = LoopUnroll("j", 4).run(tiny_kernel)
+        assert dynamic_statement_count(unrolled) == dynamic_statement_count(tiny_kernel)
+
+
+class TestUnrollAndJam:
+    def test_outer_unroll_jams_into_inner_body(self, tiny_kernel):
+        jammed = UnrollAndJam("i", 3).run(tiny_kernel)
+        outer = loop_by_name(jammed, "i")
+        inner = loop_by_name(jammed, "j")
+        assert outer.step == 3
+        assert outer.unrolled_by == 3
+        # The inner loop now holds three replicas of the statement.
+        assert len([n for n in inner.body if isinstance(n, Statement)]) == 3
+
+    def test_replicas_reference_offset_outer_variable(self, tiny_kernel):
+        jammed = UnrollAndJam("i", 2).run(tiny_kernel)
+        rendered = [str(s) for s in walk_statements(jammed.loops)]
+        assert any("(i + 1)" in text for text in rendered)
+
+    def test_factor_one_is_identity(self, tiny_kernel):
+        assert UnrollAndJam("i", 1).run(tiny_kernel) is tiny_kernel
+
+    def test_unknown_loop_raises(self, tiny_kernel):
+        with pytest.raises(TransformError):
+            UnrollAndJam("zz", 2).run(tiny_kernel)
+
+
+class TestStripMine:
+    def test_creates_tile_and_point_loop(self, tiny_kernel):
+        tiled = StripMine("j", 8).run(tiny_kernel)
+        tile_loop = loop_by_name(tiled, "j_t")
+        point_loop = loop_by_name(tiled, "j")
+        assert tile_loop.step == 8
+        assert point_loop.step == 1
+        assert max_loop_depth(tiled) == 3
+
+    def test_tile_one_is_identity(self, tiny_kernel):
+        assert StripMine("j", 1).run(tiny_kernel) is tiny_kernel
+
+    def test_dynamic_statement_count_preserved(self, tiny_kernel):
+        tiled = StripMine("j", 8).run(tiny_kernel)
+        assert dynamic_statement_count(tiled) == dynamic_statement_count(tiny_kernel)
+
+    def test_rejects_duplicate_tile_variable(self, tiny_kernel):
+        once = StripMine("j", 8).run(tiny_kernel)
+        with pytest.raises(TransformError):
+            StripMine("j", 4).run(once)
+
+    def test_unknown_loop_raises(self, tiny_kernel):
+        with pytest.raises(TransformError):
+            StripMine("zz", 4).run(tiny_kernel)
+
+
+class TestCacheTile:
+    def test_tile_loops_are_hoisted_outermost(self, tiny_kernel):
+        tiled = CacheTile(("i", "j"), (16, 16)).run(tiny_kernel)
+        order = [loop.var for loop in walk_loops(tiled.loops)]
+        assert order == ["i_t", "j_t", "i", "j"]
+
+    def test_partial_tiling(self, tiny_kernel):
+        tiled = CacheTile(("j",), (32,)).run(tiny_kernel)
+        order = [loop.var for loop in walk_loops(tiled.loops)]
+        assert "j_t" in order
+        assert order.index("j_t") < order.index("j")
+
+    def test_tile_of_one_leaves_loop_alone(self, tiny_kernel):
+        tiled = CacheTile(("i", "j"), (1, 8)).run(tiny_kernel)
+        order = [loop.var for loop in walk_loops(tiled.loops)]
+        assert "i_t" not in order
+        assert "j_t" in order
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(TransformError):
+            CacheTile(("i",), (8, 8))
+
+    def test_dynamic_statement_count_preserved(self, tiny_kernel):
+        tiled = CacheTile(("i", "j"), (16, 8)).run(tiny_kernel)
+        assert dynamic_statement_count(tiled) == dynamic_statement_count(tiny_kernel)
+
+
+class TestPipeline:
+    def test_applies_in_order(self, tiny_kernel):
+        pipeline = TransformPipeline(
+            [CacheTile(("j",), (16,)), LoopUnroll("j", 4), UnrollAndJam("i", 2)]
+        )
+        result = pipeline(tiny_kernel)
+        assert loop_by_name(result, "j").unrolled_by == 4
+        assert loop_by_name(result, "i").unrolled_by == 2
+        assert "j_t" in [loop.var for loop in walk_loops(result.loops)]
+
+    def test_empty_pipeline_is_identity(self, tiny_kernel):
+        assert TransformPipeline([])(tiny_kernel) is tiny_kernel
+
+    def test_passes_property_is_exposed(self):
+        passes = (LoopUnroll("i", 2),)
+        assert TransformPipeline(passes).passes == passes
+
+
+# --------------------------------------------------------------------------
+# Property-based tests: closed-form expectations used by the cost model.
+# --------------------------------------------------------------------------
+
+
+@given(factor=st.integers(min_value=1, max_value=16))
+@settings(max_examples=30, deadline=None)
+def test_unroll_statement_replication_property(factor):
+    from repro.ir.expr import Var
+    from repro.ir.loopnest import ArrayDecl, ArrayRef, Kernel
+
+    stmt = Statement(writes=(ArrayRef("A", (Var("i"),)),), reads=())
+    loop = Loop(var="i", lower=0, upper="N", body=(stmt,))
+    kernel = Kernel(
+        name="k", sizes={"N": 64}, arrays=(ArrayDecl("A", ("N",)),), loops=(loop,)
+    )
+    unrolled = LoopUnroll("i", factor).run(kernel)
+    bodies = innermost_bodies(unrolled)
+    assert bodies[0].statements == factor
+    assert bodies[0].unroll_product == factor
+
+
+@given(
+    unroll=st.integers(min_value=1, max_value=8),
+    jam=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_unroll_and_jam_compose_property(unroll, jam):
+    from repro.ir.expr import Var
+    from repro.ir.loopnest import ArrayDecl, ArrayRef, Kernel
+
+    stmt = Statement(
+        writes=(ArrayRef("C", (Var("i"), Var("j"))),),
+        reads=(ArrayRef("A", (Var("i"), Var("j"))),),
+    )
+    inner = Loop(var="j", lower=0, upper="N", body=(stmt,))
+    outer = Loop(var="i", lower=0, upper="N", body=(inner,))
+    kernel = Kernel(
+        name="k",
+        sizes={"N": 32},
+        arrays=(ArrayDecl("A", ("N", "N")), ArrayDecl("C", ("N", "N"))),
+        loops=(outer,),
+    )
+    transformed = LoopUnroll("j", unroll).run(UnrollAndJam("i", jam).run(kernel))
+    bodies = innermost_bodies(transformed)
+    assert bodies[0].statements == unroll * jam
+    assert bodies[0].unroll_product == unroll * jam
