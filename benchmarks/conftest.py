@@ -10,10 +10,20 @@ larger configuration used to fill EXPERIMENTS.md, or edit
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
+import tempfile
+
 import pytest
 
 from repro.core.learner import LearnerConfig
 from repro.experiments.config import ExperimentScale
+
+#: Machine-readable benchmark results land here (pytest-benchmark's JSON
+#: export), so the perf trajectory of the model hot paths is tracked across
+#: PRs.  An explicit ``--benchmark-json=...`` on the command line wins.
+BENCH_JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_model.json"
 
 
 def pytest_addoption(parser):
@@ -24,6 +34,56 @@ def pytest_addoption(parser):
         choices=["bench", "laptop"],
         help="Scale of the experiment benchmarks (default: bench, a fast configuration).",
     )
+
+
+def pytest_configure(config):
+    benchmark_json = getattr(config.option, "benchmark_json", "missing")
+    if benchmark_json is None:
+        # pytest-benchmark is installed and no JSON target was given: export
+        # to a scratch file first and publish to the tracked BENCH_model.json
+        # only once the run has produced results (see pytest_unconfigure) —
+        # opening the tracked file here would truncate the previous record on
+        # every collection, aborted run or benchmark-free invocation.
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", suffix=".json", prefix="bench-model-", delete=False
+        )
+        config._bench_json_scratch = handle.name
+        config.option.benchmark_json = handle
+
+
+def pytest_unconfigure(config):
+    scratch = getattr(config, "_bench_json_scratch", None)
+    if scratch is None:
+        return
+    try:
+        with open(scratch, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if data.get("benchmarks"):
+            # Merge into the tracked record by benchmark name, so a partial
+            # run (one file, a -k subset) refreshes its own entries without
+            # dropping the rest of the perf history.
+            try:
+                previous = json.loads(BENCH_JSON_PATH.read_text("utf-8"))
+                measured = {bench["name"] for bench in data["benchmarks"]}
+                kept = [
+                    bench
+                    for bench in previous.get("benchmarks", [])
+                    if bench.get("name") not in measured
+                ]
+                data["benchmarks"] = sorted(
+                    kept + data["benchmarks"], key=lambda bench: bench.get("name", "")
+                )
+            except (OSError, ValueError, KeyError, TypeError):
+                pass
+            BENCH_JSON_PATH.write_text(json.dumps(data, indent=4) + "\n", "utf-8")
+    except (OSError, ValueError):
+        # Aborted or benchmark-free run: keep the previous tracked record.
+        pass
+    finally:
+        try:
+            os.unlink(scratch)
+        except OSError:
+            pass
 
 
 def _bench_scale(benchmarks) -> ExperimentScale:

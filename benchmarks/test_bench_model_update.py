@@ -6,6 +6,10 @@ the dynamic tree only touches the leaf containing the new point.  These
 micro-benchmarks measure one sequential update (absorb a point, then
 predict) at different training-set sizes for both models, plus the raw
 throughput of the simulated substrate (cost-model evaluation and profiling).
+
+Together with ``test_bench_predict.py`` the results are exported to
+``BENCH_model.json`` (pytest-benchmark JSON, see ``conftest.py``) so the
+perf trajectory of the model hot paths is tracked across PRs.
 """
 
 from __future__ import annotations

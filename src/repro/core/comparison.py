@@ -6,23 +6,35 @@ benchmark it runs the active learner once per sampling plan per repetition
 curves across repetitions, and computes the Table 1 metrics — the lowest
 error level every plan reaches, the cost each plan needs to first reach it,
 and the resulting speed-up of the paper's variable plan over the baseline.
+
+Every (benchmark × plan × repetition) run is seeded independently of
+execution order, so the runs can be fanned out over a process pool
+(``workers > 1``, used by ``run_all --workers N``) with results identical to
+the serial schedule.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..spapt.suite import SpaptBenchmark
+from ..spapt.suite import BENCHMARK_SPECS, SpaptBenchmark, get_benchmark
 from .acquisition import AcquisitionFunction, ALCAcquisition
 from .curves import LearningCurve, average_curves, lowest_common_error, time_to_reach
 from .evaluation import build_test_set
 from .learner import ActiveLearner, LearnerConfig, LearningResult
 from .plans import SamplingPlan, standard_plans
 
-__all__ = ["ComparisonConfig", "PlanComparison", "compare_sampling_plans", "speedup_between"]
+__all__ = [
+    "ComparisonConfig",
+    "PlanComparison",
+    "compare_sampling_plans",
+    "compare_sampling_plans_suite",
+    "speedup_between",
+]
 
 
 @dataclass(frozen=True)
@@ -80,22 +92,112 @@ class PlanComparison:
         return self.cost_to_reach[baseline] / contender_cost
 
 
+def _run_one(
+    benchmark: SpaptBenchmark,
+    plan: SamplingPlan,
+    plan_index: int,
+    repetition: int,
+    config: ComparisonConfig,
+    acquisition: AcquisitionFunction,
+    test_set,
+) -> LearningResult:
+    """One (plan × repetition) learner run, seeded independently of order."""
+    run_rng = np.random.default_rng(
+        config.seed + 104729 * repetition + 1299709 * plan_index + 1
+    )
+    learner = ActiveLearner(
+        benchmark,
+        plan=plan,
+        acquisition=acquisition,
+        config=config.learner,
+        rng=run_rng,
+    )
+    return learner.run(test_set)
+
+
+def _pool_job(
+    args: Tuple[str, SamplingPlan, int, int, ComparisonConfig, AcquisitionFunction],
+) -> Tuple[str, str, int, LearningResult]:
+    """Worker-process entry point: rebuild the benchmark and run one learner.
+
+    Benchmarks hold unpicklable ``lru_cache`` wrappers, so workers receive
+    the benchmark *name* and reconstruct it; the held-out test set is
+    rebuilt from the repetition's deterministic seed, so it is identical to
+    the one the serial schedule would share across plans.
+    """
+    benchmark_name, plan, plan_index, repetition, config, acquisition = args
+    benchmark = get_benchmark(benchmark_name)
+    test_rng = np.random.default_rng(config.seed + 7919 * repetition)
+    test_set = build_test_set(
+        benchmark,
+        size=config.test_size,
+        observations=config.test_observations,
+        rng=test_rng,
+    )
+    result = _run_one(
+        benchmark, plan, plan_index, repetition, config, acquisition, test_set
+    )
+    return benchmark_name, plan.name, repetition, result
+
+
+def _assemble(
+    benchmark_name: str,
+    plans: Sequence[SamplingPlan],
+    per_plan_results: Dict[str, List[LearningResult]],
+) -> PlanComparison:
+    """Fold per-run results into the averaged curves and Table 1 metrics."""
+    per_plan_curves = {
+        plan.name: [result.curve for result in per_plan_results[plan.name]]
+        for plan in plans
+    }
+    averaged = {
+        name: average_curves(curves) for name, curves in per_plan_curves.items()
+    }
+    common_rmse = lowest_common_error(averaged.values())
+    cost_to_reach = {
+        name: time_to_reach(curve, common_rmse) for name, curve in averaged.items()
+    }
+    return PlanComparison(
+        benchmark_name=benchmark_name,
+        curves=averaged,
+        results=per_plan_results,
+        lowest_common_rmse=common_rmse,
+        cost_to_reach=cost_to_reach,
+    )
+
+
 def compare_sampling_plans(
     benchmark: SpaptBenchmark,
     plans: Optional[Sequence[SamplingPlan]] = None,
     config: Optional[ComparisonConfig] = None,
     acquisition: Optional[AcquisitionFunction] = None,
+    workers: int = 1,
 ) -> PlanComparison:
-    """Run every sampling plan on ``benchmark`` and summarise the comparison."""
+    """Run every sampling plan on ``benchmark`` and summarise the comparison.
+
+    With ``workers > 1`` the (plan × repetition) runs are distributed over a
+    process pool.  Pool workers rebuild the benchmark by name, so the pool
+    is used only when ``benchmark`` is a stock instance of a registered
+    SPAPT spec; customised instances (e.g. a scaled noise profile sharing a
+    registered name) always run serially, never silently substituted.
+    """
     plans = list(plans) if plans is not None else standard_plans()
     if not plans:
         raise ValueError("at least one sampling plan is required")
     config = config if config is not None else ComparisonConfig()
     acquisition = acquisition if acquisition is not None else ALCAcquisition()
 
-    per_plan_curves: Dict[str, List[LearningCurve]] = {plan.name: [] for plan in plans}
-    per_plan_results: Dict[str, List[LearningResult]] = {plan.name: [] for plan in plans}
+    if workers > 1 and BENCHMARK_SPECS.get(benchmark.name) is benchmark.spec:
+        suite = compare_sampling_plans_suite(
+            [benchmark.name],
+            plans=plans,
+            config=config,
+            acquisition=acquisition,
+            workers=workers,
+        )
+        return suite[benchmark.name]
 
+    per_plan_results: Dict[str, List[LearningResult]] = {plan.name: [] for plan in plans}
     for repetition in range(config.repetitions):
         test_rng = np.random.default_rng(config.seed + 7919 * repetition)
         test_set = build_test_set(
@@ -105,34 +207,78 @@ def compare_sampling_plans(
             rng=test_rng,
         )
         for plan_index, plan in enumerate(plans):
-            run_rng = np.random.default_rng(
-                config.seed + 104729 * repetition + 1299709 * plan_index + 1
+            result = _run_one(
+                benchmark, plan, plan_index, repetition, config, acquisition, test_set
             )
-            learner = ActiveLearner(
-                benchmark,
-                plan=plan,
-                acquisition=acquisition,
-                config=config.learner,
-                rng=run_rng,
-            )
-            result = learner.run(test_set)
-            per_plan_curves[plan.name].append(result.curve)
             per_plan_results[plan.name].append(result)
+    return _assemble(benchmark.name, plans, per_plan_results)
 
-    averaged = {
-        name: average_curves(curves) for name, curves in per_plan_curves.items()
+
+def compare_sampling_plans_suite(
+    benchmark_names: Sequence[str],
+    plans: Optional[Sequence[SamplingPlan]] = None,
+    config: Optional[ComparisonConfig] = None,
+    acquisition: Optional[AcquisitionFunction] = None,
+    workers: int = 1,
+) -> Dict[str, PlanComparison]:
+    """Compare plans on several benchmarks, fanning runs out over processes.
+
+    Every (benchmark × plan × repetition) triple becomes one process-pool
+    job, so a multi-benchmark driver (Table 1, Figure 6) saturates all
+    cores instead of parallelising only within one benchmark.
+
+    ``workers == 1`` reproduces the historical serial schedule exactly (one
+    shared benchmark instance per name).  With ``workers > 1`` every job
+    rebuilds its benchmark, so stateful noise components start fresh per
+    run; the outcome is deterministic and independent of the worker count,
+    but benchmarks with frequency drift are not bit-identical to the serial
+    schedule.
+    """
+    names = list(benchmark_names)
+    plans = list(plans) if plans is not None else standard_plans()
+    if not plans:
+        raise ValueError("at least one sampling plan is required")
+    config = config if config is not None else ComparisonConfig()
+    acquisition = acquisition if acquisition is not None else ALCAcquisition()
+
+    unknown = [name for name in names if name not in BENCHMARK_SPECS]
+    if unknown:
+        raise KeyError(f"unknown benchmarks: {', '.join(unknown)}")
+
+    if workers <= 1:
+        # The serial schedule shares one benchmark instance per name across
+        # all (plan × repetition) runs, exactly like running the drivers by
+        # hand: stateful noise components (frequency drift) carry over
+        # between runs in iteration order, preserving historical outputs.
+        return {
+            name: compare_sampling_plans(
+                get_benchmark(name), plans=plans, config=config, acquisition=acquisition
+            )
+            for name in names
+        }
+
+    jobs = [
+        (name, plan, plan_index, repetition, config, acquisition)
+        for name in names
+        for repetition in range(config.repetitions)
+        for plan_index, plan in enumerate(plans)
+    ]
+    results: Dict[str, Dict[str, List[Tuple[int, LearningResult]]]] = {
+        name: {plan.name: [] for plan in plans} for name in names
     }
-    common_rmse = lowest_common_error(averaged.values())
-    cost_to_reach = {
-        name: time_to_reach(curve, common_rmse) for name, curve in averaged.items()
-    }
-    return PlanComparison(
-        benchmark_name=benchmark.name,
-        curves=averaged,
-        results=per_plan_results,
-        lowest_common_rmse=common_rmse,
-        cost_to_reach=cost_to_reach,
-    )
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        outcomes = list(pool.map(_pool_job, jobs))
+    for benchmark_name, plan_name, repetition, result in outcomes:
+        results[benchmark_name][plan_name].append((repetition, result))
+
+    comparisons: Dict[str, PlanComparison] = {}
+    for name in names:
+        per_plan_results = {
+            plan_name: [result for _, result in sorted(runs, key=lambda item: item[0])]
+            for plan_name, runs in results[name].items()
+        }
+        comparisons[name] = _assemble(name, plans, per_plan_results)
+    return comparisons
 
 
 def speedup_between(

@@ -22,10 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..core.comparison import PlanComparison, compare_sampling_plans
+from ..core.comparison import PlanComparison, compare_sampling_plans_suite
 from ..core.curves import LearningCurve
 from ..core.plans import standard_plans
-from ..spapt.suite import get_benchmark
 from .config import ExperimentScale
 from .reporting import format_table
 
@@ -74,6 +73,7 @@ class Figure6Result:
 def run_figure6(
     scale: Optional[ExperimentScale] = None,
     benchmarks: Optional[Sequence[str]] = None,
+    workers: int = 1,
 ) -> Figure6Result:
     """Regenerate the Figure 6 learning curves at the requested scale."""
     scale = scale if scale is not None else ExperimentScale.laptop()
@@ -81,14 +81,15 @@ def run_figure6(
         benchmarks = [b for b in PAPER_FIGURE6_BENCHMARKS if b in scale.benchmarks]
         if not benchmarks:
             benchmarks = list(scale.benchmarks)
+    comparisons = compare_sampling_plans_suite(
+        list(benchmarks),
+        plans=standard_plans(),
+        config=scale.comparison_config(),
+        workers=workers,
+    )
     panels: Dict[str, Figure6Panel] = {}
     for name in benchmarks:
-        benchmark = get_benchmark(name)
-        comparison = compare_sampling_plans(
-            benchmark,
-            plans=standard_plans(),
-            config=scale.comparison_config(),
-        )
+        comparison = comparisons[name]
         panels[name] = Figure6Panel(
             benchmark=name, curves=comparison.curves, comparison=comparison
         )

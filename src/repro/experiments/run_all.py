@@ -1,6 +1,7 @@
 """Run every experiment and emit a single consolidated report.
 
-``python -m repro.experiments.run_all [--scale smoke|laptop|paper] [--output FILE]``
+``python -m repro.experiments.run_all [--scale smoke|laptop|paper] [--output FILE]
+[--workers N]``
 
 regenerates, in order, Table 2, Figure 1, Figure 2, Table 1, Figure 5 and
 Figure 6 (the last two are derived from the Table 1 comparisons so nothing
@@ -38,8 +39,15 @@ def _scale_from_name(name: str) -> ExperimentScale:
     return factories[name]()
 
 
-def run_all(scale: Optional[ExperimentScale] = None) -> str:
-    """Run every table/figure driver and return the consolidated text report."""
+def run_all(scale: Optional[ExperimentScale] = None, workers: int = 1) -> str:
+    """Run every table/figure driver and return the consolidated text report.
+
+    ``workers > 1`` distributes the learner runs behind Table 1 (and hence
+    Figures 5-6) over a process pool — one job per (benchmark × plan ×
+    repetition).  Results are deterministic and worker-count invariant;
+    benchmarks with stateful drift noise start each run with a fresh noise
+    state in pool mode, so those rows can differ slightly from a serial run.
+    """
     scale = scale if scale is not None else ExperimentScale.laptop()
     sections = []
     started = time.time()
@@ -53,7 +61,7 @@ def run_all(scale: Optional[ExperimentScale] = None) -> str:
     figure2 = run_figure2(scale)
     sections.append(figure2.render())
 
-    table1 = run_table1(scale)
+    table1 = run_table1(scale, workers=workers)
     sections.append(table1.render())
     sections.append(figure5_from_table1(table1).render())
 
@@ -75,8 +83,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="laptop", choices=["smoke", "laptop", "paper"])
     parser.add_argument("--output", default=None, help="write the report to this file")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for the (benchmark x plan x repetition) learner runs",
+    )
     args = parser.parse_args(argv)
-    report = run_all(_scale_from_name(args.scale))
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+    report = run_all(_scale_from_name(args.scale), workers=args.workers)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..core.comparison import PlanComparison, compare_sampling_plans
+from ..core.comparison import PlanComparison, compare_sampling_plans_suite
 from ..core.plans import standard_plans
 from ..measurement.stats import geometric_mean
 from ..spapt.suite import get_benchmark
@@ -117,20 +117,29 @@ class Table1Result:
 def run_table1(
     scale: Optional[ExperimentScale] = None,
     benchmarks: Optional[Sequence[str]] = None,
+    workers: int = 1,
 ) -> Table1Result:
-    """Regenerate Table 1 at the requested scale."""
+    """Regenerate Table 1 at the requested scale.
+
+    ``workers > 1`` fans the (benchmark × plan × repetition) learner runs
+    out over a process pool.  The rows are deterministic and independent of
+    the worker count; benchmarks whose noise model carries state across
+    runs (frequency drift, e.g. adi/correlation) get a fresh noise state
+    per run in pool mode, so their rows can differ slightly from the
+    serial schedule (see :func:`repro.core.comparison.compare_sampling_plans_suite`).
+    """
     scale = scale if scale is not None else ExperimentScale.laptop()
     names = list(benchmarks) if benchmarks is not None else list(scale.benchmarks)
+    comparisons: Dict[str, PlanComparison] = compare_sampling_plans_suite(
+        names,
+        plans=standard_plans(),
+        config=scale.comparison_config(),
+        workers=workers,
+    )
     rows: List[Table1Row] = []
-    comparisons: Dict[str, PlanComparison] = {}
     for name in names:
         benchmark = get_benchmark(name)
-        comparison = compare_sampling_plans(
-            benchmark,
-            plans=standard_plans(),
-            config=scale.comparison_config(),
-        )
-        comparisons[name] = comparison
+        comparison = comparisons[name]
         rows.append(
             Table1Row(
                 benchmark=name,

@@ -3,6 +3,7 @@
 from .base import Prediction, SurrogateModel
 from .baselines import ConstantMeanModel, KNNRegressor
 from .dynamic_tree import DynamicTreeConfig, DynamicTreeRegressor
+from .flat_tree import FlatTree
 from .gp import GaussianProcessRegressor
 from .leaf import GaussianLeafModel, NIGPrior
 
@@ -13,6 +14,7 @@ __all__ = [
     "KNNRegressor",
     "DynamicTreeConfig",
     "DynamicTreeRegressor",
+    "FlatTree",
     "GaussianProcessRegressor",
     "GaussianLeafModel",
     "NIGPrior",

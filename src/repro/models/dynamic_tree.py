@@ -26,6 +26,17 @@ The properties the paper relies on are all preserved here:
 Leaves use the constant (Gaussian) model of :mod:`repro.models.leaf`; the
 tree prior is the standard Chipman-George-McCulloch
 ``p_split(depth) = alpha * (1 + depth)^-beta``.
+
+Prediction and the ALC score are served from per-particle
+:class:`~repro.models.flat_tree.FlatTree` compilations — flat NumPy arrays
+descended level-by-level for a whole batch of rows at once — rather than
+per-row Python ``descend()`` loops.  A particle's flat tree is recompiled
+only when a grow/prune move changes its structure; stay moves patch the one
+affected leaf's cached statistics in place.  The per-node reference
+implementations are kept (``predict_reference`` and
+``expected_average_variance_reference``, selected by
+``DynamicTreeConfig(vectorized=False)``) both as executable documentation
+and as the oracle for the equivalence tests.
 """
 
 from __future__ import annotations
@@ -37,9 +48,25 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from .base import Prediction, SurrogateModel
-from .leaf import GaussianLeafModel, NIGPrior
+from .flat_tree import FlatForest, FlatTree
+from .leaf import GaussianLeafModel, NIGPrior, log_marginal_likelihood_from_stats
 
 __all__ = ["DynamicTreeConfig", "DynamicTreeRegressor"]
+
+
+def _sequential_sum(values: np.ndarray) -> float:
+    """Left-to-right float sum, bit-identical to a Python accumulation loop.
+
+    ``np.sum`` uses pairwise summation, which rounds differently from the
+    sequential ``+=`` loops this module's scalar reference paths (and the
+    original implementation) use.  ``np.cumsum`` *is* sequential, so its last
+    element reproduces the scalar accumulation exactly — keeping vectorized
+    and reference trajectories bitwise identical, which matters because the
+    particle moves are sampled from scores built on these sums.
+    """
+    if values.size == 0:
+        return 0.0
+    return float(np.cumsum(values)[-1])
 
 
 @dataclass(frozen=True)
@@ -51,6 +78,10 @@ class DynamicTreeConfig:
     low-dimensional and the acquisition only needs well-ranked variances a
     few dozen particles behave almost identically (this is exercised by an
     ablation benchmark).
+
+    ``vectorized`` selects the flat-array tree kernel for ``predict`` and
+    ``expected_average_variance``; disabling it falls back to the per-node
+    reference implementation (slow — only useful for equivalence testing).
     """
 
     n_particles: int = 40
@@ -61,6 +92,7 @@ class DynamicTreeConfig:
     resample_threshold: float = 0.5
     prior_kappa: float = 0.1
     prior_alpha: float = 3.0
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.n_particles < 1:
@@ -160,10 +192,20 @@ class DynamicTreeRegressor(SurrogateModel):
     ) -> None:
         self._config = config if config is not None else DynamicTreeConfig()
         self._rng = rng if rng is not None else np.random.default_rng()
-        self._features: List[np.ndarray] = []
-        self._targets: List[float] = []
+        # Training data lives in growing arrays so partition scans and grow
+        # proposals can slice it without materialising Python tuples.
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._n = 0
         self._prior: Optional[NIGPrior] = None
         self._particles: List[_Node] = []
+        # Lazily compiled FlatTree per particle; ``None`` marks "needs
+        # recompilation" (fresh particle, or structure changed by grow/prune).
+        self._flat: List[Optional[FlatTree]] = []
+        # Concatenation of every particle's FlatTree, rebuilt lazily after
+        # any update (the concatenated arrays snapshot the per-tree arrays,
+        # so in-place leaf patches do not carry over).
+        self._forest: Optional[FlatForest] = None
 
     # ----------------------------------------------------------- properties
 
@@ -173,7 +215,7 @@ class DynamicTreeRegressor(SurrogateModel):
 
     @property
     def training_size(self) -> int:
-        return len(self._targets)
+        return self._n
 
     @property
     def n_particles(self) -> int:
@@ -182,6 +224,23 @@ class DynamicTreeRegressor(SurrogateModel):
     def leaf_counts(self) -> List[int]:
         """Number of leaves in each particle (useful for diagnostics/tests)."""
         return [len(root.leaves()) for root in self._particles]
+
+    # ------------------------------------------------------- data management
+
+    def _append_observation(self, x: np.ndarray, y: float) -> int:
+        """Store one observation, growing the buffers geometrically."""
+        if self._X is None or self._y is None:
+            capacity = 64
+            self._X = np.empty((capacity, x.shape[0]), dtype=float)
+            self._y = np.empty(capacity, dtype=float)
+        elif self._n == self._X.shape[0]:
+            self._X = np.concatenate([self._X, np.empty_like(self._X)], axis=0)
+            self._y = np.concatenate([self._y, np.empty_like(self._y)])
+        index = self._n
+        self._X[index] = x
+        self._y[index] = y
+        self._n = index + 1
+        return index
 
     # ------------------------------------------------------------- training
 
@@ -193,16 +252,20 @@ class DynamicTreeRegressor(SurrogateModel):
             raise ValueError("features and targets disagree on the number of rows")
         if X.shape[0] == 0:
             raise ValueError("fit() needs at least one observation")
-        self._features = []
-        self._targets = []
+        self._X = None
+        self._y = None
+        self._n = 0
         self._prior = NIGPrior.from_observations(
             y, kappa=self._config.prior_kappa, alpha=self._config.prior_alpha
         )
         self._particles = []
+        self._flat = []
+        self._forest = None
         for _ in range(self._config.n_particles):
             root = _Node(depth=0)
             root.leaf = GaussianLeafModel(self._prior)
             self._particles.append(root)
+            self._flat.append(None)
         order = self._rng.permutation(X.shape[0])
         for index in order:
             self.update(X[index], float(y[index]))
@@ -213,24 +276,73 @@ class DynamicTreeRegressor(SurrogateModel):
             raise RuntimeError("the model must be seeded with fit() before update()")
         x = np.asarray(features, dtype=float).ravel()
         y = float(target)
-        if self._targets:
-            expected_dim = self._features[0].shape[0]
+        if self._n and self._X is not None:
+            expected_dim = self._X.shape[1]
             if x.shape[0] != expected_dim:
                 raise ValueError(
                     f"feature dimension mismatch: got {x.shape[0]}, expected {expected_dim}"
                 )
-        if len(self._targets) >= 1:
+        if self._n >= 1:
             self._resample(x, y)
-        index = len(self._targets)
-        self._features.append(x)
-        self._targets.append(y)
+        index = self._append_observation(x, y)
+        self._forest = None
         for particle_index, root in enumerate(self._particles):
-            self._particles[particle_index] = self._propagate(root, x, y, index)
+            new_root, structural, leaf = self._propagate(root, x, y, index)
+            self._particles[particle_index] = new_root
+            flat = self._flat[particle_index]
+            if structural:
+                self._flat[particle_index] = None
+            elif flat is not None:
+                # Stay move: the structure is intact, only the statistics of
+                # the leaf containing ``x`` changed — patch them in place.
+                assert leaf.leaf is not None
+                flat.patch_leaf(
+                    flat.route_one(x),
+                    leaf.leaf.predictive_mean(),
+                    leaf.leaf.predictive_variance(),
+                    float(leaf.leaf.count),
+                )
 
     # ----------------------------------------------------------- prediction
 
+    def _flat_tree(self, particle_index: int) -> FlatTree:
+        """The (lazily compiled) flat representation of one particle."""
+        flat = self._flat[particle_index]
+        if flat is None:
+            flat = FlatTree.compile(self._particles[particle_index])
+            self._flat[particle_index] = flat
+        return flat
+
+    def _ensure_forest(self) -> FlatForest:
+        """The concatenated forest, recompiling stale particles as needed."""
+        if self._forest is None:
+            self._forest = FlatForest.from_trees(
+                [self._flat_tree(i) for i in range(len(self._particles))]
+            )
+        return self._forest
+
     def predict(self, features: np.ndarray) -> Prediction:
-        if not self._particles or not self._targets:
+        if not self._particles or not self._n:
+            raise RuntimeError("the model has no training data yet")
+        if not self._config.vectorized:
+            return self.predict_reference(features)
+        X = np.atleast_2d(np.asarray(features, dtype=float))
+        count = float(len(self._particles))
+        mean, variance = self._ensure_forest().predict_components(X)
+        # cumsum(axis=0)[-1] accumulates over particles in the same sequential
+        # order as the reference loop, keeping the result bit-identical.
+        means = np.cumsum(mean, axis=0)[-1] / count
+        second_moments = np.cumsum(variance + mean * mean, axis=0)[-1]
+        variances = np.maximum(second_moments / count - means ** 2, 1e-18)
+        return Prediction(mean=means, variance=variances)
+
+    def predict_reference(self, features: np.ndarray) -> Prediction:
+        """Per-node reference implementation of :meth:`predict`.
+
+        Descends every row through every particle with Python loops; kept as
+        the oracle the vectorized kernel is tested against.
+        """
+        if not self._particles or not self._n:
             raise RuntimeError("the model has no training data yet")
         X = np.atleast_2d(np.asarray(features, dtype=float))
         n = X.shape[0]
@@ -262,8 +374,45 @@ class DynamicTreeRegressor(SurrogateModel):
         reference point in the same leaf is ``variance / (n + kappa + 1)``.
         Averaging the remaining variance over the reference set and over
         particles gives the quantity Algorithm 1 minimises.
+
+        Vectorized: per particle, the reference and candidate batches are
+        routed to integer leaf ids in one pass each; the per-leaf reference
+        variance mass is a ``bincount`` and the candidate reductions are
+        gathers — no Python-level descent and no ``id(node)`` dictionaries.
         """
-        if not self._particles or not self._targets:
+        if not self._particles or not self._n:
+            raise RuntimeError("the model has no training data yet")
+        if not self._config.vectorized:
+            return self.expected_average_variance_reference(candidates, reference)
+        C = np.atleast_2d(np.asarray(candidates, dtype=float))
+        R = np.atleast_2d(np.asarray(reference, dtype=float))
+        n_reference = R.shape[0]
+        kappa = self._prior.kappa if self._prior is not None else 0.1
+        forest = self._ensure_forest()
+        # (n_particles, n_reference) global leaf ids; leaf ids never collide
+        # across particles, so one bincount aggregates the per-leaf
+        # reference-variance mass of the entire forest.
+        reference_leaf_ids = forest.route(R)
+        reference_variance = forest.leaf_variance[reference_leaf_ids]
+        # Sequential (cumsum) accumulation keeps every score bit-identical to
+        # the reference loop; bincount also adds weights in input order.
+        base_total = np.cumsum(reference_variance, axis=1)[:, -1]
+        variance_by_leaf = np.bincount(
+            reference_leaf_ids.ravel(),
+            weights=reference_variance.ravel(),
+            minlength=forest.n_leaves,
+        )
+        candidate_leaf_ids = forest.route(C)
+        shrink = 1.0 / (forest.leaf_count[candidate_leaf_ids] + kappa + 1.0)
+        reduction = variance_by_leaf[candidate_leaf_ids] * shrink
+        scores = np.cumsum((base_total[:, None] - reduction) / n_reference, axis=0)[-1]
+        return scores / len(self._particles)
+
+    def expected_average_variance_reference(
+        self, candidates: np.ndarray, reference: np.ndarray
+    ) -> np.ndarray:
+        """Per-node reference implementation of :meth:`expected_average_variance`."""
+        if not self._particles or not self._n:
             raise RuntimeError("the model has no training data yet")
         C = np.atleast_2d(np.asarray(candidates, dtype=float))
         R = np.atleast_2d(np.asarray(reference, dtype=float))
@@ -272,23 +421,25 @@ class DynamicTreeRegressor(SurrogateModel):
         scores = np.zeros(n_candidates)
         kappa = self._prior.kappa if self._prior is not None else 0.1
         for root in self._particles:
-            # Group the reference points by the leaf that contains them so the
-            # per-candidate reduction is a dictionary lookup rather than a
-            # scan over the whole reference set.
-            variance_by_leaf: dict[int, float] = {}
+            # Group the reference points by the leaf that contains them so
+            # the per-candidate reduction is an array lookup rather than a
+            # scan over the whole reference set.  Leaves are identified by
+            # their position in the particle's leaf list.
+            leaves = root.leaves()
+            variance_by_leaf = np.zeros(len(leaves))
             base_total = 0.0
             for j in range(n_reference):
                 leaf = root.descend(R[j])
                 assert leaf.leaf is not None
                 variance = leaf.leaf.predictive_variance()
                 base_total += variance
-                variance_by_leaf[id(leaf)] = variance_by_leaf.get(id(leaf), 0.0) + variance
+                variance_by_leaf[leaves.index(leaf)] += variance
             for i in range(n_candidates):
                 candidate_leaf = root.descend(C[i])
                 assert candidate_leaf.leaf is not None
                 n_leaf = candidate_leaf.leaf.count
                 shrink = 1.0 / (n_leaf + kappa + 1.0)
-                reduction = variance_by_leaf.get(id(candidate_leaf), 0.0) * shrink
+                reduction = variance_by_leaf[leaves.index(candidate_leaf)] * shrink
                 scores[i] += (base_total - reduction) / n_reference
         return scores / len(self._particles)
 
@@ -317,27 +468,40 @@ class DynamicTreeRegressor(SurrogateModel):
             self._rng.random() + np.arange(len(self._particles))
         ) / len(self._particles)
         cumulative = np.cumsum(weights)
-        chosen: List[_Node] = []
+        chosen_indices: List[int] = []
         j = 0
         for position in positions:
             while cumulative[j] < position and j < len(cumulative) - 1:
                 j += 1
-            chosen.append(self._particles[j])
-        counts: dict[int, int] = {}
-        for node in chosen:
-            counts[id(node)] = counts.get(id(node), 0) + 1
+            chosen_indices.append(j)
+        # Deduplicate by particle *index*: the first occurrence keeps the
+        # original tree (and its flat compilation), later occurrences get
+        # independent copies.
         new_particles: List[_Node] = []
+        new_flat: List[Optional[FlatTree]] = []
         used_original: set[int] = set()
-        for node in chosen:
-            if id(node) not in used_original:
-                new_particles.append(node)
-                used_original.add(id(node))
+        for j in chosen_indices:
+            flat = self._flat[j]
+            if j not in used_original:
+                new_particles.append(self._particles[j])
+                new_flat.append(flat)
+                used_original.add(j)
             else:
-                new_particles.append(node.copy())
+                new_particles.append(self._particles[j].copy())
+                new_flat.append(flat.copy() if flat is not None else None)
         self._particles = new_particles
+        self._flat = new_flat
 
-    def _propagate(self, root: _Node, x: np.ndarray, y: float, index: int) -> _Node:
-        """Apply one stochastic stay/grow/prune move at the leaf containing ``x``."""
+    def _propagate(
+        self, root: _Node, x: np.ndarray, y: float, index: int
+    ) -> Tuple[_Node, bool, _Node]:
+        """Apply one stochastic stay/grow/prune move at the leaf containing ``x``.
+
+        Returns ``(new_root, structural_change, touched_leaf)``;
+        ``structural_change`` is true for grow/prune moves (the particle's
+        flat compilation must be rebuilt) and false for stay moves (only
+        ``touched_leaf``'s statistics changed).
+        """
         leaf, parent = root.descend_with_parent(x)
         assert leaf.leaf is not None and self._prior is not None
         config = self._config
@@ -397,13 +561,14 @@ class DynamicTreeRegressor(SurrogateModel):
 
         if move == 1 and grow_proposal is not None:
             self._apply_grow(leaf, grow_proposal, index)
-        elif move == 2 and prune_possible:
+            return root, True, leaf
+        if move == 2 and prune_possible:
             assert parent is not None and sibling is not None
-            return self._apply_prune(root, parent, leaf, sibling, x, y, index)
-        else:
-            leaf.leaf.add(y)
-            leaf.indices.append(index)
-        return root
+            new_root = self._apply_prune(root, parent, leaf, sibling, x, y, index)
+            return new_root, True, parent
+        leaf.leaf.add(y)
+        leaf.indices.append(index)
+        return root, False, leaf
 
     def _propose_grow(
         self, leaf: _Node, x: np.ndarray, y: float
@@ -414,47 +579,76 @@ class DynamicTreeRegressor(SurrogateModel):
         right_indices)`` where the new point is *not* included in the index
         lists (it is added by :meth:`_apply_grow`), or ``None`` when no valid
         split exists (too few points, or no variation in any dimension).
+
+        The partition scans are vectorized: the leaf's observations are
+        sliced out of the training buffers once, and each candidate split is
+        scored from mask reductions over that slice instead of per-point
+        Python loops.
         """
-        assert self._prior is not None
+        assert self._prior is not None and self._X is not None and self._y is not None
         config = self._config
-        points = [(self._features[i], self._targets[i], i) for i in leaf.indices]
-        points_with_new = points + [(x, y, -1)]
-        if len(points_with_new) < 2 * config.min_leaf:
+        n_points = len(leaf.indices) + 1
+        if n_points < 2 * config.min_leaf:
             return None
+        indices = np.asarray(leaf.indices, dtype=np.intp)
+        features = np.concatenate([self._X[indices], x[None, :]], axis=0)
+        targets = np.concatenate([self._y[indices], [y]])
+        targets_sq = targets * targets
         dims = x.shape[0]
+        min_leaf = config.min_leaf
+        prior = self._prior
         best: Optional[Tuple[float, int, float]] = None
         for _ in range(config.n_split_candidates):
             dim = int(self._rng.integers(dims))
-            values = sorted({float(p[0][dim]) for p in points_with_new})
-            if len(values) < 2:
+            column = features[:, dim]
+            values = np.unique(column)
+            if values.size < 2:
                 continue
-            cut_index = int(self._rng.integers(len(values) - 1))
-            threshold = 0.5 * (values[cut_index] + values[cut_index + 1])
-            left = [p for p in points_with_new if p[0][dim] <= threshold]
-            right = [p for p in points_with_new if p[0][dim] > threshold]
-            if len(left) < config.min_leaf or len(right) < config.min_leaf:
+            cut_index = int(self._rng.integers(values.size - 1))
+            threshold = 0.5 * (float(values[cut_index]) + float(values[cut_index + 1]))
+            left_mask = column <= threshold
+            n_left = int(left_mask.sum())
+            n_right = n_points - n_left
+            if n_left < min_leaf or n_right < min_leaf:
                 continue
-            left_model = GaussianLeafModel.from_values(self._prior, [p[1] for p in left])
-            right_model = GaussianLeafModel.from_values(self._prior, [p[1] for p in right])
-            score = (
-                left_model.log_marginal_likelihood()
-                + right_model.log_marginal_likelihood()
+            right_mask = ~left_mask
+            score = log_marginal_likelihood_from_stats(
+                prior,
+                n_left,
+                _sequential_sum(targets[left_mask]),
+                _sequential_sum(targets_sq[left_mask]),
+            ) + log_marginal_likelihood_from_stats(
+                prior,
+                n_right,
+                _sequential_sum(targets[right_mask]),
+                _sequential_sum(targets_sq[right_mask]),
             )
             if best is None or score > best[0]:
                 best = (score, dim, threshold)
         if best is None:
             return None
         _, dim, threshold = best
-        left_indices = [i for (features, _, i) in points if features[dim] <= threshold]
-        right_indices = [i for (features, _, i) in points if features[dim] > threshold]
-        left_values = [self._targets[i] for i in left_indices]
-        right_values = [self._targets[i] for i in right_indices]
+        old_left_mask = self._X[indices, dim] <= threshold
+        left_indices = [int(i) for i in indices[old_left_mask]]
+        right_indices = [int(i) for i in indices[~old_left_mask]]
+        left_targets = self._y[indices[old_left_mask]]
+        right_targets = self._y[indices[~old_left_mask]]
         if x[dim] <= threshold:
-            left_values = left_values + [y]
+            left_targets = np.append(left_targets, y)
         else:
-            right_values = right_values + [y]
-        left_model = GaussianLeafModel.from_values(self._prior, left_values)
-        right_model = GaussianLeafModel.from_values(self._prior, right_values)
+            right_targets = np.append(right_targets, y)
+        left_model = GaussianLeafModel.from_sufficient_stats(
+            self._prior,
+            left_targets.size,
+            _sequential_sum(left_targets),
+            _sequential_sum(left_targets * left_targets),
+        )
+        right_model = GaussianLeafModel.from_sufficient_stats(
+            self._prior,
+            right_targets.size,
+            _sequential_sum(right_targets),
+            _sequential_sum(right_targets * right_targets),
+        )
         return dim, threshold, left_model, right_model, left_indices, right_indices
 
     def _apply_grow(
@@ -464,7 +658,8 @@ class DynamicTreeRegressor(SurrogateModel):
         index: int,
     ) -> None:
         dim, threshold, left_model, right_model, left_indices, right_indices = proposal
-        x = self._features[index]
+        assert self._X is not None
+        x = self._X[index]
         if x[dim] <= threshold:
             left_indices = left_indices + [index]
         else:

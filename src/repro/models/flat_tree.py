@@ -1,0 +1,320 @@
+"""Flattened-array representation of one particle's tree.
+
+The dynamic tree spends essentially all of its prediction/acquisition time
+descending trees: every ``predict()`` and every ALC score routes hundreds of
+rows through every particle.  Doing that with per-row Python ``descend()``
+loops costs a Python-level branch per (row, level, particle); compiling each
+particle's ``_Node`` tree once into flat NumPy arrays turns the same work
+into a handful of vectorized gathers per tree *level*.
+
+:class:`FlatTree` stores, per node, ``split_dim`` (``-1`` for leaves),
+``split_value`` and ``left``/``right`` child indices, and per *leaf* the
+cached posterior-predictive mean, variance and observation count of its
+:class:`~repro.models.leaf.GaussianLeafModel`.  :meth:`route` descends all
+rows level-by-level with array ops and returns **stable integer leaf ids**
+(positions in pre-order), which downstream code uses instead of fragile
+``id(node)`` dictionary keys.
+
+A flat tree stays valid as long as the particle's *structure* is unchanged:
+a "stay" move only sharpens one leaf's sufficient statistics, which
+:meth:`patch_leaf` mirrors in O(1) without recompiling; "grow"/"prune"
+moves invalidate the compilation (the owner drops its cache and recompiles
+lazily).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FlatTree", "FlatForest"]
+
+
+class FlatTree:
+    """Array-of-structs compilation of one particle tree.
+
+    Attributes
+    ----------
+    split_dim:
+        ``(n_nodes,)`` int array; the splitting feature of internal nodes,
+        ``-1`` for leaves.
+    split_value:
+        ``(n_nodes,)`` float array; the threshold of internal nodes.
+    left, right:
+        ``(n_nodes,)`` int arrays; child node indices (``-1`` for leaves).
+    leaf_slot:
+        ``(n_nodes,)`` int array mapping a node index to its leaf id
+        (``-1`` for internal nodes).  Leaf ids number the leaves in
+        pre-order, so they are stable for a given structure.
+    leaf_mean, leaf_variance, leaf_count:
+        ``(n_leaves,)`` float arrays of cached posterior-predictive
+        quantities, one entry per leaf id.
+    """
+
+    __slots__ = (
+        "split_dim",
+        "split_value",
+        "left",
+        "right",
+        "leaf_slot",
+        "leaf_mean",
+        "leaf_variance",
+        "leaf_count",
+        "n_nodes",
+        "n_leaves",
+    )
+
+    def __init__(
+        self,
+        split_dim: np.ndarray,
+        split_value: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        leaf_slot: np.ndarray,
+        leaf_mean: np.ndarray,
+        leaf_variance: np.ndarray,
+        leaf_count: np.ndarray,
+    ) -> None:
+        self.split_dim = split_dim
+        self.split_value = split_value
+        self.left = left
+        self.right = right
+        self.leaf_slot = leaf_slot
+        self.leaf_mean = leaf_mean
+        self.leaf_variance = leaf_variance
+        self.leaf_count = leaf_count
+        self.n_nodes = int(split_dim.shape[0])
+        self.n_leaves = int(leaf_mean.shape[0])
+
+    # ---------------------------------------------------------- compilation
+
+    @classmethod
+    def compile(cls, root) -> "FlatTree":
+        """Lower a ``_Node`` tree into flat arrays (pre-order numbering)."""
+        split_dim: List[int] = []
+        split_value: List[float] = []
+        left: List[int] = []
+        right: List[int] = []
+        leaf_slot: List[int] = []
+        leaf_mean: List[float] = []
+        leaf_variance: List[float] = []
+        leaf_count: List[float] = []
+
+        def visit(node) -> int:
+            index = len(split_dim)
+            if node.leaf is not None:
+                split_dim.append(-1)
+                split_value.append(0.0)
+                left.append(-1)
+                right.append(-1)
+                leaf_slot.append(len(leaf_mean))
+                leaf_mean.append(node.leaf.predictive_mean())
+                leaf_variance.append(node.leaf.predictive_variance())
+                leaf_count.append(float(node.leaf.count))
+            else:
+                split_dim.append(int(node.split_dim))
+                split_value.append(float(node.split_value))
+                left.append(-1)
+                right.append(-1)
+                leaf_slot.append(-1)
+                left[index] = visit(node.left)
+                right[index] = visit(node.right)
+            return index
+
+        visit(root)
+        return cls(
+            split_dim=np.asarray(split_dim, dtype=np.intp),
+            split_value=np.asarray(split_value, dtype=float),
+            left=np.asarray(left, dtype=np.intp),
+            right=np.asarray(right, dtype=np.intp),
+            leaf_slot=np.asarray(leaf_slot, dtype=np.intp),
+            leaf_mean=np.asarray(leaf_mean, dtype=float),
+            leaf_variance=np.asarray(leaf_variance, dtype=float),
+            leaf_count=np.asarray(leaf_count, dtype=float),
+        )
+
+    def copy(self) -> "FlatTree":
+        """An independent copy (the leaf arrays are patched in place)."""
+        return FlatTree(
+            split_dim=self.split_dim.copy(),
+            split_value=self.split_value.copy(),
+            left=self.left.copy(),
+            right=self.right.copy(),
+            leaf_slot=self.leaf_slot.copy(),
+            leaf_mean=self.leaf_mean.copy(),
+            leaf_variance=self.leaf_variance.copy(),
+            leaf_count=self.leaf_count.copy(),
+        )
+
+    # -------------------------------------------------------------- queries
+
+    def route(self, X: np.ndarray) -> np.ndarray:
+        """Leaf ids of every row of ``X``, descending level-by-level.
+
+        All rows start at the root; at each iteration the rows still sitting
+        on an internal node are compared against that node's threshold in
+        one vectorized gather, and rows that reach a leaf drop out.  The
+        loop count is the tree depth, not the number of rows.
+        """
+        X = np.atleast_2d(X)
+        n = X.shape[0]
+        nodes = np.zeros(n, dtype=np.intp)
+        active = np.flatnonzero(self.split_dim[nodes] >= 0)
+        while active.size:
+            current = nodes[active]
+            dims = self.split_dim[current]
+            go_left = X[active, dims] <= self.split_value[current]
+            nodes[active] = np.where(go_left, self.left[current], self.right[current])
+            still_internal = self.split_dim[nodes[active]] >= 0
+            active = active[still_internal]
+        return self.leaf_slot[nodes]
+
+    def route_one(self, x: np.ndarray) -> int:
+        """Leaf id of a single feature vector (scalar descent, no row setup)."""
+        index = 0
+        split_dim = self.split_dim
+        while split_dim[index] >= 0:
+            if x[split_dim[index]] <= self.split_value[index]:
+                index = int(self.left[index])
+            else:
+                index = int(self.right[index])
+        return int(self.leaf_slot[index])
+
+    def predict_components(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached posterior-predictive ``(mean, variance)`` of every row."""
+        leaf_ids = self.route(X)
+        return self.leaf_mean[leaf_ids], self.leaf_variance[leaf_ids]
+
+    # ------------------------------------------------------------- patching
+
+    def patch_leaf(self, leaf_id: int, mean: float, variance: float, count: float) -> None:
+        """Refresh one leaf's cached statistics after a "stay" move."""
+        self.leaf_mean[leaf_id] = mean
+        self.leaf_variance[leaf_id] = variance
+        self.leaf_count[leaf_id] = count
+
+
+class FlatForest:
+    """All of a model's particle trees concatenated into one array set.
+
+    Per-particle :class:`FlatTree` routing still pays a fixed NumPy
+    dispatch cost per (particle, level); at bench scale (tens of particles,
+    tens of rows) that overhead dominates.  The forest concatenates every
+    particle's node and leaf arrays — child indices and leaf ids shifted by
+    per-particle offsets — so one :meth:`route` call descends all
+    ``n_particles × n_rows`` (particle, row) pairs together, and the array
+    ops run over thousands of elements instead of dozens.
+
+    Leaf ids returned by the forest are *global*: particle ``p``'s local
+    leaf ``i`` becomes ``leaf_offsets[p] + i``.  ``n_leaves`` is the total,
+    so a single ``bincount`` aggregates per-leaf statistics across the whole
+    forest without per-particle bookkeeping.
+    """
+
+    __slots__ = (
+        "split_dim",
+        "split_value",
+        "left",
+        "right",
+        "leaf_slot",
+        "leaf_mean",
+        "leaf_variance",
+        "leaf_count",
+        "roots",
+        "leaf_offsets",
+        "n_particles",
+        "n_leaves",
+    )
+
+    def __init__(
+        self,
+        split_dim: np.ndarray,
+        split_value: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        leaf_slot: np.ndarray,
+        leaf_mean: np.ndarray,
+        leaf_variance: np.ndarray,
+        leaf_count: np.ndarray,
+        roots: np.ndarray,
+        leaf_offsets: np.ndarray,
+    ) -> None:
+        self.split_dim = split_dim
+        self.split_value = split_value
+        self.left = left
+        self.right = right
+        self.leaf_slot = leaf_slot
+        self.leaf_mean = leaf_mean
+        self.leaf_variance = leaf_variance
+        self.leaf_count = leaf_count
+        self.roots = roots
+        self.leaf_offsets = leaf_offsets
+        self.n_particles = int(roots.shape[0])
+        self.n_leaves = int(leaf_mean.shape[0])
+
+    @classmethod
+    def from_trees(cls, trees: Sequence[FlatTree]) -> "FlatForest":
+        """Concatenate per-particle compilations, shifting indices by offsets."""
+        if not trees:
+            raise ValueError("a forest needs at least one tree")
+        node_counts = np.asarray([tree.n_nodes for tree in trees], dtype=np.intp)
+        leaf_counts = np.asarray([tree.n_leaves for tree in trees], dtype=np.intp)
+        node_offsets = np.concatenate([[0], np.cumsum(node_counts[:-1])]).astype(np.intp)
+        leaf_offsets = np.concatenate([[0], np.cumsum(leaf_counts[:-1])]).astype(np.intp)
+        left = np.concatenate(
+            [
+                np.where(tree.left >= 0, tree.left + offset, -1)
+                for tree, offset in zip(trees, node_offsets)
+            ]
+        )
+        right = np.concatenate(
+            [
+                np.where(tree.right >= 0, tree.right + offset, -1)
+                for tree, offset in zip(trees, node_offsets)
+            ]
+        )
+        leaf_slot = np.concatenate(
+            [
+                np.where(tree.leaf_slot >= 0, tree.leaf_slot + offset, -1)
+                for tree, offset in zip(trees, leaf_offsets)
+            ]
+        )
+        return cls(
+            split_dim=np.concatenate([tree.split_dim for tree in trees]),
+            split_value=np.concatenate([tree.split_value for tree in trees]),
+            left=left,
+            right=right,
+            leaf_slot=leaf_slot,
+            leaf_mean=np.concatenate([tree.leaf_mean for tree in trees]),
+            leaf_variance=np.concatenate([tree.leaf_variance for tree in trees]),
+            leaf_count=np.concatenate([tree.leaf_count for tree in trees]),
+            roots=node_offsets,
+            leaf_offsets=leaf_offsets,
+        )
+
+    def route(self, X: np.ndarray) -> np.ndarray:
+        """Global leaf ids, shape ``(n_particles, n_rows)``.
+
+        Every (particle, row) pair starts at that particle's root and
+        descends level-by-level; pairs that reach a leaf drop out of the
+        active set, so the loop count is the depth of the deepest particle.
+        """
+        X = np.atleast_2d(X)
+        n = X.shape[0]
+        nodes = np.repeat(self.roots, n)
+        rows = np.tile(np.arange(n, dtype=np.intp), self.n_particles)
+        active = np.flatnonzero(self.split_dim[nodes] >= 0)
+        while active.size:
+            current = nodes[active]
+            dims = self.split_dim[current]
+            go_left = X[rows[active], dims] <= self.split_value[current]
+            nodes[active] = np.where(go_left, self.left[current], self.right[current])
+            still_internal = self.split_dim[nodes[active]] >= 0
+            active = active[still_internal]
+        return self.leaf_slot[nodes].reshape(self.n_particles, n)
+
+    def predict_components(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-particle predictive ``(mean, variance)``, each ``(n_particles, n_rows)``."""
+        leaf_ids = self.route(X)
+        return self.leaf_mean[leaf_ids], self.leaf_variance[leaf_ids]

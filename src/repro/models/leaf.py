@@ -24,7 +24,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Tuple
 
-__all__ = ["NIGPrior", "GaussianLeafModel"]
+__all__ = ["NIGPrior", "GaussianLeafModel", "log_marginal_likelihood_from_stats"]
 
 _LOG_2PI = math.log(2.0 * math.pi)
 
@@ -78,23 +78,37 @@ class NIGPrior:
 
 
 class GaussianLeafModel:
-    """Sufficient statistics and posterior quantities of one leaf."""
+    """Sufficient statistics and posterior quantities of one leaf.
 
-    __slots__ = ("prior", "_count", "_sum", "_sum_sq")
+    The posterior parameters and the log marginal likelihood are memoized:
+    the dynamic tree asks for them many times between updates (every
+    prediction, every ALC score, every stay/grow/prune proposal touching the
+    leaf), while the sufficient statistics only change on ``add``/``remove``.
+    """
+
+    __slots__ = ("prior", "_count", "_sum", "_sum_sq", "_posterior_cache", "_lml_cache")
 
     def __init__(self, prior: NIGPrior) -> None:
         self.prior = prior
         self._count = 0
         self._sum = 0.0
         self._sum_sq = 0.0
+        self._posterior_cache: Optional[Tuple[float, float, float, float]] = None
+        self._lml_cache: Optional[float] = None
 
     # ------------------------------------------------------------- updates
+
+    def _invalidate(self) -> None:
+        self._posterior_cache = None
+        self._lml_cache = None
 
     def copy(self) -> "GaussianLeafModel":
         clone = GaussianLeafModel(self.prior)
         clone._count = self._count
         clone._sum = self._sum
         clone._sum_sq = self._sum_sq
+        clone._posterior_cache = self._posterior_cache
+        clone._lml_cache = self._lml_cache
         return clone
 
     def add(self, value: float) -> None:
@@ -103,6 +117,7 @@ class GaussianLeafModel:
         self._count += 1
         self._sum += value
         self._sum_sq += value * value
+        self._invalidate()
 
     def remove(self, value: float) -> None:
         """Remove one previously absorbed observation (used by prune proposals)."""
@@ -112,6 +127,7 @@ class GaussianLeafModel:
         self._count -= 1
         self._sum -= value
         self._sum_sq -= value * value
+        self._invalidate()
 
     def merge(self, other: "GaussianLeafModel") -> "GaussianLeafModel":
         """A new leaf model containing this leaf's and ``other``'s observations."""
@@ -119,6 +135,7 @@ class GaussianLeafModel:
         merged._count += other._count
         merged._sum += other._sum
         merged._sum_sq += other._sum_sq
+        merged._invalidate()
         return merged
 
     @classmethod
@@ -126,6 +143,24 @@ class GaussianLeafModel:
         leaf = cls(prior)
         for value in values:
             leaf.add(value)
+        return leaf
+
+    @classmethod
+    def from_sufficient_stats(
+        cls, prior: NIGPrior, count: int, total: float, total_sq: float
+    ) -> "GaussianLeafModel":
+        """Build a leaf directly from ``(count, sum, sum of squares)``.
+
+        Used by the vectorized grow-proposal scan, which computes partition
+        sufficient statistics with array reductions rather than feeding
+        values through :meth:`add` one at a time.
+        """
+        if count < 0:
+            raise ValueError("count cannot be negative")
+        leaf = cls(prior)
+        leaf._count = int(count)
+        leaf._sum = float(total)
+        leaf._sum_sq = float(total_sq)
         return leaf
 
     # ---------------------------------------------------------- posteriors
@@ -141,22 +176,27 @@ class GaussianLeafModel:
         return self._sum / self._count
 
     def posterior(self) -> Tuple[float, float, float, float]:
-        """Posterior NIG parameters ``(mean, kappa, alpha, beta)``."""
+        """Posterior NIG parameters ``(mean, kappa, alpha, beta)`` (memoized)."""
+        if self._posterior_cache is not None:
+            return self._posterior_cache
         prior = self.prior
         n = self._count
         if n == 0:
-            return prior.mean, prior.kappa, prior.alpha, prior.beta
-        mean = self._sum / n
-        kappa_n = prior.kappa + n
-        mean_n = (prior.kappa * prior.mean + self._sum) / kappa_n
-        alpha_n = prior.alpha + n / 2.0
-        sum_sq_dev = max(self._sum_sq - n * mean * mean, 0.0)
-        beta_n = (
-            prior.beta
-            + 0.5 * sum_sq_dev
-            + 0.5 * (prior.kappa * n * (mean - prior.mean) ** 2) / kappa_n
-        )
-        return mean_n, kappa_n, alpha_n, beta_n
+            result = (prior.mean, prior.kappa, prior.alpha, prior.beta)
+        else:
+            mean = self._sum / n
+            kappa_n = prior.kappa + n
+            mean_n = (prior.kappa * prior.mean + self._sum) / kappa_n
+            alpha_n = prior.alpha + n / 2.0
+            sum_sq_dev = max(self._sum_sq - n * mean * mean, 0.0)
+            beta_n = (
+                prior.beta
+                + 0.5 * sum_sq_dev
+                + 0.5 * (prior.kappa * n * (mean - prior.mean) ** 2) / kappa_n
+            )
+            result = (mean_n, kappa_n, alpha_n, beta_n)
+        self._posterior_cache = result
+        return result
 
     def predictive_mean(self) -> float:
         """Mean of the posterior predictive distribution."""
@@ -193,16 +233,54 @@ class GaussianLeafModel:
         partitions whose leaves are internally consistent and penalises
         fragmentation through the prior terms.
         """
+        if self._lml_cache is not None:
+            return self._lml_cache
         n = self._count
         if n == 0:
-            return 0.0
-        prior = self.prior
-        _, kappa_n, alpha_n, beta_n = self.posterior()
-        return (
-            math.lgamma(alpha_n)
-            - math.lgamma(prior.alpha)
-            + prior.alpha * math.log(prior.beta)
-            - alpha_n * math.log(beta_n)
-            + 0.5 * (math.log(prior.kappa) - math.log(kappa_n))
-            - (n / 2.0) * _LOG_2PI
-        )
+            result = 0.0
+        else:
+            prior = self.prior
+            _, kappa_n, alpha_n, beta_n = self.posterior()
+            result = (
+                math.lgamma(alpha_n)
+                - math.lgamma(prior.alpha)
+                + prior.alpha * math.log(prior.beta)
+                - alpha_n * math.log(beta_n)
+                + 0.5 * (math.log(prior.kappa) - math.log(kappa_n))
+                - (n / 2.0) * _LOG_2PI
+            )
+        self._lml_cache = result
+        return result
+
+
+def log_marginal_likelihood_from_stats(
+    prior: NIGPrior, count: float, total: float, total_sq: float
+) -> float:
+    """Log marginal likelihood of a leaf summarised by ``(count, sum, sum_sq)``.
+
+    Scalar twin of :meth:`GaussianLeafModel.log_marginal_likelihood` used by
+    the vectorized grow-proposal scan: the partition scan reduces each side
+    of a candidate split to sufficient statistics with array ops and scores
+    it here without materialising leaf objects.
+    """
+    n = count
+    if n == 0:
+        return 0.0
+    mean = total / n
+    kappa_n = prior.kappa + n
+    mean_n = (prior.kappa * prior.mean + total) / kappa_n
+    alpha_n = prior.alpha + n / 2.0
+    sum_sq_dev = max(total_sq - n * mean * mean, 0.0)
+    beta_n = (
+        prior.beta
+        + 0.5 * sum_sq_dev
+        + 0.5 * (prior.kappa * n * (mean - prior.mean) ** 2) / kappa_n
+    )
+    return (
+        math.lgamma(alpha_n)
+        - math.lgamma(prior.alpha)
+        + prior.alpha * math.log(prior.beta)
+        - alpha_n * math.log(beta_n)
+        + 0.5 * (math.log(prior.kappa) - math.log(kappa_n))
+        - (n / 2.0) * _LOG_2PI
+    )

@@ -124,6 +124,22 @@ class SearchSpace:
         if len(names) != len(set(names)):
             raise ValueError("duplicate parameter names in search space")
         self._parameters: Tuple[TunableParameter, ...] = tuple(parameters)
+        # Admissible-value sets for O(1) validation, and the per-dimension
+        # midpoint/scale of the feature normalisation, precomputed once so
+        # normalising a batch of configurations is two array ops.
+        self._value_sets: Tuple[frozenset, ...] = tuple(
+            frozenset(param.values) for param in self._parameters
+        )
+        mids = np.empty(len(self._parameters), dtype=float)
+        scales = np.empty(len(self._parameters), dtype=float)
+        for i, param in enumerate(self._parameters):
+            lo = param.values[0]
+            hi = param.values[-1]
+            mids[i] = (lo + hi) / 2.0
+            # Standard deviation of a uniform distribution over [lo, hi].
+            scales[i] = (hi - lo) / math.sqrt(12.0) if hi > lo else 1.0
+        self._feature_mid = mids
+        self._feature_scale = scales
 
     @property
     def parameters(self) -> Tuple[TunableParameter, ...]:
@@ -156,8 +172,8 @@ class SearchSpace:
             raise ValueError(
                 f"configuration has {len(values)} values, expected {self.dimensions}"
             )
-        for value, param in zip(values, self._parameters):
-            if value not in param.values:
+        for value, value_set, param in zip(values, self._value_sets, self._parameters):
+            if value not in value_set:
                 raise ValueError(
                     f"{value} is not admissible for parameter {param.name!r}"
                 )
@@ -275,19 +291,19 @@ class SearchSpace:
         Section 4.5 of the paper.
         """
         values = self.validate(configuration)
-        features = np.empty(self.dimensions, dtype=float)
-        for i, (value, param) in enumerate(zip(values, self._parameters)):
-            lo = param.values[0]
-            hi = param.values[-1]
-            mid = (lo + hi) / 2.0
-            # Standard deviation of a uniform distribution over [lo, hi].
-            scale = (hi - lo) / math.sqrt(12.0) if hi > lo else 1.0
-            features[i] = (value - mid) / scale
-        return features
+        return (np.asarray(values, dtype=float) - self._feature_mid) / self._feature_scale
 
     def normalize_many(self, configurations: Sequence[Sequence[int]]) -> np.ndarray:
-        """Normalise a batch of configurations into a 2-D feature matrix."""
-        return np.vstack([self.normalize(cfg) for cfg in configurations])
+        """Normalise a batch of configurations into a 2-D feature matrix.
+
+        The whole batch is validated row by row but normalised with a single
+        broadcast over the precomputed midpoint/scale vectors.
+        """
+        rows = [self.validate(cfg) for cfg in configurations]
+        if not rows:
+            raise ValueError("normalize_many() needs at least one configuration")
+        matrix = np.asarray(rows, dtype=float)
+        return (matrix - self._feature_mid) / self._feature_scale
 
     def describe(self) -> str:
         """A human-readable multi-line description of the space."""

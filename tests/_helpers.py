@@ -1,0 +1,39 @@
+"""Importable test helpers shared across test modules.
+
+Kept out of ``conftest.py`` on purpose: test modules must not ``import
+conftest`` because the repository has several conftest files (``tests/`` and
+``benchmarks/``) and whichever is imported first wins the ``conftest``
+module name, making the import order-dependent and breaking whole-repo
+collection.
+"""
+
+from __future__ import annotations
+
+from repro.measurement.noise import NoiseModel
+
+
+class StubProgram:
+    """A minimal TunableProgram used by profiler/learner unit tests.
+
+    The "configuration" is a pair ``(a, b)`` with runtime ``1 + 0.1*a + 0.01*b``
+    seconds, compile time 0.5 s and no noise unless a model is supplied.
+    """
+
+    name = "stub"
+
+    def __init__(self, noise_model: NoiseModel | None = None) -> None:
+        self._noise = noise_model if noise_model is not None else NoiseModel.noiseless()
+
+    def true_runtime(self, configuration):
+        a, b = configuration
+        return 1.0 + 0.1 * a + 0.01 * b
+
+    def compile_time(self, configuration):
+        return 0.5
+
+    def noise_sensitivity(self, configuration):
+        return 0.0
+
+    @property
+    def noise_model(self):
+        return self._noise

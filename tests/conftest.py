@@ -5,9 +5,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from _helpers import StubProgram
+
 from repro.ir.expr import Var
 from repro.ir.loopnest import ArrayDecl, ArrayRef, Kernel, Loop, Statement
-from repro.measurement.noise import NoiseModel
 from repro.spapt.suite import get_benchmark
 
 
@@ -58,33 +59,6 @@ def tiny_kernel():
         ),
         loops=(outer,),
     )
-
-
-class StubProgram:
-    """A minimal TunableProgram used by profiler/learner unit tests.
-
-    The "configuration" is a pair ``(a, b)`` with runtime ``1 + 0.1*a + 0.01*b``
-    seconds, compile time 0.5 s and no noise unless a model is supplied.
-    """
-
-    name = "stub"
-
-    def __init__(self, noise_model: NoiseModel | None = None) -> None:
-        self._noise = noise_model if noise_model is not None else NoiseModel.noiseless()
-
-    def true_runtime(self, configuration):
-        a, b = configuration
-        return 1.0 + 0.1 * a + 0.01 * b
-
-    def compile_time(self, configuration):
-        return 0.5
-
-    def noise_sensitivity(self, configuration):
-        return 0.0
-
-    @property
-    def noise_model(self):
-        return self._noise
 
 
 @pytest.fixture

@@ -8,7 +8,7 @@ import pytest
 from repro.measurement.noise import NoiseModel, NoiseProfile, noise_model_from_profile
 from repro.measurement.profiler import CostLedger, Profiler
 
-from conftest import StubProgram
+from _helpers import StubProgram
 
 
 class TestCostLedger:
