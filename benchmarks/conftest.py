@@ -111,6 +111,12 @@ def _bench_scale(benchmarks) -> ExperimentScale:
 
 
 @pytest.fixture(scope="session")
+def bench_scale_is_laptop(request):
+    """True when the harness runs at the larger --bench-scale=laptop setting."""
+    return request.config.getoption("--bench-scale") == "laptop"
+
+
+@pytest.fixture(scope="session")
 def scale_factory(request):
     """Factory returning an ExperimentScale restricted to the given benchmarks."""
     choice = request.config.getoption("--bench-scale")

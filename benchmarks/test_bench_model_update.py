@@ -4,15 +4,22 @@ Section 3.2 motivates dynamic trees over Gaussian processes with the cost of
 sequential updates: the GP needs an O(n^3) refit per new observation while
 the dynamic tree only touches the leaf containing the new point.  These
 micro-benchmarks measure one sequential update (absorb a point, then
-predict) at different training-set sizes for both models, plus the raw
-throughput of the simulated substrate (cost-model evaluation and profiling).
+predict) at different training-set sizes for both models, the batched SMC
+update kernel against the per-particle reference loop at paper-scale
+particle counts, plus the raw throughput of the simulated substrate
+(cost-model evaluation and profiling).
 
 Together with ``test_bench_predict.py`` the results are exported to
 ``BENCH_model.json`` (pytest-benchmark JSON, see ``conftest.py``) so the
-perf trajectory of the model hot paths is tracked across PRs.
+perf trajectory of the model hot paths is tracked across PRs
+(``benchmarks/check_regression.py`` gates on the ``model-update`` and
+``predict-alc`` groups).
 """
 
 from __future__ import annotations
+
+import copy
+import dataclasses
 
 import numpy as np
 import pytest
@@ -28,6 +35,28 @@ def _training_data(size, dims=6, seed=0):
     X = rng.uniform(-1.5, 1.5, size=(size, dims))
     y = 1.0 + 0.3 * X[:, 0] + np.where(X[:, 1] > 0, 0.5, 0.0) + rng.normal(0, 0.02, size)
     return X, y
+
+
+def _as_reference(model: DynamicTreeRegressor) -> DynamicTreeRegressor:
+    """A vectorized=False twin with the same (deep-copied) particle state.
+
+    Fitting at paper-scale particle counts through the reference path takes
+    minutes; transplanting the state of a batched fit measures exactly the
+    same update workload on identical trees without paying that setup.
+    """
+    clone = DynamicTreeRegressor(
+        dataclasses.replace(model.config, vectorized=False),
+        rng=copy.deepcopy(model._rng),
+    )
+    clone._X = None if model._X is None else model._X.copy()
+    clone._y = None if model._y is None else model._y.copy()
+    clone._n = model._n
+    clone._prior = model._prior
+    clone._lml = model._lml
+    clone._particles = [root.copy() for root in model._particles]
+    clone._flat = [None] * len(model._particles)
+    clone._flat_shared = [False] * len(model._particles)
+    return clone
 
 
 @pytest.mark.benchmark(group="model-update")
@@ -47,6 +76,71 @@ def test_bench_dynamic_tree_update(benchmark, size):
     benchmark(update_and_predict)
 
 
+@pytest.fixture(scope="module")
+def paper_scale_model():
+    """One batched fit at paper-scale particle count, shared by the
+    update-kernel benchmarks (the trees are deep-copied per benchmark)."""
+    X, y = _training_data(220)
+    model = DynamicTreeRegressor(
+        DynamicTreeConfig(n_particles=1000), rng=np.random.default_rng(1)
+    )
+    model.fit(X[:200], y[:200])
+    return model, X, y
+
+
+@pytest.mark.benchmark(group="model-update")
+@pytest.mark.parametrize("kernel", ["batched", "reference"])
+def test_bench_particle_update_1000(benchmark, paper_scale_model, kernel):
+    """Algorithm 1's per-observation model update at 1 000 particles.
+
+    ``batched`` is the production kernel (batched reweight, copy-on-write
+    resample, three-phase propagate); ``reference`` is the pre-batching
+    per-particle Python loop kept as the equivalence oracle.  Both absorb
+    the same held-out observations from identical tree state, so the pair
+    measures the update-kernel speedup directly.
+    """
+    fitted, X, y = paper_scale_model
+    rounds = 5 if kernel == "batched" else 3
+    holder = {}
+
+    def run_updates():
+        model = holder["model"]
+        for i in range(200, 205):
+            model.update(X[i], float(y[i]))
+
+    def fresh_state():
+        holder["model"] = (
+            _as_reference(fitted)
+            if kernel == "reference"
+            else copy.deepcopy(fitted)
+        )
+        return (), {}
+
+    benchmark.pedantic(run_updates, setup=fresh_state, rounds=rounds, iterations=1)
+
+
+@pytest.mark.benchmark(group="model-update")
+def test_bench_particle_update_5000(benchmark, bench_scale_is_laptop):
+    """The batched kernel at the paper's full 5 000 particles.
+
+    Only measured at ``--bench-scale=laptop`` (the fit alone takes ~1 min);
+    the fast tier-1 configuration records the 1 000-particle pair above.
+    """
+    if not bench_scale_is_laptop:
+        pytest.skip("5000-particle update benchmark runs at --bench-scale=laptop")
+    X, y = _training_data(170)
+    model = DynamicTreeRegressor(
+        DynamicTreeConfig(n_particles=5000), rng=np.random.default_rng(1)
+    )
+    model.fit(X[:150], y[:150])
+
+    def run_updates():
+        for i in range(150, 155):
+            model.update(X[i], float(y[i]))
+
+    benchmark.pedantic(run_updates, rounds=3, iterations=1)
+
+
 @pytest.mark.benchmark(group="model-update")
 @pytest.mark.parametrize("size", [50, 200, 400])
 def test_bench_gaussian_process_update(benchmark, size):
@@ -60,6 +154,37 @@ def test_bench_gaussian_process_update(benchmark, size):
         model.predict(probe)
 
     benchmark(update_and_predict)
+
+
+@pytest.mark.benchmark(group="model-update")
+@pytest.mark.parametrize("mode", ["rank1", "full-refit"])
+def test_bench_gaussian_process_sequential_updates(benchmark, mode):
+    """The GP's sequential-update cost with and without the rank-1 path.
+
+    ``rank1`` extends the Cholesky factor (O(n²) per observation, periodic
+    refits); ``full-refit`` restores the old behaviour of an O(n³)
+    refactorisation plus hyper-parameter re-estimation per observation —
+    the Section-3.2 comparison the dynamic tree is measured against.
+    """
+    X, y = _training_data(420)
+    interval = 25 if mode == "rank1" else 1
+    probe = np.zeros((1, X.shape[1]))
+    holder = {}
+
+    def sequential_updates():
+        model = holder["model"]
+        for i in range(400, 420):
+            model.update(X[i], float(y[i]))
+            model.predict(probe)
+
+    def fresh_model():
+        model = GaussianProcessRegressor(refit_interval=interval)
+        model.fit(X[:400], y[:400])
+        model.predict(probe)
+        holder["model"] = model
+        return (), {}
+
+    benchmark.pedantic(sequential_updates, setup=fresh_model, rounds=3, iterations=1)
 
 
 @pytest.mark.benchmark(group="substrate")

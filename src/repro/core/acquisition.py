@@ -43,6 +43,10 @@ class AcquisitionFunction(ABC):
     ) -> np.ndarray:
         """Return one score per candidate; **higher is better**."""
 
+    #: Relative tie tolerance: candidates within this fraction of the best
+    #: score's magnitude are considered tied and drawn from uniformly.
+    TIE_RTOL = 1e-12
+
     def select(
         self,
         model: SurrogateModel,
@@ -50,14 +54,28 @@ class AcquisitionFunction(ABC):
         reference: np.ndarray,
         rng: np.random.Generator,
     ) -> int:
-        """Index of the best candidate (ties broken at random)."""
+        """Index of the best candidate (ties broken at random).
+
+        The tie band is *relative* to the best score's magnitude.  An
+        absolute band (the previous ``best - 1e-15``) mis-scales in both
+        directions: with large-magnitude scores (ALC's negated average
+        variances on unnormalized-runtime benchmarks, easily ~1e3 s²) it is
+        below one ulp and never groups anything — float-noise duplicates
+        are then ranked by rounding accident instead of tie-broken at
+        random — while with tiny scores (~1e-18 variances) it lumps
+        candidates whose scores differ by many orders of magnitude.  A
+        relative band keeps exactly the intended behaviour at every scale:
+        exact ties and float-noise-level differences are grouped, genuine
+        differences are not.  (``best == 0`` degrades to exact ties only,
+        which is the correct limit.)
+        """
         scores = np.asarray(
             self.score(model, candidates, reference, rng), dtype=float
         )
         if scores.shape[0] != np.atleast_2d(candidates).shape[0]:
             raise ValueError("score() must return one value per candidate")
         best = float(scores.max())
-        ties = np.flatnonzero(scores >= best - 1e-15)
+        ties = np.flatnonzero(scores >= best - self.TIE_RTOL * abs(best))
         return int(rng.choice(ties))
 
 

@@ -22,6 +22,7 @@ from .figure2 import Figure2Result, run_figure2
 from .figure5 import Figure5Result, figure5_from_table1, run_figure5
 from .figure6 import PAPER_FIGURE6_BENCHMARKS, Figure6Result, run_figure6
 from .noise_robustness import NoiseRobustnessResult, run_noise_robustness, scaled_benchmark
+from .paper_scale import PaperScaleSmokeResult, run_paper_scale_smoke
 from .run_all import run_all
 from .table1 import PAPER_TABLE1_SPEEDUPS, Table1Result, run_table1
 from .table2 import Table2Result, run_table2
@@ -41,6 +42,8 @@ __all__ = [
     "NoiseRobustnessResult",
     "run_noise_robustness",
     "scaled_benchmark",
+    "PaperScaleSmokeResult",
+    "run_paper_scale_smoke",
     "run_all",
     "PAPER_TABLE1_SPEEDUPS",
     "Table1Result",

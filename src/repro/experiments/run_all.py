@@ -1,13 +1,17 @@
 """Run every experiment and emit a single consolidated report.
 
 ``python -m repro.experiments.run_all [--scale smoke|laptop|paper] [--output FILE]
-[--workers N]``
+[--workers N] [--paper-scale-smoke]``
 
 regenerates, in order, Table 2, Figure 1, Figure 2, Table 1, Figure 5 and
 Figure 6 (the last two are derived from the Table 1 comparisons so nothing
 is recomputed twice) and prints — or writes to ``--output`` — the rendered
 rows/series for all of them.  This is the one-command entry point for
 filling in EXPERIMENTS.md.
+
+``--paper-scale-smoke`` instead runs one benchmark end-to-end at the
+paper's model scale (5 000 dynamic-tree particles, 500 candidates — see
+:mod:`repro.experiments.paper_scale`) and reports its timings.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from .figure1 import run_figure1
 from .figure2 import run_figure2
 from .figure5 import figure5_from_table1
 from .figure6 import Figure6Panel, Figure6Result
+from .paper_scale import run_paper_scale_smoke
 from .table1 import run_table1
 from .table2 import run_table2
 
@@ -89,10 +94,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=1,
         help="process-pool size for the (benchmark x plan x repetition) learner runs",
     )
+    parser.add_argument(
+        "--paper-scale-smoke",
+        action="store_true",
+        help="run one benchmark end-to-end at 5000 particles and report timings",
+    )
+    parser.add_argument(
+        "--smoke-benchmark",
+        default="mm",
+        help="benchmark used by --paper-scale-smoke (default: mm)",
+    )
+    parser.add_argument(
+        "--smoke-examples",
+        type=int,
+        default=40,
+        help="training examples for --paper-scale-smoke (default: 40)",
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be at least 1")
-    report = run_all(_scale_from_name(args.scale), workers=args.workers)
+    if args.paper_scale_smoke:
+        report = run_paper_scale_smoke(
+            benchmark=args.smoke_benchmark, training_examples=args.smoke_examples
+        ).render()
+    else:
+        report = run_all(_scale_from_name(args.scale), workers=args.workers)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")

@@ -30,26 +30,59 @@ tree prior is the standard Chipman-George-McCulloch
 Prediction and the ALC score are served from per-particle
 :class:`~repro.models.flat_tree.FlatTree` compilations — flat NumPy arrays
 descended level-by-level for a whole batch of rows at once — rather than
-per-row Python ``descend()`` loops.  A particle's flat tree is recompiled
-only when a grow/prune move changes its structure; stay moves patch the one
-affected leaf's cached statistics in place.  The per-node reference
-implementations are kept (``predict_reference`` and
-``expected_average_variance_reference``, selected by
-``DynamicTreeConfig(vectorized=False)``) both as executable documentation
-and as the oracle for the equivalence tests.
+per-row Python ``descend()`` loops.
+
+The sequential **update** path (Algorithm 1's per-observation model update)
+is batched across particles as well, which is what makes paper-scale
+particle counts (5 000) tractable:
+
+* **reweight** — the incoming ``x`` is routed through every particle's
+  flat compilation (a scalar descent over plain-list navigation mirrors —
+  cheaper than assembling the concatenated forest, which the update path
+  never needs), and the predictive log-pdfs come from cached per-leaf
+  log-pdf terms (one row read plus one scalar ``math.log1p`` per particle)
+  instead of ``n_particles`` per-node Python descents;
+* **resample** — the systematic resampler duplicates particles
+  *copy-on-write*: duplicates share the original tree and its flat
+  compilation, and nodes are cloned lazily, path-by-path, the first time a
+  subsequent move actually mutates them (``_Node.shared`` marks
+  possibly-shared nodes; cloning a node flags its children), so a resample
+  costs O(1) per duplicate instead of a deep tree copy;
+* **propagate** — the stay/grow/prune scores are computed from sufficient
+  statistics through a per-prior :class:`~repro.models.leaf.LMLCache`
+  (count-dependent ``lgamma``/``log`` terms memoized), the grow proposal
+  scores all candidate splits with one batched masked-cumsum scan, and the
+  stay moves — the overwhelming majority — are applied as a single batched
+  leaf-statistics patch over the affected flat arrays; only grow/prune
+  particles fall back to per-node Python mutation and recompilation.
+
+Every floating-point operation and every RNG draw in the batched path
+replays the per-particle reference implementation exactly (sequential
+``cumsum`` sums, scalar ``math`` transcendentals, identical draw order), so
+seeded learning curves are bit-identical between the two.  The reference
+implementations are kept (``predict_reference``,
+``expected_average_variance_reference`` and the per-particle update path,
+all selected by ``DynamicTreeConfig(vectorized=False)``) both as executable
+documentation and as the oracle for the equivalence tests.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .base import Prediction, SurrogateModel
 from .flat_tree import FlatForest, FlatTree
-from .leaf import GaussianLeafModel, NIGPrior, log_marginal_likelihood_from_stats
+from .leaf import (
+    GaussianLeafModel,
+    LMLCache,
+    NIGPrior,
+    log_marginal_likelihood_from_stats,
+)
+from .rng_replay import GeneratorDraws, ReplayDraws
 
 __all__ = ["DynamicTreeConfig", "DynamicTreeRegressor"]
 
@@ -73,15 +106,17 @@ def _sequential_sum(values: np.ndarray) -> float:
 class DynamicTreeConfig:
     """Hyper-parameters of the dynamic tree model.
 
-    The paper uses the ``dynaTree`` defaults with 5 000 particles; pure
-    Python cannot afford that many, but because the decision spaces are
-    low-dimensional and the acquisition only needs well-ranked variances a
-    few dozen particles behave almost identically (this is exercised by an
-    ablation benchmark).
+    The paper uses the ``dynaTree`` defaults with 5 000 particles; the
+    decision spaces are low-dimensional and the acquisition only needs
+    well-ranked variances, so a few dozen particles behave almost
+    identically (this is exercised by an ablation benchmark), but with the
+    batched update kernel the paper's particle count is affordable too.
 
-    ``vectorized`` selects the flat-array tree kernel for ``predict`` and
-    ``expected_average_variance``; disabling it falls back to the per-node
-    reference implementation (slow — only useful for equivalence testing).
+    ``vectorized`` selects the flat-array kernels for ``predict``,
+    ``expected_average_variance`` *and* the sequential ``update`` path;
+    disabling it falls back to the per-node, per-particle reference
+    implementations (slow — only useful for equivalence testing).  The two
+    modes produce bit-identical seeded trajectories.
     """
 
     n_particles: int = 40
@@ -119,9 +154,26 @@ class _Node:
     A node is either internal (``split_dim``/``split_value`` set, ``left``
     and ``right`` children) or a leaf (``leaf`` model plus the indices of the
     observations it contains).
+
+    ``shared`` marks a node that *may* be referenced by more than one
+    particle (set when a resample duplicates a tree, and propagated to the
+    children of any node cloned off a shared path).  Shared nodes are never
+    mutated in place: the update path clones them copy-on-write the first
+    time a move needs to touch them.  The flag is conservative — a node can
+    stay flagged after its other referents have cloned their own paths —
+    which costs at most one redundant clone, never a correctness bug.
     """
 
-    __slots__ = ("depth", "split_dim", "split_value", "left", "right", "leaf", "indices")
+    __slots__ = (
+        "depth",
+        "split_dim",
+        "split_value",
+        "left",
+        "right",
+        "leaf",
+        "indices",
+        "shared",
+    )
 
     def __init__(self, depth: int) -> None:
         self.depth = depth
@@ -131,6 +183,7 @@ class _Node:
         self.right: Optional["_Node"] = None
         self.leaf: Optional[GaussianLeafModel] = None
         self.indices: List[int] = []
+        self.shared = False
 
     @property
     def is_leaf(self) -> bool:
@@ -147,6 +200,28 @@ class _Node:
             clone.left = self.left.copy()
         if self.right is not None:
             clone.right = self.right.copy()
+        return clone
+
+    def clone_shallow(self) -> "_Node":
+        """A private one-node clone for copy-on-write path copying.
+
+        The clone owns its leaf state (model and index list) but keeps
+        references to the original children, which become ``shared``: both
+        the clone and the original node now point at them, so whichever
+        particle descends into them next must clone again.
+        """
+        clone = _Node(self.depth)
+        clone.split_dim = self.split_dim
+        clone.split_value = self.split_value
+        clone.left = self.left
+        clone.right = self.right
+        if self.leaf is not None:
+            clone.leaf = self.leaf.copy()
+            clone.indices = list(self.indices)
+        if clone.left is not None:
+            clone.left.shared = True
+        if clone.right is not None:
+            clone.right.shared = True
         return clone
 
     def descend(self, x: np.ndarray) -> "_Node":
@@ -182,6 +257,29 @@ class _Node:
         return self.left.leaves() + self.right.leaves()
 
 
+class _GrowProposal(NamedTuple):
+    """The winning candidate split of a batched grow-proposal scan.
+
+    Carries everything :meth:`DynamicTreeRegressor._apply_grow_batched`
+    needs to build the two children without re-scanning: the split itself,
+    both sides' sufficient statistics and marginal likelihoods (already
+    consumed by the grow score), and the boolean membership mask over the
+    leaf's observations with the incoming point in the last position.
+    """
+
+    dim: int
+    threshold: float
+    n_left: int
+    sum_left: float
+    sum_sq_left: float
+    left_lml: float
+    n_right: int
+    sum_right: float
+    sum_sq_right: float
+    right_lml: float
+    mask: np.ndarray
+
+
 class DynamicTreeRegressor(SurrogateModel):
     """Particle-learning dynamic tree regression."""
 
@@ -198,14 +296,29 @@ class DynamicTreeRegressor(SurrogateModel):
         self._y: Optional[np.ndarray] = None
         self._n = 0
         self._prior: Optional[NIGPrior] = None
+        self._lml: Optional[LMLCache] = None
         self._particles: List[_Node] = []
         # Lazily compiled FlatTree per particle; ``None`` marks "needs
         # recompilation" (fresh particle, or structure changed by grow/prune).
+        # ``_flat_shared[i]`` marks a compilation shared copy-on-write with
+        # another particle after a resample: it must be copied before the
+        # next leaf patch lands on it.
         self._flat: List[Optional[FlatTree]] = []
+        self._flat_shared: List[bool] = []
         # Concatenation of every particle's FlatTree, rebuilt lazily after
         # any update (the concatenated arrays snapshot the per-tree arrays,
         # so in-place leaf patches do not carry over).
         self._forest: Optional[FlatForest] = None
+        # Per-depth tree-prior log terms (split probabilities only depend on
+        # the frozen config, and every particle's scores reuse them).
+        self._depth_cache: Dict[int, Tuple[float, float, float]] = {}
+        # Scalar-draw frontend for the batched update: a bulk RNG replay
+        # when the bit generator supports it, plain Generator calls
+        # otherwise.  Either way the stream is bit-identical to the
+        # reference path's per-call draws.
+        self._replay = ReplayDraws(self._rng)
+        self._generator_draws = GeneratorDraws(self._rng)
+        self._draws = self._generator_draws
 
     # ----------------------------------------------------------- properties
 
@@ -258,14 +371,18 @@ class DynamicTreeRegressor(SurrogateModel):
         self._prior = NIGPrior.from_observations(
             y, kappa=self._config.prior_kappa, alpha=self._config.prior_alpha
         )
+        self._lml = LMLCache(self._prior)
+        self._depth_cache = {}
         self._particles = []
         self._flat = []
+        self._flat_shared = []
         self._forest = None
         for _ in range(self._config.n_particles):
             root = _Node(depth=0)
             root.leaf = GaussianLeafModel(self._prior)
             self._particles.append(root)
             self._flat.append(None)
+            self._flat_shared.append(False)
         order = self._rng.permutation(X.shape[0])
         for index in order:
             self.update(X[index], float(y[index]))
@@ -282,8 +399,89 @@ class DynamicTreeRegressor(SurrogateModel):
                 raise ValueError(
                     f"feature dimension mismatch: got {x.shape[0]}, expected {expected_dim}"
                 )
+        if self._config.vectorized:
+            self._update_batched(x, y)
+        else:
+            self._update_reference(x, y)
+
+    # ------------------------------------------------- batched update kernel
+
+    def _update_batched(self, x: np.ndarray, y: float) -> None:
+        """One SMC update with all cross-particle work batched.
+
+        The reweight routes the incoming point through every particle's flat
+        compilation and the propagate step runs as a three-phase pipeline
+        (see :meth:`_propagate_all`) whose cross-particle work — candidate
+        partition sums, split thresholds, move probabilities, the move draw
+        inversion and the stay-move leaf patch — runs as a handful of array
+        operations over all particles instead of per-particle numpy calls.
+        The RNG replay (see :mod:`repro.models.rng_replay`) is what makes
+        the phase split possible: draw *values* are determined by stream
+        position alone, so the sequential draw loop can run before the
+        batched scoring that interprets them, while consuming the stream in
+        exactly the reference order.
+        """
+        expected_raws = (
+            len(self._particles) * (2 * self._config.n_split_candidates + 1) + 8
+        )
+        replaying = self._replay.begin(expected_raws)
+        self._draws = self._replay if replaying else self._generator_draws
+        try:
+            local_leaf_ids: Optional[np.ndarray] = None
+            if self._n >= 1:
+                local_leaf_ids = self._resample(x, y)
+            index = self._append_observation(x, y)
+            self._forest = None
+            self._propagate_all(x, y, index, local_leaf_ids)
+        finally:
+            if replaying:
+                self._replay.end()
+            self._draws = self._generator_draws
+
+    def _patch_stays(
+        self,
+        slots: Sequence[int],
+        leaves: Sequence[_Node],
+        local_leaf_ids: Optional[np.ndarray],
+        x: np.ndarray,
+    ) -> None:
+        """Apply every stay move's leaf-statistics patch in one pass.
+
+        The leaf ids were computed by the batched pre-resample routing
+        (stay moves do not change structure, so they are still valid);
+        compilations shared copy-on-write after a resample are copied here,
+        just before the first patch would otherwise leak into the sibling
+        particle.  The patched values come from each leaf's memoized scalar
+        posterior — numpy transcendentals round differently than ``math``
+        and would fork seeded trajectories (see
+        :class:`~repro.models.leaf.LeafCacheArrays`).
+        """
+        flats = self._flat
+        shared = self._flat_shared
+        for slot, leaf_node in zip(slots, leaves):
+            flat = flats[slot]
+            if flat is None:
+                continue
+            if shared[slot]:
+                flat = flat.copy()
+                flats[slot] = flat
+                shared[slot] = False
+            assert leaf_node.leaf is not None
+            leaf_id = (
+                int(local_leaf_ids[slot])
+                if local_leaf_ids is not None
+                else flat.route_one(x)
+            )
+            flat.patch_leaf(leaf_id, leaf_node.leaf)
+
+    def _update_reference(self, x: np.ndarray, y: float) -> None:
+        """Per-particle reference implementation of one SMC update.
+
+        Python descents and eager tree copies throughout; kept as the
+        oracle the batched kernel's trajectories are tested against.
+        """
         if self._n >= 1:
-            self._resample(x, y)
+            self._resample_reference(x, y)
         index = self._append_observation(x, y)
         self._forest = None
         for particle_index, root in enumerate(self._particles):
@@ -296,12 +494,7 @@ class DynamicTreeRegressor(SurrogateModel):
                 # Stay move: the structure is intact, only the statistics of
                 # the leaf containing ``x`` changed — patch them in place.
                 assert leaf.leaf is not None
-                flat.patch_leaf(
-                    flat.route_one(x),
-                    leaf.leaf.predictive_mean(),
-                    leaf.leaf.predictive_variance(),
-                    float(leaf.leaf.count),
-                )
+                flat.patch_leaf(flat.route_one(x), leaf.leaf)
 
     # ----------------------------------------------------------- prediction
 
@@ -443,15 +636,109 @@ class DynamicTreeRegressor(SurrogateModel):
                 scores[i] += (base_total - reduction) / n_reference
         return scores / len(self._particles)
 
-    # ------------------------------------------------------------ internals
+    # --------------------------------------------------- reweight + resample
 
     def _predictive_logpdf(self, root: _Node, x: np.ndarray, y: float) -> float:
         leaf = root.descend(x)
         assert leaf.leaf is not None
         return leaf.leaf.predictive_logpdf(y)
 
-    def _resample(self, x: np.ndarray, y: float) -> None:
-        """Reweight particles by predictive fit and resample if degenerate."""
+    def _systematic_indices(self, weights: np.ndarray, uniform: float) -> List[int]:
+        """Systematic (stratified) resampling indices for normalized weights.
+
+        The ``uniform`` draw places ``n`` equally spaced positions on [0, 1);
+        each position selects the first particle whose cumulative weight
+        reaches it.  Two hardening measures guard the scan against
+        floating-point drift (``cumsum`` of normalized weights lands a few
+        ulps off 1): the bound check runs *before* the cumulative
+        comparison, so once the scan reaches the last particle it stops
+        there — a position beyond the drifted total belongs to the final
+        stratum and can neither read past the array nor keep advancing —
+        and the cumulative array's final entry is pinned to exactly 1.0, so
+        the array itself states the correct invariant (total mass 1, every
+        position < 1 owned) for anything that inspects it.
+        """
+        count = len(weights)
+        positions = (uniform + np.arange(count)) / count
+        cumulative = np.cumsum(weights)
+        cumulative[-1] = 1.0
+        chosen: List[int] = []
+        j = 0
+        last = count - 1
+        for position in positions:
+            while j < last and cumulative[j] < position:
+                j += 1
+            chosen.append(j)
+        return chosen
+
+    def _resample(self, x: np.ndarray, y: float) -> np.ndarray:
+        """Batched reweight-and-resample; returns per-particle local leaf ids.
+
+        The reweight routes ``x`` through every particle's flat compilation
+        (a scalar descent over plain-list navigation arrays — cheaper than
+        building the concatenated forest, which the update path never
+        needs) and evaluates each predictive log-pdf from the cached
+        per-leaf log-pdf terms (``math.log1p`` stays scalar: the numpy
+        version rounds differently and the resample decision is sampled
+        from these weights).  When the effective sample size calls for a
+        resample, duplicated particles *share* the original tree and flat
+        compilation copy-on-write instead of deep-copying them.
+
+        The returned array maps each (post-resample) particle to the local
+        leaf id containing ``x`` — a byproduct of the batched routing that
+        the stay-move patch reuses, since stay moves keep structure intact.
+        """
+        particles = self._particles
+        flats = self._flat
+        count = len(particles)
+        log_weights = np.empty(count)
+        local_ids = np.empty(count, dtype=np.intp)
+        x_list = x.tolist()
+        log1p = math.log1p
+        for i in range(count):
+            flat = flats[i]
+            if flat is None:
+                flat = FlatTree.compile(particles[i])
+                flats[i] = flat
+            leaf_id = flat.route_one(x_list)
+            mean, scale, coef, const = flat.caches.logpdf_row(leaf_id)
+            z_sq = (y - mean) ** 2 / scale
+            log_weights[i] = const - coef * log1p(z_sq)
+            local_ids[i] = leaf_id
+        log_weights -= log_weights.max()
+        weights = np.exp(log_weights)
+        total = weights.sum()
+        if total <= 0 or not np.isfinite(total):
+            return local_ids
+        weights /= total
+        effective = 1.0 / float(np.sum(weights ** 2))
+        if effective >= self._config.resample_threshold * count:
+            return local_ids
+        chosen_indices = self._systematic_indices(weights, self._draws.random())
+        occurrences: Dict[int, int] = {}
+        for j in chosen_indices:
+            occurrences[j] = occurrences.get(j, 0) + 1
+        new_particles: List[_Node] = []
+        new_flat: List[Optional[FlatTree]] = []
+        new_shared: List[bool] = []
+        for j in chosen_indices:
+            root = self._particles[j]
+            duplicated = occurrences[j] > 1
+            if duplicated:
+                # Copy-on-write: every occurrence shares the tree and its
+                # compilation; the first move that mutates either clones
+                # just what it touches.
+                root.shared = True
+            new_particles.append(root)
+            new_flat.append(self._flat[j])
+            new_shared.append(self._flat_shared[j] or duplicated)
+        self._particles = new_particles
+        self._flat = new_flat
+        self._flat_shared = new_shared
+        return local_ids[np.asarray(chosen_indices, dtype=np.intp)]
+
+    def _resample_reference(self, x: np.ndarray, y: float) -> None:
+        """Per-particle reference reweight/resample (eager tree copies)."""
         log_weights = np.array(
             [self._predictive_logpdf(root, x, y) for root in self._particles]
         )
@@ -464,16 +751,7 @@ class DynamicTreeRegressor(SurrogateModel):
         effective = 1.0 / float(np.sum(weights ** 2))
         if effective >= self._config.resample_threshold * len(self._particles):
             return
-        positions = (
-            self._rng.random() + np.arange(len(self._particles))
-        ) / len(self._particles)
-        cumulative = np.cumsum(weights)
-        chosen_indices: List[int] = []
-        j = 0
-        for position in positions:
-            while cumulative[j] < position and j < len(cumulative) - 1:
-                j += 1
-            chosen_indices.append(j)
+        chosen_indices = self._systematic_indices(weights, self._rng.random())
         # Deduplicate by particle *index*: the first occurrence keeps the
         # original tree (and its flat compilation), later occurrences get
         # independent copies.
@@ -491,6 +769,452 @@ class DynamicTreeRegressor(SurrogateModel):
                 new_flat.append(flat.copy() if flat is not None else None)
         self._particles = new_particles
         self._flat = new_flat
+        self._flat_shared = [False] * len(new_particles)
+
+    # ----------------------------------------------------- batched propagate
+
+    def _depth_terms(self, depth: int) -> Tuple[float, float, float]:
+        """``(log1p(-p), log(p) + 2*log1p(-p_child), log(p))`` at ``depth``.
+
+        These are the tree-prior factors of the stay/grow/prune scores; they
+        depend only on the depth and the frozen config, so every particle's
+        score computation shares one memoized scalar evaluation (grouped
+        exactly as the reference expressions group them).
+        """
+        terms = self._depth_cache.get(depth)
+        if terms is None:
+            config = self._config
+            p_here = config.split_probability(depth)
+            p_child = config.split_probability(depth + 1)
+            log1m = math.log1p(-p_here)
+            log_p = math.log(p_here)
+            grow_head = log_p + 2.0 * math.log1p(-p_child)
+            terms = (log1m, grow_head, log_p)
+            self._depth_cache[depth] = terms
+        return terms
+
+    def _descend_cow(
+        self, root: _Node, x: np.ndarray
+    ) -> Tuple[_Node, Optional[_Node], _Node]:
+        """Descend to the leaf containing ``x``, cloning shared path nodes.
+
+        Returns ``(leaf, parent, root)`` — ``root`` is a new object when the
+        old one was shared.  After this walk the whole root-to-leaf path is
+        privately owned, so the caller may mutate the leaf (stay/grow) or
+        the parent (prune) without leaking state into particles that share
+        off-path subtrees.
+        """
+        if root.shared:
+            root = root.clone_shallow()
+        parent: Optional[_Node] = None
+        node = root
+        while not node.is_leaf:
+            parent = node
+            assert node.left is not None and node.right is not None
+            go_left = x[node.split_dim] <= node.split_value
+            child = node.left if go_left else node.right
+            if child.shared:
+                child = child.clone_shallow()
+                if go_left:
+                    node.left = child
+                else:
+                    node.right = child
+            node = child
+        return node, parent, root
+
+    def _locate(self, root: _Node, x: np.ndarray) -> Tuple[_Node, Optional[_Node], bool]:
+        """Read-only descent: ``(leaf, parent, any shared node on the path)``.
+
+        The scoring phase never mutates, so it can walk shared trees as-is;
+        the returned flag tells the apply phase whether it must re-descend
+        with copy-on-write cloning before mutating.
+        """
+        shared = root.shared
+        parent: Optional[_Node] = None
+        node = root
+        while not node.is_leaf:
+            parent = node
+            assert node.left is not None and node.right is not None
+            node = node.left if x[node.split_dim] <= node.split_value else node.right
+            shared = shared or node.shared
+        return node, parent, shared
+
+    def _propagate_all(
+        self,
+        x: np.ndarray,
+        y: float,
+        index: int,
+        local_leaf_ids: Optional[np.ndarray],
+    ) -> None:
+        """Propagate every particle through one stay/grow/prune move.
+
+        Three phases, all bit-identical to running :meth:`_propagate` per
+        particle:
+
+        1. **score** — read-only descents locate each particle's leaf; the
+           stay/prune scores are scalar sufficient-statistics arithmetic
+           through the :class:`~repro.models.leaf.LMLCache`; the grow
+           proposals' RNG draws run in exactly the reference order (the
+           replayed stream makes the draw *values* independent of when they
+           are interpreted).  Scoring reads only pre-update state, so
+           particles sharing copy-on-write subtrees see identical values to
+           the reference's private copies.
+        2. **batch** — every particle's candidate splits are scored
+           together: padded ``(n_particles, max_leaf_size, …)`` arrays
+           carry one fused masked sequential-cumsum for all partition sums,
+           the split thresholds come from one gather over a batched
+           unique-value table, and the move probabilities and
+           ``Generator.choice`` cdf inversions for all particles run as a
+           handful of rowwise array ops.  Padding rows hold ``+inf``
+           features (never selected by a mask) and ``0.0`` targets (exact
+           no-ops in the sequential sums), so the batch reproduces each
+           particle's reference arithmetic bit-for-bit.
+        3. **apply** — moves mutate the trees (cloning shared path nodes
+           first), and the stay moves land on the flat compilations as one
+           batched leaf-statistics patch.
+        """
+        assert self._prior is not None and self._lml is not None
+        assert self._X is not None and self._y is not None
+        particles = self._particles
+        count = len(particles)
+        config = self._config
+        min_leaf = config.min_leaf
+        n_candidates = config.n_split_candidates
+        dims = x.shape[0]
+        neg_inf = -math.inf
+
+        # ---------------------------------------------- phase 1a: locate
+        leaves: List[_Node] = []
+        parents: List[Optional[_Node]] = []
+        path_shared: List[bool] = []
+        for i in range(count):
+            leaf, parent, shared = self._locate(particles[i], x)
+            leaves.append(leaf)
+            parents.append(parent)
+            path_shared.append(shared)
+
+        # ------------------------- phase 1b: batched grow-proposal tables
+        # Pad every leaf's observations (plus the incoming point in the
+        # last real row) into one (count, n_max, dims) block.  Padding
+        # features are +inf so no threshold ever selects them; padding
+        # targets are 0.0, an exact no-op for the sequential sums.
+        sizes = np.empty(count, dtype=np.intp)
+        all_rows: List[int] = []
+        extend_rows = all_rows.extend
+        for i in range(count):
+            leaf_indices = leaves[i].indices
+            sizes[i] = len(leaf_indices)
+            extend_rows(leaf_indices)
+        sizes_list = sizes.tolist()
+        n_points_arr = sizes + 1
+        n_max = int(sizes.max()) + 1
+        padded_features = np.full((count, n_max, dims), np.inf)
+        padded_targets = np.zeros((count, n_max))
+        row_owner = np.repeat(np.arange(count, dtype=np.intp), sizes)
+        starts = np.cumsum(sizes) - sizes
+        col_pos = np.arange(row_owner.shape[0], dtype=np.intp) - np.repeat(starts, sizes)
+        rows_arr = np.asarray(all_rows, dtype=np.intp)
+        padded_features[row_owner, col_pos] = self._X[rows_arr]
+        padded_targets[row_owner, col_pos] = self._y[rows_arr]
+        every = np.arange(count, dtype=np.intp)
+        padded_features[every, sizes] = x
+        padded_targets[every, sizes] = y
+        # Batched unique scan (sort + first-of-run flags, the lean
+        # equivalent of per-candidate np.unique): ``n_unique[p, d]`` bounds
+        # the cut draw, and ``unique_values[p, j, d]`` is the j-th distinct
+        # value, compacted to the front so thresholds are one gather.
+        sorted_columns = np.sort(padded_features, axis=1)
+        keep = np.empty(sorted_columns.shape, dtype=bool)
+        keep[:, 0, :] = True
+        np.not_equal(sorted_columns[:, 1:, :], sorted_columns[:, :-1, :], out=keep[:, 1:, :])
+        keep &= np.arange(n_max)[None, :, None] < n_points_arr[:, None, None]
+        n_unique_list = keep.sum(axis=1).tolist()
+        rank = np.cumsum(keep, axis=1)
+        rank -= 1
+        keep_p, keep_row, keep_dim = np.nonzero(keep)
+        unique_values = np.empty_like(sorted_columns)
+        unique_values[keep_p, rank[keep_p, keep_row, keep_dim], keep_dim] = (
+            sorted_columns[keep_p, keep_row, keep_dim]
+        )
+        del keep, rank, keep_p, keep_row, keep_dim
+
+        # -------------------- phase 1c: scalar scores + sequential draws
+        lml_eval = self._lml.log_marginal_likelihood
+        depth_terms = self._depth_terms
+        draw_candidates = self._draws.draw_candidates
+        draw_uniform = self._draws.random
+        stay_scores: List[float] = [0.0] * count
+        prune_scores: List[float] = [neg_inf] * count
+        grow_heads: List[float] = [0.0] * count
+        commons: List[float] = [0.0] * count
+        uniforms = np.empty(count)
+        cand_count = [0] * count
+        cand_particle: List[int] = []
+        cand_slot: List[int] = []
+        cand_dim: List[int] = []
+        cand_cut: List[int] = []
+        grow_floor = 2 * min_leaf
+        for i in range(count):
+            leaf = leaves[i]
+            parent = parents[i]
+            leaf_model = leaf.leaf
+            assert leaf_model is not None
+            n, total, total_sq = leaf_model.sufficient_stats()
+            n_new = n + 1
+            total_new = total + y
+            total_sq_new = total_sq + y * y
+            log1m_here, grow_head, _ = depth_terms(leaf.depth)
+            stay_score = log1m_here + lml_eval(n_new, total_new, total_sq_new)
+            grow_heads[i] = grow_head
+            if parent is not None:
+                sibling = parent.right if parent.left is leaf else parent.left
+                assert sibling is not None
+                if sibling.leaf is not None:
+                    log1m_parent, _, log_p_parent = depth_terms(parent.depth)
+                    log1m_sibling, _, _ = depth_terms(sibling.depth)
+                    # Common factor shared by the stay and grow alternatives
+                    # when the comparison is lifted to the parent subtree.
+                    common = (
+                        log_p_parent + log1m_sibling
+                    ) + sibling.leaf.log_marginal_likelihood()
+                    ns, sib_total, sib_total_sq = sibling.leaf.sufficient_stats()
+                    prune_scores[i] = log1m_parent + lml_eval(
+                        n_new + ns, total_new + sib_total, total_sq_new + sib_total_sq
+                    )
+                    stay_score += common
+                    commons[i] = common
+            stay_scores[i] = stay_score
+            slot = 0
+            if sizes_list[i] + 1 >= grow_floor:
+                drawn_dims, drawn_cuts = draw_candidates(
+                    dims, n_unique_list[i], n_candidates
+                )
+                slot = len(drawn_dims)
+                cand_particle.extend([i] * slot)
+                cand_slot.extend(range(slot))
+                cand_dim.extend(drawn_dims)
+                cand_cut.extend(drawn_cuts)
+            cand_count[i] = slot
+            uniforms[i] = draw_uniform()
+
+        # ------------------------ phase 2a: batched candidate partitions
+        thresholds = np.full((count, n_candidates), neg_inf)
+        dim_matrix = np.zeros((count, n_candidates), dtype=np.intp)
+        if cand_particle:
+            cp = np.asarray(cand_particle, dtype=np.intp)
+            cs = np.asarray(cand_slot, dtype=np.intp)
+            cd = np.asarray(cand_dim, dtype=np.intp)
+            cc = np.asarray(cand_cut, dtype=np.intp)
+            low = unique_values[cp, cc, cd]
+            high = unique_values[cp, cc + 1, cd]
+            thresholds[cp, cs] = 0.5 * (low + high)
+            dim_matrix[cp, cs] = cd
+        del unique_values, sorted_columns
+        two_k = 2 * n_candidates
+        masks = np.empty((count, n_max, n_candidates), dtype=bool)
+        sums = np.empty((count, 2, two_k))
+        # The fused masked cumsum materialises (chunk, n_max, 2, 2k)
+        # doubles; chunking bounds that scratch at ~32 MB however many
+        # particles are in flight.
+        chunk = max(1, 4_000_000 // (n_max * two_k))
+        for start in range(0, count, chunk):
+            stop = min(start + chunk, count)
+            window = slice(start, stop)
+            columns = np.take_along_axis(
+                padded_features[window], dim_matrix[window][:, None, :], axis=2
+            )
+            np.less_equal(columns, thresholds[window][:, None, :], out=masks[window])
+            block = masks[window]
+            targets_block = padded_targets[window]
+            moments = np.empty((stop - start, n_max, 2, 1))
+            moments[:, :, 0, 0] = targets_block
+            np.multiply(targets_block, targets_block, out=moments[:, :, 1, 0])
+            sides = np.concatenate([block, ~block], axis=2)
+            # np.add.reduce over a non-final axis accumulates slice-by-slice
+            # in index order whenever the trailing contiguous block has >= 2
+            # elements (pairwise reordering only applies to the degenerate
+            # contiguous-1-D case), so this is bit-identical to
+            # ``cumsum(axis=1)[:, -1]`` at half the memory traffic — pinned
+            # by the equivalence suite.
+            sums[window] = np.add.reduce(moments * sides[:, :, None, :], axis=1)
+        n_left_matrix = masks.sum(axis=1).tolist()
+        sums_list = sums.tolist()
+
+        # -------------------------------- phase 2b: grow scores (scalar)
+        # The marginal-likelihood arithmetic is inlined (it runs up to
+        # twice per candidate); the count-dependent lgamma/log terms come
+        # from the per-prior LMLCache and the expression groups exactly
+        # like log_marginal_likelihood_from_stats, so scores stay
+        # bit-identical.
+        terms_by_count = self._lml._terms_by_count
+        make_terms = self._lml._terms
+        prior = self._prior
+        prior_beta = prior.beta
+        prior_kappa = prior.kappa
+        prior_mean = prior.mean
+        log = math.log
+        grow_scores: List[float] = [neg_inf] * count
+        grow_chosen: List[Optional[Tuple[int, float, float]]] = [None] * count
+        for i in range(count):
+            k = cand_count[i]
+            if not k:
+                continue
+            n_points = sizes_list[i] + 1
+            n_left_row = n_left_matrix[i]
+            sum_row, sum_sq_row = sums_list[i]
+            best: Optional[Tuple[float, int, float, float]] = None
+            for c in range(k):
+                count_left = n_left_row[c]
+                count_right = n_points - count_left
+                if count_left < min_leaf or count_right < min_leaf:
+                    continue
+                terms = terms_by_count.get(count_left) or make_terms(count_left)
+                kappa_n, alpha_n, head, mid, tail = terms
+                mean = sum_row[c] / count_left
+                sum_sq_dev = max(sum_sq_row[c] - count_left * mean * mean, 0.0)
+                beta_n = (
+                    prior_beta
+                    + 0.5 * sum_sq_dev
+                    + 0.5 * (prior_kappa * count_left * (mean - prior_mean) ** 2) / kappa_n
+                )
+                left_lml = ((head - alpha_n * log(beta_n)) + mid) - tail
+                terms = terms_by_count.get(count_right) or make_terms(count_right)
+                kappa_n, alpha_n, head, mid, tail = terms
+                right_slot = n_candidates + c
+                mean = sum_row[right_slot] / count_right
+                sum_sq_dev = max(sum_sq_row[right_slot] - count_right * mean * mean, 0.0)
+                beta_n = (
+                    prior_beta
+                    + 0.5 * sum_sq_dev
+                    + 0.5 * (prior_kappa * count_right * (mean - prior_mean) ** 2) / kappa_n
+                )
+                right_lml = ((head - alpha_n * log(beta_n)) + mid) - tail
+                score = left_lml + right_lml
+                if best is None or score > best[0]:
+                    best = (score, c, left_lml, right_lml)
+            if best is None:
+                continue
+            _, c, left_lml, right_lml = best
+            grow = (grow_heads[i] + left_lml) + right_lml
+            if prune_scores[i] != neg_inf:
+                grow = grow + commons[i]
+            grow_scores[i] = grow
+            grow_chosen[i] = (c, left_lml, right_lml)
+
+        # ------------------------------ phase 2c: batched move ceremony
+        # ``exp(-inf - max) == 0.0`` exactly, so exponentiating the full
+        # score rows reproduces the reference's zero-filled probabilities
+        # without an isfinite mask (the stay score is always finite, so
+        # every row max is finite and no NaN can appear).  The rowwise
+        # max/exp/sum/cumsum sequence and the ``(cdf <= u).sum`` inversion
+        # of ``Generator.choice`` are elementwise identical to the
+        # per-particle reference ops — pinned by the equivalence suite.
+        score_matrix = np.empty((count, 3))
+        score_matrix[:, 0] = stay_scores
+        score_matrix[:, 1] = grow_scores
+        score_matrix[:, 2] = prune_scores
+        np.subtract(score_matrix, score_matrix.max(axis=1)[:, None], out=score_matrix)
+        np.exp(score_matrix, out=score_matrix)
+        score_matrix /= score_matrix.sum(axis=1)[:, None]
+        cdf = np.cumsum(score_matrix, axis=1)
+        cdf /= cdf[:, -1:]
+        moves = (cdf <= uniforms[:, None]).sum(axis=1).tolist()
+
+        # ---------------------------------------------- phase 3: apply
+        stay_slots: List[int] = []
+        stay_leaves: List[_Node] = []
+        flats = self._flat
+        flat_shared = self._flat_shared
+        for i in range(count):
+            move = moves[i]
+            if path_shared[i]:
+                leaf, parent, root = self._descend_cow(particles[i], x)
+                particles[i] = root
+            else:
+                leaf = leaves[i]
+                parent = parents[i]
+                root = particles[i]
+            chosen = grow_chosen[i]
+            if move == 1 and chosen is not None:
+                c, left_lml, right_lml = chosen
+                n_points = sizes_list[i] + 1
+                count_left = n_left_matrix[i][c]
+                sum_row, sum_sq_row = sums_list[i]
+                right_slot = n_candidates + c
+                self._apply_grow_batched(
+                    leaf,
+                    _GrowProposal(
+                        dim=int(dim_matrix[i, c]),
+                        threshold=float(thresholds[i, c]),
+                        n_left=count_left,
+                        sum_left=sum_row[c],
+                        sum_sq_left=sum_sq_row[c],
+                        left_lml=left_lml,
+                        n_right=n_points - count_left,
+                        sum_right=sum_row[right_slot],
+                        sum_sq_right=sum_sq_row[right_slot],
+                        right_lml=right_lml,
+                        mask=masks[i, :n_points, c],
+                    ),
+                    index,
+                )
+                flats[i] = None
+                flat_shared[i] = False
+            elif move == 2 and prune_scores[i] != neg_inf:
+                assert parent is not None
+                sibling = parent.right if parent.left is leaf else parent.left
+                assert sibling is not None
+                self._apply_prune(root, parent, leaf, sibling, x, y, index)
+                flats[i] = None
+                flat_shared[i] = False
+            else:
+                assert leaf.leaf is not None
+                leaf.leaf.add(y)
+                leaf.indices.append(index)
+                stay_slots.append(i)
+                stay_leaves.append(leaf)
+        self._patch_stays(stay_slots, stay_leaves, local_leaf_ids, x)
+
+    def _apply_grow_batched(
+        self, leaf: _Node, proposal: _GrowProposal, index: int
+    ) -> None:
+        """Split ``leaf`` according to a batched grow proposal.
+
+        The children's models are rebuilt from the proposal's partition
+        statistics (bit-identical to re-summing the partition, which is how
+        the reference path builds them) and the index lists from its mask —
+        no re-scan of the training buffers.
+        """
+        assert self._prior is not None
+        mask = proposal.mask
+        old_mask = mask[:-1]
+        indices = np.asarray(leaf.indices, dtype=np.intp)
+        left_indices = [int(i) for i in indices[old_mask]]
+        right_indices = [int(i) for i in indices[~old_mask]]
+        if bool(mask[-1]):
+            left_indices.append(index)
+        else:
+            right_indices.append(index)
+        left_model = GaussianLeafModel.from_sufficient_stats(
+            self._prior, proposal.n_left, proposal.sum_left, proposal.sum_sq_left
+        )
+        right_model = GaussianLeafModel.from_sufficient_stats(
+            self._prior, proposal.n_right, proposal.sum_right, proposal.sum_sq_right
+        )
+        left_child = _Node(leaf.depth + 1)
+        left_child.leaf = left_model
+        left_child.indices = left_indices
+        right_child = _Node(leaf.depth + 1)
+        right_child.leaf = right_model
+        right_child.indices = right_indices
+        leaf.leaf = None
+        leaf.indices = []
+        leaf.split_dim = proposal.dim
+        leaf.split_value = proposal.threshold
+        leaf.left = left_child
+        leaf.right = right_child
+
+    # --------------------------------------------------- reference propagate
 
     def _propagate(
         self, root: _Node, x: np.ndarray, y: float, index: int

@@ -8,25 +8,32 @@ particle's ``_Node`` tree once into flat NumPy arrays turns the same work
 into a handful of vectorized gathers per tree *level*.
 
 :class:`FlatTree` stores, per node, ``split_dim`` (``-1`` for leaves),
-``split_value`` and ``left``/``right`` child indices, and per *leaf* the
-cached posterior-predictive mean, variance and observation count of its
-:class:`~repro.models.leaf.GaussianLeafModel`.  :meth:`route` descends all
-rows level-by-level with array ops and returns **stable integer leaf ids**
-(positions in pre-order), which downstream code uses instead of fragile
-``id(node)`` dictionary keys.
+``split_value`` and ``left``/``right`` child indices, and per *leaf* a row
+of cached posterior statistics in a
+:class:`~repro.models.leaf.LeafCacheArrays`: the posterior-predictive mean,
+variance and observation count of its
+:class:`~repro.models.leaf.GaussianLeafModel`, plus the value-independent
+terms of the predictive log-pdf consumed by the batched SMC reweight step.
+:meth:`route` descends all rows level-by-level with array ops and returns
+**stable integer leaf ids** (positions in pre-order), which downstream code
+uses instead of fragile ``id(node)`` dictionary keys.
 
 A flat tree stays valid as long as the particle's *structure* is unchanged:
 a "stay" move only sharpens one leaf's sufficient statistics, which
 :meth:`patch_leaf` mirrors in O(1) without recompiling; "grow"/"prune"
 moves invalidate the compilation (the owner drops its cache and recompiles
-lazily).
+lazily).  Trees duplicated by a particle resample share one compilation
+copy-on-write: the owner copies the arrays only when a patch is about to
+land on a still-shared tree.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from .leaf import GaussianLeafModel, LeafCacheArrays
 
 __all__ = ["FlatTree", "FlatForest"]
 
@@ -47,9 +54,10 @@ class FlatTree:
         ``(n_nodes,)`` int array mapping a node index to its leaf id
         (``-1`` for internal nodes).  Leaf ids number the leaves in
         pre-order, so they are stable for a given structure.
-    leaf_mean, leaf_variance, leaf_count:
-        ``(n_leaves,)`` float arrays of cached posterior-predictive
-        quantities, one entry per leaf id.
+    caches:
+        :class:`~repro.models.leaf.LeafCacheArrays` with one row per leaf
+        id (``leaf_mean``/``leaf_variance``/``leaf_count`` are views of it,
+        kept for the established attribute surface).
     """
 
     __slots__ = (
@@ -58,11 +66,10 @@ class FlatTree:
         "left",
         "right",
         "leaf_slot",
-        "leaf_mean",
-        "leaf_variance",
-        "leaf_count",
+        "caches",
         "n_nodes",
         "n_leaves",
+        "_nav",
     )
 
     def __init__(
@@ -72,20 +79,41 @@ class FlatTree:
         left: np.ndarray,
         right: np.ndarray,
         leaf_slot: np.ndarray,
-        leaf_mean: np.ndarray,
-        leaf_variance: np.ndarray,
-        leaf_count: np.ndarray,
+        caches: LeafCacheArrays,
+        nav: Optional[Tuple[list, list, list, list, list]] = None,
     ) -> None:
         self.split_dim = split_dim
         self.split_value = split_value
         self.left = left
         self.right = right
         self.leaf_slot = leaf_slot
-        self.leaf_mean = leaf_mean
-        self.leaf_variance = leaf_variance
-        self.leaf_count = leaf_count
+        self.caches = caches
         self.n_nodes = int(split_dim.shape[0])
-        self.n_leaves = int(leaf_mean.shape[0])
+        self.n_leaves = len(caches)
+        # Plain-list mirror of the structure arrays for scalar descents:
+        # the batched reweight routes one point through every particle via
+        # route_one, and Python-list indexing beats numpy scalar extraction
+        # several-fold at that grain.  The structure never mutates after
+        # compilation (grow/prune recompile), so copies share the mirror.
+        self._nav = nav if nav is not None else (
+            split_dim.tolist(),
+            split_value.tolist(),
+            left.tolist(),
+            right.tolist(),
+            leaf_slot.tolist(),
+        )
+
+    @property
+    def leaf_mean(self) -> np.ndarray:
+        return self.caches.mean
+
+    @property
+    def leaf_variance(self) -> np.ndarray:
+        return self.caches.variance
+
+    @property
+    def leaf_count(self) -> np.ndarray:
+        return self.caches.count
 
     # ---------------------------------------------------------- compilation
 
@@ -97,9 +125,7 @@ class FlatTree:
         left: List[int] = []
         right: List[int] = []
         leaf_slot: List[int] = []
-        leaf_mean: List[float] = []
-        leaf_variance: List[float] = []
-        leaf_count: List[float] = []
+        leaves: List[GaussianLeafModel] = []
 
         def visit(node) -> int:
             index = len(split_dim)
@@ -108,10 +134,8 @@ class FlatTree:
                 split_value.append(0.0)
                 left.append(-1)
                 right.append(-1)
-                leaf_slot.append(len(leaf_mean))
-                leaf_mean.append(node.leaf.predictive_mean())
-                leaf_variance.append(node.leaf.predictive_variance())
-                leaf_count.append(float(node.leaf.count))
+                leaf_slot.append(len(leaves))
+                leaves.append(node.leaf)
             else:
                 split_dim.append(int(node.split_dim))
                 split_value.append(float(node.split_value))
@@ -129,22 +153,25 @@ class FlatTree:
             left=np.asarray(left, dtype=np.intp),
             right=np.asarray(right, dtype=np.intp),
             leaf_slot=np.asarray(leaf_slot, dtype=np.intp),
-            leaf_mean=np.asarray(leaf_mean, dtype=float),
-            leaf_variance=np.asarray(leaf_variance, dtype=float),
-            leaf_count=np.asarray(leaf_count, dtype=float),
+            caches=LeafCacheArrays.from_leaves(leaves),
         )
 
     def copy(self) -> "FlatTree":
-        """An independent copy (the leaf arrays are patched in place)."""
+        """An independent copy of the mutable state.
+
+        Only the leaf caches are ever patched in place, so the copy shares
+        the (immutable-after-compile) structure arrays and the scalar
+        navigation mirror — a resample duplicate costs one ``(n_leaves, 6)``
+        array copy.
+        """
         return FlatTree(
-            split_dim=self.split_dim.copy(),
-            split_value=self.split_value.copy(),
-            left=self.left.copy(),
-            right=self.right.copy(),
-            leaf_slot=self.leaf_slot.copy(),
-            leaf_mean=self.leaf_mean.copy(),
-            leaf_variance=self.leaf_variance.copy(),
-            leaf_count=self.leaf_count.copy(),
+            split_dim=self.split_dim,
+            split_value=self.split_value,
+            left=self.left,
+            right=self.right,
+            leaf_slot=self.leaf_slot,
+            caches=self.caches.copy(),
+            nav=self._nav,
         )
 
     # -------------------------------------------------------------- queries
@@ -170,29 +197,31 @@ class FlatTree:
             active = active[still_internal]
         return self.leaf_slot[nodes]
 
-    def route_one(self, x: np.ndarray) -> int:
-        """Leaf id of a single feature vector (scalar descent, no row setup)."""
+    def route_one(self, x) -> int:
+        """Leaf id of a single feature vector (scalar descent, no row setup).
+
+        ``x`` may be an array or a plain sequence; callers descending many
+        trees (the batched reweight) pass ``x.tolist()`` once so every
+        comparison is float-against-float.
+        """
+        split_dim, split_value, left, right, leaf_slot = self._nav
         index = 0
-        split_dim = self.split_dim
-        while split_dim[index] >= 0:
-            if x[split_dim[index]] <= self.split_value[index]:
-                index = int(self.left[index])
-            else:
-                index = int(self.right[index])
-        return int(self.leaf_slot[index])
+        dim = split_dim[0]
+        while dim >= 0:
+            index = left[index] if x[dim] <= split_value[index] else right[index]
+            dim = split_dim[index]
+        return leaf_slot[index]
 
     def predict_components(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Cached posterior-predictive ``(mean, variance)`` of every row."""
         leaf_ids = self.route(X)
-        return self.leaf_mean[leaf_ids], self.leaf_variance[leaf_ids]
+        return self.caches.mean[leaf_ids], self.caches.variance[leaf_ids]
 
     # ------------------------------------------------------------- patching
 
-    def patch_leaf(self, leaf_id: int, mean: float, variance: float, count: float) -> None:
+    def patch_leaf(self, leaf_id: int, leaf: GaussianLeafModel) -> None:
         """Refresh one leaf's cached statistics after a "stay" move."""
-        self.leaf_mean[leaf_id] = mean
-        self.leaf_variance[leaf_id] = variance
-        self.leaf_count[leaf_id] = count
+        self.caches.patch(leaf_id, leaf)
 
 
 class FlatForest:
@@ -218,9 +247,7 @@ class FlatForest:
         "left",
         "right",
         "leaf_slot",
-        "leaf_mean",
-        "leaf_variance",
-        "leaf_count",
+        "caches",
         "roots",
         "leaf_offsets",
         "n_particles",
@@ -234,9 +261,7 @@ class FlatForest:
         left: np.ndarray,
         right: np.ndarray,
         leaf_slot: np.ndarray,
-        leaf_mean: np.ndarray,
-        leaf_variance: np.ndarray,
-        leaf_count: np.ndarray,
+        caches: LeafCacheArrays,
         roots: np.ndarray,
         leaf_offsets: np.ndarray,
     ) -> None:
@@ -245,13 +270,23 @@ class FlatForest:
         self.left = left
         self.right = right
         self.leaf_slot = leaf_slot
-        self.leaf_mean = leaf_mean
-        self.leaf_variance = leaf_variance
-        self.leaf_count = leaf_count
+        self.caches = caches
         self.roots = roots
         self.leaf_offsets = leaf_offsets
         self.n_particles = int(roots.shape[0])
-        self.n_leaves = int(leaf_mean.shape[0])
+        self.n_leaves = len(caches)
+
+    @property
+    def leaf_mean(self) -> np.ndarray:
+        return self.caches.mean
+
+    @property
+    def leaf_variance(self) -> np.ndarray:
+        return self.caches.variance
+
+    @property
+    def leaf_count(self) -> np.ndarray:
+        return self.caches.count
 
     @classmethod
     def from_trees(cls, trees: Sequence[FlatTree]) -> "FlatForest":
@@ -262,33 +297,25 @@ class FlatForest:
         leaf_counts = np.asarray([tree.n_leaves for tree in trees], dtype=np.intp)
         node_offsets = np.concatenate([[0], np.cumsum(node_counts[:-1])]).astype(np.intp)
         leaf_offsets = np.concatenate([[0], np.cumsum(leaf_counts[:-1])]).astype(np.intp)
-        left = np.concatenate(
-            [
-                np.where(tree.left >= 0, tree.left + offset, -1)
-                for tree, offset in zip(trees, node_offsets)
-            ]
-        )
-        right = np.concatenate(
-            [
-                np.where(tree.right >= 0, tree.right + offset, -1)
-                for tree, offset in zip(trees, node_offsets)
-            ]
-        )
-        leaf_slot = np.concatenate(
-            [
-                np.where(tree.leaf_slot >= 0, tree.leaf_slot + offset, -1)
-                for tree, offset in zip(trees, leaf_offsets)
-            ]
-        )
+        # Shift child/leaf indices by their tree's offset in one vectorized
+        # pass over the concatenated arrays (a per-tree np.where would pay
+        # thousands of numpy dispatches per forest rebuild at paper-scale
+        # particle counts).
+        node_shift = np.repeat(node_offsets, node_counts)
+        leaf_shift = np.repeat(leaf_offsets, node_counts)
+        left = np.concatenate([tree.left for tree in trees])
+        right = np.concatenate([tree.right for tree in trees])
+        leaf_slot = np.concatenate([tree.leaf_slot for tree in trees])
+        left = np.where(left >= 0, left + node_shift, -1)
+        right = np.where(right >= 0, right + node_shift, -1)
+        leaf_slot = np.where(leaf_slot >= 0, leaf_slot + leaf_shift, -1)
         return cls(
             split_dim=np.concatenate([tree.split_dim for tree in trees]),
             split_value=np.concatenate([tree.split_value for tree in trees]),
             left=left,
             right=right,
             leaf_slot=leaf_slot,
-            leaf_mean=np.concatenate([tree.leaf_mean for tree in trees]),
-            leaf_variance=np.concatenate([tree.leaf_variance for tree in trees]),
-            leaf_count=np.concatenate([tree.leaf_count for tree in trees]),
+            caches=LeafCacheArrays.concatenate([tree.caches for tree in trees]),
             roots=node_offsets,
             leaf_offsets=leaf_offsets,
         )
@@ -314,7 +341,27 @@ class FlatForest:
             active = active[still_internal]
         return self.leaf_slot[nodes].reshape(self.n_particles, n)
 
+    def route_one(self, x: np.ndarray) -> np.ndarray:
+        """Global leaf ids of ONE row routed through every tree, shape ``(n_particles,)``.
+
+        This is the one-row-many-trees kernel behind the batched SMC update:
+        reweighting and the propagate front-end both need "which leaf holds
+        ``x``" for every particle, and this descends all particles together
+        in depth-many vectorized steps instead of ``n_particles`` Python
+        descents.
+        """
+        nodes = self.roots.copy()
+        active = np.flatnonzero(self.split_dim[nodes] >= 0)
+        while active.size:
+            current = nodes[active]
+            dims = self.split_dim[current]
+            go_left = x[dims] <= self.split_value[current]
+            nodes[active] = np.where(go_left, self.left[current], self.right[current])
+            still_internal = self.split_dim[nodes[active]] >= 0
+            active = active[still_internal]
+        return self.leaf_slot[nodes]
+
     def predict_components(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Per-particle predictive ``(mean, variance)``, each ``(n_particles, n_rows)``."""
         leaf_ids = self.route(X)
-        return self.leaf_mean[leaf_ids], self.leaf_variance[leaf_ids]
+        return self.caches.mean[leaf_ids], self.caches.variance[leaf_ids]

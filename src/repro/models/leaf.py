@@ -22,9 +22,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
-__all__ = ["NIGPrior", "GaussianLeafModel", "log_marginal_likelihood_from_stats"]
+import numpy as np
+
+__all__ = [
+    "NIGPrior",
+    "GaussianLeafModel",
+    "LeafCacheArrays",
+    "LMLCache",
+    "log_marginal_likelihood_from_stats",
+]
 
 _LOG_2PI = math.log(2.0 * math.pi)
 
@@ -43,6 +51,12 @@ class NIGPrior:
     kappa: float = 0.1
     alpha: float = 2.0
     beta: float = 0.5
+    #: Memoized count-only pieces of the predictive-log-pdf terms
+    #: (``dof``, ``coef``, ``lgamma(coef) - lgamma(dof/2)``) keyed by
+    #: observation count — they depend only on ``alpha`` and the count, and
+    #: every leaf sharing this prior reuses them.  Excluded from equality
+    #: and repr; mutating the dict does not violate the frozen contract.
+    _logpdf_count_terms: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.kappa <= 0:
@@ -86,7 +100,15 @@ class GaussianLeafModel:
     leaf), while the sufficient statistics only change on ``add``/``remove``.
     """
 
-    __slots__ = ("prior", "_count", "_sum", "_sum_sq", "_posterior_cache", "_lml_cache")
+    __slots__ = (
+        "prior",
+        "_count",
+        "_sum",
+        "_sum_sq",
+        "_posterior_cache",
+        "_lml_cache",
+        "_logpdf_terms_cache",
+    )
 
     def __init__(self, prior: NIGPrior) -> None:
         self.prior = prior
@@ -95,12 +117,14 @@ class GaussianLeafModel:
         self._sum_sq = 0.0
         self._posterior_cache: Optional[Tuple[float, float, float, float]] = None
         self._lml_cache: Optional[float] = None
+        self._logpdf_terms_cache: Optional[Tuple[float, float, float, float]] = None
 
     # ------------------------------------------------------------- updates
 
     def _invalidate(self) -> None:
         self._posterior_cache = None
         self._lml_cache = None
+        self._logpdf_terms_cache = None
 
     def copy(self) -> "GaussianLeafModel":
         clone = GaussianLeafModel(self.prior)
@@ -109,6 +133,7 @@ class GaussianLeafModel:
         clone._sum_sq = self._sum_sq
         clone._posterior_cache = self._posterior_cache
         clone._lml_cache = self._lml_cache
+        clone._logpdf_terms_cache = self._logpdf_terms_cache
         return clone
 
     def add(self, value: float) -> None:
@@ -175,6 +200,15 @@ class GaussianLeafModel:
             return self.prior.mean
         return self._sum / self._count
 
+    def sufficient_stats(self) -> Tuple[int, float, float]:
+        """``(count, sum, sum of squares)`` — the leaf's full mutable state.
+
+        The batched update path scores hypothetical leaves (stay adds the
+        new observation, prune merges the sibling) by arithmetic on these
+        statistics instead of mutating throwaway leaf copies.
+        """
+        return self._count, self._sum, self._sum_sq
+
     def posterior(self) -> Tuple[float, float, float, float]:
         """Posterior NIG parameters ``(mean, kappa, alpha, beta)`` (memoized)."""
         if self._posterior_cache is not None:
@@ -213,18 +247,46 @@ class GaussianLeafModel:
             return scale_sq * 10.0
         return scale_sq * dof / (dof - 2.0)
 
+    def predictive_logpdf_terms(self) -> Tuple[float, float, float, float]:
+        """``(mean, dof * scale_sq, coefficient, constant)`` of the predictive log-pdf.
+
+        The Student-t log density at ``v`` decomposes into a value-independent
+        part and a single ``log1p`` term::
+
+            logpdf(v) = const - coef * log1p((v - mean)**2 / dof_scale)
+
+        The four terms only change when the sufficient statistics do, so the
+        batched reweight step caches them in flat arrays (one entry per leaf)
+        and evaluates the whole particle set with one gather plus a scalar
+        ``math.log1p`` per particle.  The grouping of every operation here
+        mirrors the original single-expression implementation exactly, so the
+        decomposed evaluation is bit-identical to it.
+        """
+        if self._logpdf_terms_cache is not None:
+            return self._logpdf_terms_cache
+        mean_n, kappa_n, alpha_n, beta_n = self.posterior()
+        count_terms = self.prior._logpdf_count_terms.get(self._count)
+        if count_terms is None:
+            dof = 2.0 * alpha_n
+            coef = (dof + 1.0) / 2.0
+            count_terms = (
+                dof,
+                coef,
+                math.lgamma((dof + 1.0) / 2.0) - math.lgamma(dof / 2.0),
+            )
+            self.prior._logpdf_count_terms[self._count] = count_terms
+        dof, coef, lgamma_part = count_terms
+        scale_sq = beta_n * (kappa_n + 1.0) / (alpha_n * kappa_n)
+        const = lgamma_part - 0.5 * math.log(dof * math.pi * scale_sq)
+        result = (mean_n, dof * scale_sq, coef, const)
+        self._logpdf_terms_cache = result
+        return result
+
     def predictive_logpdf(self, value: float) -> float:
         """Log density of ``value`` under the posterior predictive Student-t."""
-        mean_n, kappa_n, alpha_n, beta_n = self.posterior()
-        dof = 2.0 * alpha_n
-        scale_sq = beta_n * (kappa_n + 1.0) / (alpha_n * kappa_n)
-        z_sq = (float(value) - mean_n) ** 2 / (dof * scale_sq)
-        return (
-            math.lgamma((dof + 1.0) / 2.0)
-            - math.lgamma(dof / 2.0)
-            - 0.5 * math.log(dof * math.pi * scale_sq)
-            - (dof + 1.0) / 2.0 * math.log1p(z_sq)
-        )
+        mean_n, dof_scale, coef, const = self.predictive_logpdf_terms()
+        z_sq = (float(value) - mean_n) ** 2 / dof_scale
+        return const - coef * math.log1p(z_sq)
 
     def log_marginal_likelihood(self) -> float:
         """Log marginal likelihood of all observations currently in the leaf.
@@ -284,3 +346,155 @@ def log_marginal_likelihood_from_stats(
         + 0.5 * (math.log(prior.kappa) - math.log(kappa_n))
         - (n / 2.0) * _LOG_2PI
     )
+
+
+class LMLCache:
+    """Memoized log-marginal-likelihood evaluation for one prior.
+
+    Of the terms in :func:`log_marginal_likelihood_from_stats`, everything
+    except ``alpha_n * log(beta_n)`` depends only on the observation *count*
+    — and the dynamic tree evaluates the marginal likelihood thousands of
+    times per update (two per candidate split, one per stay score) at a
+    handful of distinct counts.  This cache stores the count-only terms
+    (including both ``lgamma`` calls, the dominant cost) keyed by count, so
+    a cached evaluation reduces to the ``beta_n`` arithmetic plus one
+    ``math.log``.
+
+    Bit-compatibility: the cached terms are contiguous left-associated
+    prefixes of the original expression, computed with the same scalar
+    ``math`` calls, so :meth:`log_marginal_likelihood` returns bit-identical
+    values to :func:`log_marginal_likelihood_from_stats` (and to
+    :meth:`GaussianLeafModel.log_marginal_likelihood` on equal statistics).
+    This matters because the particle moves are *sampled* from these scores.
+    """
+
+    __slots__ = ("prior", "_terms_by_count")
+
+    def __init__(self, prior: NIGPrior) -> None:
+        self.prior = prior
+        self._terms_by_count: dict = {}
+
+    def _terms(self, n: int) -> Tuple[float, float, float, float, float]:
+        terms = self._terms_by_count.get(n)
+        if terms is None:
+            prior = self.prior
+            kappa_n = prior.kappa + n
+            alpha_n = prior.alpha + n / 2.0
+            head = (
+                math.lgamma(alpha_n)
+                - math.lgamma(prior.alpha)
+                + prior.alpha * math.log(prior.beta)
+            )
+            mid = 0.5 * (math.log(prior.kappa) - math.log(kappa_n))
+            tail = (n / 2.0) * _LOG_2PI
+            terms = (kappa_n, alpha_n, head, mid, tail)
+            self._terms_by_count[n] = terms
+        return terms
+
+    def log_marginal_likelihood(self, count: int, total: float, total_sq: float) -> float:
+        """Bit-identical twin of :func:`log_marginal_likelihood_from_stats`."""
+        n = int(count)
+        if n == 0:
+            return 0.0
+        prior = self.prior
+        kappa_n, alpha_n, head, mid, tail = self._terms(n)
+        mean = total / n
+        sum_sq_dev = max(total_sq - n * mean * mean, 0.0)
+        beta_n = (
+            prior.beta
+            + 0.5 * sum_sq_dev
+            + 0.5 * (prior.kappa * n * (mean - prior.mean) ** 2) / kappa_n
+        )
+        return ((head - alpha_n * math.log(beta_n)) + mid) - tail
+
+
+class LeafCacheArrays:
+    """Array-backed cached statistics for a *set* of leaves.
+
+    One row per leaf id, packed into a single ``(n_leaves, 6)`` matrix —
+    the posterior-predictive mean and variance, the observation count, and
+    the three value-independent terms of the predictive log-pdf (see
+    :meth:`GaussianLeafModel.predictive_logpdf_terms`).  This is the leaf
+    store behind :class:`~repro.models.flat_tree.FlatTree` /
+    :class:`~repro.models.flat_tree.FlatForest`: prediction and the ALC
+    score gather ``mean``/``variance`` (column views), the batched reweight
+    step reads whole rows via :meth:`logpdf_row`, and a "stay" move
+    refreshes the one affected row via :meth:`patch`.  The single
+    backing matrix is deliberate: copy-on-write resample copies, forest
+    concatenation and row patches each touch one array instead of six,
+    which is what keeps those paths off the per-particle numpy-dispatch
+    floor at paper-scale particle counts.
+
+    The per-row values are produced by the leaf models' memoized scalar
+    methods rather than by numpy transcendentals: ``np.log``/``np.log1p``
+    are *not* bit-identical to their ``math`` counterparts (SIMD
+    implementations round differently on ~1e-4 of inputs), and the particle
+    moves are sampled from scores built on these values, so a single
+    mismatched bit would silently fork seeded trajectories.
+    """
+
+    __slots__ = ("data",)
+
+    #: Column layout of :attr:`data`.
+    MEAN, VARIANCE, COUNT, LOGPDF_SCALE, LOGPDF_COEF, LOGPDF_CONST = range(6)
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = data
+
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def mean(self) -> np.ndarray:
+        return self.data[:, LeafCacheArrays.MEAN]
+
+    @property
+    def variance(self) -> np.ndarray:
+        return self.data[:, LeafCacheArrays.VARIANCE]
+
+    @property
+    def count(self) -> np.ndarray:
+        return self.data[:, LeafCacheArrays.COUNT]
+
+    @property
+    def logpdf_scale(self) -> np.ndarray:
+        return self.data[:, LeafCacheArrays.LOGPDF_SCALE]
+
+    @property
+    def logpdf_coef(self) -> np.ndarray:
+        return self.data[:, LeafCacheArrays.LOGPDF_COEF]
+
+    @property
+    def logpdf_const(self) -> np.ndarray:
+        return self.data[:, LeafCacheArrays.LOGPDF_CONST]
+
+    @classmethod
+    def from_leaves(cls, leaves: Sequence[GaussianLeafModel]) -> "LeafCacheArrays":
+        arrays = cls(np.empty((len(leaves), 6)))
+        for slot, leaf in enumerate(leaves):
+            arrays.patch(slot, leaf)
+        return arrays
+
+    @classmethod
+    def concatenate(cls, parts: Sequence["LeafCacheArrays"]) -> "LeafCacheArrays":
+        return cls(np.concatenate([part.data for part in parts], axis=0))
+
+    def copy(self) -> "LeafCacheArrays":
+        return LeafCacheArrays(self.data.copy())
+
+    def logpdf_row(self, slot: int) -> Tuple[float, float, float, float]:
+        """``(mean, dof_scale, coef, const)`` of one leaf, as Python floats."""
+        row = self.data[slot].tolist()
+        return row[0], row[3], row[4], row[5]
+
+    def patch(self, slot: int, leaf: GaussianLeafModel) -> None:
+        """Refresh one row from a leaf model's (memoized) posterior."""
+        mean, dof_scale, coef, const = leaf.predictive_logpdf_terms()
+        self.data[slot] = (
+            mean,
+            leaf.predictive_variance(),
+            float(leaf.count),
+            dof_scale,
+            coef,
+            const,
+        )

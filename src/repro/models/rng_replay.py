@@ -1,0 +1,277 @@
+"""Bulk replay of ``numpy.random.Generator`` scalar draws.
+
+The batched SMC update must consume the RNG stream *exactly* like the
+per-particle reference loop — the particle moves are sampled, so one extra
+or missing draw forks every seeded trajectory that follows.  That rules out
+``Generator.integers(..., size=n)`` batching (the grow-proposal draws
+interleave data-dependent bounds), and scalar ``Generator`` calls cost
+~1.4 µs each in dispatch overhead — at 5 000 particles × 25 draws per
+update, the draws alone would dominate the update.
+
+:class:`ReplayDraws` removes the dispatch cost while preserving the stream
+bit-for-bit: it snapshots the bit-generator state, pulls the raw 64-bit
+outputs in bulk via ``BitGenerator.random_raw`` and replays numpy's own
+scalar algorithms in Python —
+
+* ``integers(bound)`` (``bound <= 2**32``): Lemire's bounded rejection on
+  32-bit halves, low half first, with the *persistent* spare-half buffer
+  that numpy keeps in the bit-generator state (``has_uint32``/``uinteger``);
+* ``random()``: ``(next_uint64 >> 11) * 2**-53``.
+
+On :meth:`end` the bit generator is restored to its snapshot, advanced by
+exactly the number of raws consumed, and the spare-half buffer is written
+back — so ``Generator`` calls made afterwards (by the learner, by the
+reference path, by user code) continue the stream as if every replayed draw
+had been a real ``Generator`` call.  The replay is verified against
+``Generator`` behaviour by the equivalence tests; it supports the
+PCG64-family bit generators (64-bit raws + ``advance``), and
+:meth:`begin` returns ``False`` for anything else so callers can fall back
+to plain ``Generator`` calls.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ReplayDraws", "GeneratorDraws"]
+
+_MASK32 = (1 << 32) - 1
+_SUPPORTED = ("PCG64", "PCG64DXSM")
+
+
+class GeneratorDraws:
+    """Scalar-draw interface backed by plain ``Generator`` calls.
+
+    The fallback for bit generators :class:`ReplayDraws` does not support:
+    same stream, same values, just without the bulk-replay speedup.
+    """
+
+    __slots__ = ("_rng",)
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def integers(self, bound: int) -> int:
+        return int(self._rng.integers(bound))
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def draw_candidates(
+        self, dims: int, n_unique: Sequence[int], count: int
+    ) -> Tuple[List[int], List[int]]:
+        """The dynamic tree's grow-proposal draw sequence for one particle.
+
+        ``count`` times: draw a dimension, and — when that dimension has at
+        least two distinct values (``n_unique``) — a cut index below
+        ``n_unique[dim] - 1``.  Returns the kept ``(dims, cuts)`` pairs.
+        """
+        rng = self._rng
+        out_dims: List[int] = []
+        out_cuts: List[int] = []
+        for _ in range(count):
+            dim = int(rng.integers(dims))
+            n_values = n_unique[dim]
+            if n_values < 2:
+                continue
+            out_dims.append(dim)
+            out_cuts.append(int(rng.integers(n_values - 1)))
+        return out_dims, out_cuts
+
+
+class ReplayDraws:
+    """Replays a ``Generator``'s scalar draw stream from bulk raw output."""
+
+    __slots__ = (
+        "_bitgen",
+        "_raws",
+        "_cursor",
+        "_start_state",
+        "_buffer",
+        "_has_buffer",
+    )
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._bitgen = rng.bit_generator
+        self._raws: List[int] = []
+        self._cursor = 0
+        self._start_state = None
+        self._buffer = 0
+        self._has_buffer = False
+
+    def begin(self, expected: int) -> bool:
+        """Snapshot the generator and prefill ~``expected`` raw draws.
+
+        Returns ``False`` (and touches nothing) when the bit generator is
+        not a supported 64-bit-raw type.  Overshooting ``expected`` is
+        harmless — :meth:`end` rewinds to the snapshot and advances by the
+        *consumed* count only.
+        """
+        state = self._bitgen.state
+        if state.get("bit_generator") not in _SUPPORTED:
+            return False
+        self._start_state = state
+        self._buffer = int(state["uinteger"])
+        self._has_buffer = bool(state["has_uint32"])
+        self._raws = self._bitgen.random_raw(max(expected, 64)).tolist()
+        self._cursor = 0
+        return True
+
+    def _next_raw(self) -> int:
+        cursor = self._cursor
+        raws = self._raws
+        if cursor >= len(raws):
+            raws.extend(self._bitgen.random_raw(len(raws)).tolist())
+        value = raws[cursor]
+        self._cursor = cursor + 1
+        return value
+
+    def _next_half(self) -> int:
+        """numpy's buffered ``next_uint32``: low half first, spare kept."""
+        if self._has_buffer:
+            self._has_buffer = False
+            return self._buffer
+        raw = self._next_raw()
+        self._buffer = raw >> 32
+        self._has_buffer = True
+        return raw & _MASK32
+
+    def integers(self, bound: int) -> int:
+        """``int(Generator.integers(bound))`` for ``1 <= bound <= 2**32``."""
+        rng = bound - 1
+        if rng == 0:
+            return 0
+        # Lemire bounded rejection on 32-bit halves (numpy's
+        # buffered_bounded_lemire_uint32): the rejection threshold is only
+        # computed on the rare short-leftover path.
+        m = self._next_half() * bound
+        leftover = m & _MASK32
+        if leftover < bound:
+            threshold = (_MASK32 - rng) % bound
+            while leftover < threshold:
+                m = self._next_half() * bound
+                leftover = m & _MASK32
+        return m >> 32
+
+    def random(self) -> float:
+        """``Generator.random()``: one raw, top 53 bits, scaled exactly."""
+        return (self._next_raw() >> 11) * (1.0 / 9007199254740992.0)
+
+    def draw_candidates(
+        self, dims: int, n_unique: Sequence[int], count: int
+    ) -> Tuple[List[int], List[int]]:
+        """Fused :meth:`integers` loop for the grow-proposal draw sequence.
+
+        Semantically ``count`` iterations of "draw a dimension; when it has
+        at least two distinct values, draw a cut index" — exactly the calls
+        :class:`GeneratorDraws` makes — but with the replay cursor and
+        spare-half buffer kept in locals across the whole loop, because
+        this sequence accounts for nearly all scalar draws the dynamic tree
+        makes (two per split candidate per particle per update).
+        """
+        raws = self._raws
+        cursor = self._cursor
+        buffer = self._buffer
+        has_buffer = self._has_buffer
+        mask32 = _MASK32
+        dim_rng = dims - 1
+        out_dims: List[int] = []
+        out_cuts: List[int] = []
+        for _ in range(count):
+            if dim_rng == 0:
+                dim = 0
+            else:
+                if has_buffer:
+                    half = buffer
+                    has_buffer = False
+                else:
+                    if cursor >= len(raws):
+                        raws.extend(self._bitgen.random_raw(len(raws)).tolist())
+                    raw = raws[cursor]
+                    cursor += 1
+                    buffer = raw >> 32
+                    has_buffer = True
+                    half = raw & mask32
+                m = half * dims
+                leftover = m & mask32
+                if leftover < dims:
+                    threshold = (mask32 - dim_rng) % dims
+                    while leftover < threshold:
+                        if has_buffer:
+                            half = buffer
+                            has_buffer = False
+                        else:
+                            if cursor >= len(raws):
+                                raws.extend(
+                                    self._bitgen.random_raw(len(raws)).tolist()
+                                )
+                            raw = raws[cursor]
+                            cursor += 1
+                            buffer = raw >> 32
+                            has_buffer = True
+                            half = raw & mask32
+                        m = half * dims
+                        leftover = m & mask32
+                dim = m >> 32
+            n_values = n_unique[dim]
+            if n_values < 2:
+                continue
+            bound = n_values - 1
+            if bound == 1:
+                cut = 0
+            else:
+                if has_buffer:
+                    half = buffer
+                    has_buffer = False
+                else:
+                    if cursor >= len(raws):
+                        raws.extend(self._bitgen.random_raw(len(raws)).tolist())
+                    raw = raws[cursor]
+                    cursor += 1
+                    buffer = raw >> 32
+                    has_buffer = True
+                    half = raw & mask32
+                m = half * bound
+                leftover = m & mask32
+                if leftover < bound:
+                    threshold = (mask32 - (bound - 1)) % bound
+                    while leftover < threshold:
+                        if has_buffer:
+                            half = buffer
+                            has_buffer = False
+                        else:
+                            if cursor >= len(raws):
+                                raws.extend(
+                                    self._bitgen.random_raw(len(raws)).tolist()
+                                )
+                            raw = raws[cursor]
+                            cursor += 1
+                            buffer = raw >> 32
+                            has_buffer = True
+                            half = raw & mask32
+                        m = half * bound
+                        leftover = m & mask32
+                cut = m >> 32
+            out_dims.append(dim)
+            out_cuts.append(cut)
+        self._cursor = cursor
+        self._buffer = buffer
+        self._has_buffer = has_buffer
+        return out_dims, out_cuts
+
+    def end(self) -> None:
+        """Rewind to the snapshot, advance by the consumed raws, restore the buffer."""
+        bitgen = self._bitgen
+        assert self._start_state is not None
+        bitgen.state = self._start_state
+        if self._cursor:
+            bitgen.advance(self._cursor)
+        state = bitgen.state
+        state["has_uint32"] = int(self._has_buffer)
+        state["uinteger"] = int(self._buffer) if self._has_buffer else 0
+        bitgen.state = state
+        self._start_state = None
+        self._raws = []
+        self._cursor = 0

@@ -1,0 +1,445 @@
+"""Equivalence tests for the batched SMC update kernel.
+
+The batched update path (reweight via cached log-pdf terms, copy-on-write
+systematic resample, three-phase propagate) must replay the per-particle
+reference implementation *bit for bit*: particle moves are sampled from
+scores and the resample decision from weights, so a single differing bit —
+or a single extra RNG draw — forks every seeded trajectory that follows.
+These tests drive long seeded trajectories through both paths (exercising
+stay, grow, prune and resample events), check the copy-on-write sharing
+invariants directly, replay the RNG frontend against ``Generator``, and pin
+the fixed systematic resampler's behaviour on adversarial weight vectors.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.models.dynamic_tree import DynamicTreeConfig, DynamicTreeRegressor
+from repro.models.leaf import (
+    GaussianLeafModel,
+    LeafCacheArrays,
+    LMLCache,
+    NIGPrior,
+    log_marginal_likelihood_from_stats,
+)
+from repro.models.rng_replay import GeneratorDraws, ReplayDraws
+
+
+def _piecewise_data(n, dims, seed, noise=0.3):
+    """Noisy piecewise targets: trees grow, and the noise forces prunes and
+    weight degeneracy (hence resamples)."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-2, 2, size=(n, dims))
+    y = (
+        np.where(X[:, 0] > 0.3, 2.0, -1.0)
+        + 0.4 * X[:, 1]
+        + rng.normal(0, noise, size=n)
+    )
+    return X, y
+
+
+def _paired_models(seed, particles=20, resample_threshold=0.9):
+    """The same seeded model in batched and reference configuration."""
+    batched = DynamicTreeRegressor(
+        DynamicTreeConfig(
+            n_particles=particles,
+            resample_threshold=resample_threshold,
+            vectorized=True,
+        ),
+        rng=np.random.default_rng(seed),
+    )
+    reference = DynamicTreeRegressor(
+        DynamicTreeConfig(
+            n_particles=particles,
+            resample_threshold=resample_threshold,
+            vectorized=False,
+        ),
+        rng=np.random.default_rng(seed),
+    )
+    return batched, reference
+
+
+class TestTrajectoryBitIdentity:
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_update_trajectory_matches_reference_bitwise(self, seed):
+        """Seeded fit + update trajectories agree to the last bit.
+
+        Predictions, ALC scores and tree shapes are compared after every
+        observation; the workload is chosen so that stay, grow, prune and
+        resample events all occur (asserted below — a trajectory that never
+        prunes or resamples would not prove much).
+        """
+        X, y = _piecewise_data(130, 4, seed)
+        batched, reference = _paired_models(seed + 1)
+
+        prunes = 0
+        original_prune = DynamicTreeRegressor._apply_prune
+
+        def counting_prune(self, *args, **kwargs):
+            nonlocal prunes
+            prunes += 1
+            return original_prune(self, *args, **kwargs)
+
+        resamples = 0
+        original_systematic = DynamicTreeRegressor._systematic_indices
+
+        def counting_systematic(self, *args, **kwargs):
+            nonlocal resamples
+            resamples += 1
+            return original_systematic(self, *args, **kwargs)
+
+        DynamicTreeRegressor._apply_prune = counting_prune
+        DynamicTreeRegressor._systematic_indices = counting_systematic
+        try:
+            batched.fit(X[:50], y[:50])
+            reference.fit(X[:50], y[:50])
+            probes = np.random.default_rng(seed + 2).uniform(-2, 2, size=(9, 4))
+            for i in range(50, 130):
+                batched.update(X[i], float(y[i]))
+                reference.update(X[i], float(y[i]))
+                fast = batched.predict(probes)
+                slow = reference.predict(probes)
+                assert fast.mean.tolist() == slow.mean.tolist(), f"step {i}"
+                assert fast.variance.tolist() == slow.variance.tolist(), f"step {i}"
+            assert batched.leaf_counts() == reference.leaf_counts()
+            alc_fast = batched.expected_average_variance(probes[:4], probes[4:])
+            alc_slow = reference.expected_average_variance_reference(
+                probes[:4], probes[4:]
+            )
+            np.testing.assert_allclose(alc_fast, alc_slow, rtol=1e-12)
+        finally:
+            DynamicTreeRegressor._apply_prune = original_prune
+            DynamicTreeRegressor._systematic_indices = original_systematic
+
+        # Move-type coverage: both paths pruned and resampled along the way
+        # (counts include both models, and grows are implied by leaf counts).
+        assert prunes > 0, "trajectory never pruned; weaken the noise seed"
+        assert resamples > 0, "trajectory never resampled"
+        assert max(batched.leaf_counts()) > 1, "trajectory never grew"
+
+    def test_fallback_generator_draws_trajectory(self):
+        """A non-PCG64 bit generator falls back to plain Generator draws
+        and still matches the reference path bit for bit."""
+        X, y = _piecewise_data(70, 3, 11)
+        batched = DynamicTreeRegressor(
+            DynamicTreeConfig(n_particles=10, resample_threshold=0.9),
+            rng=np.random.Generator(np.random.MT19937(5)),
+        )
+        reference = DynamicTreeRegressor(
+            DynamicTreeConfig(
+                n_particles=10, resample_threshold=0.9, vectorized=False
+            ),
+            rng=np.random.Generator(np.random.MT19937(5)),
+        )
+        batched.fit(X[:30], y[:30])
+        reference.fit(X[:30], y[:30])
+        probes = X[:6]
+        for i in range(30, 70):
+            batched.update(X[i], float(y[i]))
+            reference.update(X[i], float(y[i]))
+        fast = batched.predict(probes)
+        slow = reference.predict(probes)
+        assert fast.mean.tolist() == slow.mean.tolist()
+        assert batched.leaf_counts() == reference.leaf_counts()
+
+
+class TestCopyOnWriteResample:
+    def _shared_node_map(self, model):
+        """node id -> set of particle indices referencing it."""
+        owners = {}
+
+        def visit(node, particle):
+            owners.setdefault(id(node), (node, set()))[1].add(particle)
+            if node.left is not None:
+                visit(node.left, particle)
+                visit(node.right, particle)
+
+        for index, root in enumerate(model._particles):
+            visit(root, index)
+        return owners
+
+    def test_shared_nodes_are_always_protected_by_a_flag(self):
+        """Every multiply-referenced node sits under a ``shared`` flag.
+
+        The copy-on-write flags propagate lazily: duplicating a particle
+        flags only the root, and cloning a flagged node flags its children.
+        The soundness invariant is therefore not "every shared node is
+        flagged" but "on every path from a root to a shared node, some
+        node at-or-above it is flagged" — mutation walks from the root and
+        clones at the first flag, so a protected node can never be reached
+        for in-place mutation.
+        """
+        X, y = _piecewise_data(110, 4, 3)
+        model = DynamicTreeRegressor(
+            DynamicTreeConfig(n_particles=24, resample_threshold=1.0),
+            rng=np.random.default_rng(9),
+        )
+        model.fit(X[:60], y[:60])
+        for i in range(60, 110):
+            model.update(X[i], float(y[i]))
+            owners = self._shared_node_map(model)
+
+            def check(node, protected, particle):
+                protected = protected or node.shared
+                if len(owners[id(node)][1]) > 1:
+                    assert protected, (
+                        f"unprotected node shared by "
+                        f"{sorted(owners[id(node)][1])} (seen from {particle})"
+                    )
+                if node.left is not None:
+                    check(node.left, protected, particle)
+                    check(node.right, protected, particle)
+
+            for index, root in enumerate(model._particles):
+                check(root, False, index)
+
+    def test_no_aliased_mutable_leaf_state_after_updates(self):
+        """Mutating one particle never changes another's prediction.
+
+        After a resample duplicates particles, each one's leaf models must
+        behave as private state: absorbing further observations through the
+        normal update path must keep every particle's per-node predictions
+        identical to an eagerly-deep-copied reference twin.
+        """
+        X, y = _piecewise_data(120, 3, 21)
+        batched, reference = _paired_models(4, particles=16, resample_threshold=1.0)
+        batched.fit(X[:50], y[:50])
+        reference.fit(X[:50], y[:50])
+        probes = X[:8]
+        for i in range(50, 120):
+            batched.update(X[i], float(y[i]))
+            reference.update(X[i], float(y[i]))
+        # Per-particle comparison (not just the mixture): particle k of the
+        # copy-on-write model must equal particle k of the eager-copy model.
+        for k in range(batched.n_particles):
+            fast_root = batched._particles[k]
+            slow_root = reference._particles[k]
+            for row in probes:
+                fast_leaf = fast_root.descend(row)
+                slow_leaf = slow_root.descend(row)
+                assert fast_leaf.leaf.predictive_mean() == slow_leaf.leaf.predictive_mean()
+                assert fast_leaf.leaf.count == slow_leaf.leaf.count
+
+    def test_shared_flat_compilations_are_copied_before_patch(self):
+        """Two particles never patch the same FlatTree caches object."""
+        X, y = _piecewise_data(100, 3, 8)
+        model = DynamicTreeRegressor(
+            DynamicTreeConfig(n_particles=16, resample_threshold=1.0),
+            rng=np.random.default_rng(2),
+        )
+        model.fit(X[:60], y[:60])
+        for i in range(60, 100):
+            model.update(X[i], float(y[i]))
+            seen = {}
+            for index, flat in enumerate(model._flat):
+                if flat is None:
+                    continue
+                other = seen.setdefault(id(flat.caches.data), index)
+                if other != index:
+                    assert model._flat_shared[index] or model._flat_shared[other], (
+                        f"particles {other} and {index} share leaf caches unflagged"
+                    )
+
+
+class TestSystematicResampler:
+    """Regression tests for the fixed systematic resampling loop."""
+
+    def _indices(self, weights, uniform, particles=None):
+        model = DynamicTreeRegressor(DynamicTreeConfig(n_particles=2))
+        return model._systematic_indices(np.asarray(weights, dtype=float), uniform)
+
+    def test_drifted_cumsum_keeps_last_stratum_unbiased(self):
+        """A cumulative sum that drifts below 1.0 must still map the last
+        stratum into the final particle's true interval — not fall off the
+        end of the array."""
+        weights = np.full(10, 0.1)
+        cumulative = np.cumsum(weights)
+        assert cumulative[-1] != 1.0  # the adversarial premise: drift exists
+        chosen = self._indices(weights, 0.999999999)
+        assert len(chosen) == 10
+        assert all(0 <= j <= 9 for j in chosen)
+        # Equal weights + systematic positions => exactly one pick per stratum.
+        assert chosen == list(range(10))
+
+    def test_position_beyond_drifted_mass_selects_last_particle(self):
+        """Positions between the drifted total and 1.0 belong to the last
+        particle (its stratum is (cum[-2], 1] once the total is pinned)."""
+        weights = np.array([0.3, 0.3, 0.4]) * (1.0 - 5e-16)
+        weights /= weights.sum()
+        chosen = self._indices(weights, 1.0 - 1e-12)
+        assert chosen[-1] == 2
+
+    def test_adversarial_tiny_tail_weights(self):
+        """A tail of zero-mass particles never steals the last stratum."""
+        weights = np.array([0.5, 0.5 - 6e-17, 2e-17, 2e-17, 2e-17])
+        weights = weights / weights.sum()
+        chosen = self._indices(weights, 0.99)
+        # The last position (0.99 + 4)/5 = 0.998 lies inside particle 1's
+        # stratum (~[0.5, 1.0)); the near-zero tail particles must not win
+        # it by virtue of being stored last.
+        assert chosen[-1] == 1
+
+    def test_degenerate_single_heavy_weight(self):
+        weights = np.zeros(8)
+        weights[3] = 1.0
+        chosen = self._indices(weights, 0.5)
+        assert chosen == [3] * 8
+
+    def test_counts_proportional_to_weights(self):
+        # Four strata over [0, 1): positions 0.0025/0.2525/0.5025/0.7525
+        # against cumulative [0.5, 0.75, 0.875, 1.0].
+        weights = np.array([0.5, 0.25, 0.125, 0.125])
+        chosen = self._indices(np.asarray(weights), 0.01)
+        assert chosen == [0, 0, 1, 2]
+        # Systematic sampling guarantee: a particle with weight w gets
+        # floor(n*w) to ceil(n*w) copies.
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            n = int(rng.integers(3, 20))
+            w = rng.dirichlet(np.ones(n))
+            counts = np.bincount(self._indices(w, rng.random()), minlength=n)
+            for k in range(n):
+                assert math.floor(n * w[k]) <= counts[k] <= math.ceil(n * w[k]) + 1
+
+    def test_indices_are_sorted_and_in_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            n = int(rng.integers(2, 30))
+            weights = rng.dirichlet(np.full(n, 0.05))
+            chosen = self._indices(weights, rng.random())
+            assert chosen == sorted(chosen)
+            assert 0 <= min(chosen) and max(chosen) < n
+
+
+class TestReplayDraws:
+    """The bulk RNG replay must be indistinguishable from Generator calls."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 17, 99])
+    def test_mixed_draw_stream_matches_generator(self, seed):
+        reference = np.random.default_rng(seed)
+        replayed = np.random.default_rng(seed)
+        # Warm up through the Generator so a spare 32-bit half may be pending.
+        script = np.random.default_rng(seed + 1000)
+        for _ in range(int(script.integers(4))):
+            reference.integers(7)
+            replayed.integers(7)
+        replay = ReplayDraws(replayed)
+        assert replay.begin(32)
+        for step in range(300):
+            kind = int(script.integers(3))
+            if kind == 0:
+                bound = int(script.integers(1, 50))
+                assert replay.integers(bound) == int(reference.integers(bound)), step
+            elif kind == 1:
+                assert replay.random() == reference.random(), step
+            else:
+                dims = int(script.integers(1, 8))
+                n_unique = [int(v) for v in script.integers(1, 30, size=dims)]
+                count = int(script.integers(1, 6))
+                got = replay.draw_candidates(dims, n_unique, count)
+                want_dims, want_cuts = [], []
+                for _ in range(count):
+                    dim = int(reference.integers(dims))
+                    if n_unique[dim] < 2:
+                        continue
+                    want_dims.append(dim)
+                    want_cuts.append(int(reference.integers(n_unique[dim] - 1)))
+                assert got == (want_dims, want_cuts), step
+        replay.end()
+        # The stream position (and any spare half) carried over exactly.
+        for _ in range(50):
+            assert int(reference.integers(1000)) == int(replayed.integers(1000))
+            assert reference.random() == replayed.random()
+
+    def test_generator_draws_consume_identically(self):
+        a = np.random.default_rng(5)
+        b = np.random.default_rng(5)
+        draws = GeneratorDraws(a)
+        assert draws.integers(12) == int(b.integers(12))
+        assert draws.draw_candidates(3, [5, 1, 9], 4) is not None
+        for _ in range(4):
+            dim = int(b.integers(3))
+            if [5, 1, 9][dim] >= 2:
+                b.integers([5, 1, 9][dim] - 1)
+        assert draws.random() == b.random()
+
+    def test_unsupported_bit_generator_declines(self):
+        rng = np.random.Generator(np.random.MT19937(0))
+        replay = ReplayDraws(rng)
+        assert not replay.begin(16)
+
+
+class TestLeafCacheEquivalence:
+    def test_lml_cache_matches_from_stats_bitwise(self):
+        prior = NIGPrior(mean=0.7, kappa=0.1, alpha=3.0, beta=0.4)
+        cache = LMLCache(prior)
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            n = int(rng.integers(0, 60))
+            total = float(rng.normal() * 10.0 ** rng.integers(-3, 4))
+            total_sq = abs(total) * float(rng.uniform(0.5, 4.0)) + n * 0.1
+            assert cache.log_marginal_likelihood(n, total, total_sq) == (
+                log_marginal_likelihood_from_stats(prior, n, total, total_sq)
+            )
+
+    def test_lml_cache_matches_leaf_objects(self):
+        prior = NIGPrior(mean=-0.2, kappa=0.1, alpha=3.0, beta=0.9)
+        cache = LMLCache(prior)
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            values = rng.normal(1.5, 0.8, size=int(rng.integers(1, 25)))
+            leaf = GaussianLeafModel.from_values(prior, [float(v) for v in values])
+            n, total, total_sq = leaf.sufficient_stats()
+            assert cache.log_marginal_likelihood(n, total, total_sq) == (
+                leaf.log_marginal_likelihood()
+            )
+
+    def test_logpdf_terms_decomposition_matches_direct_formula(self):
+        """``const - coef*log1p(z)`` equals the original one-expression
+        Student-t log-pdf bit for bit."""
+        prior = NIGPrior(mean=0.3, kappa=0.1, alpha=3.0, beta=0.6)
+        rng = np.random.default_rng(2)
+        for _ in range(200):
+            leaf = GaussianLeafModel.from_values(
+                prior, [float(v) for v in rng.normal(2.0, 1.0, int(rng.integers(1, 20)))]
+            )
+            value = float(rng.normal(2.0, 3.0))
+            mean_n, kappa_n, alpha_n, beta_n = leaf.posterior()
+            dof = 2.0 * alpha_n
+            scale_sq = beta_n * (kappa_n + 1.0) / (alpha_n * kappa_n)
+            z_sq = (value - mean_n) ** 2 / (dof * scale_sq)
+            direct = (
+                math.lgamma((dof + 1.0) / 2.0)
+                - math.lgamma(dof / 2.0)
+                - 0.5 * math.log(dof * math.pi * scale_sq)
+                - (dof + 1.0) / 2.0 * math.log1p(z_sq)
+            )
+            assert leaf.predictive_logpdf(value) == direct
+
+    def test_cache_arrays_roundtrip(self):
+        prior = NIGPrior(mean=0.0, kappa=0.1, alpha=3.0, beta=0.5)
+        rng = np.random.default_rng(3)
+        leaves = [
+            GaussianLeafModel.from_values(
+                prior, [float(v) for v in rng.normal(size=int(rng.integers(1, 10)))]
+            )
+            for _ in range(7)
+        ]
+        arrays = LeafCacheArrays.from_leaves(leaves)
+        for slot, leaf in enumerate(leaves):
+            assert arrays.mean[slot] == leaf.predictive_mean()
+            assert arrays.variance[slot] == leaf.predictive_variance()
+            assert arrays.count[slot] == leaf.count
+            mean, scale, coef, const = arrays.logpdf_row(slot)
+            want = leaf.predictive_logpdf_terms()
+            assert (mean, scale, coef, const) == want
+        # Copies are independent: patching one never leaks into the other.
+        clone = arrays.copy()
+        leaves[0].add(10.0)
+        clone.patch(0, leaves[0])
+        assert clone.mean[0] != arrays.mean[0]
+        assert arrays.mean[1] == clone.mean[1]

@@ -104,6 +104,70 @@ class TestAcquisition:
         with pytest.raises(KeyError):
             make_acquisition("bogus")
 
+    def test_tie_break_large_magnitude_scores(self):
+        """Float-noise duplicates of a large-magnitude best score are tied.
+
+        With the old absolute ``best - 1e-15`` band, a 1-ulp difference at
+        magnitude 1e6 (~1.2e-10, far above the band) excluded the duplicate
+        and the 'random' tie break always returned the rounding-accident
+        winner.
+        """
+
+        class _Scored(ALMAcquisition):
+            def score(self, model, candidates, reference, rng):
+                best = -1e6
+                return np.array(
+                    [best - 2.0, np.nextafter(best, -np.inf), best, best - 1.0]
+                )
+
+        picks = {
+            _Scored().select(None, np.zeros((4, 2)), np.zeros((1, 2)), np.random.default_rng(seed))
+            for seed in range(40)
+        }
+        assert picks == {1, 2}
+
+    def test_tie_break_small_magnitude_scores(self):
+        """Genuinely different tiny scores are NOT lumped together.
+
+        The old absolute 1e-15 band dwarfed scores of magnitude ~1e-18
+        (negated ALC variances near the noise floor), treating candidates
+        that differ by three orders of magnitude as ties.
+        """
+
+        class _Scored(ALMAcquisition):
+            def score(self, model, candidates, reference, rng):
+                return np.array([-5e-18, -1e-18, -4e-16, -2e-18])
+
+        picks = {
+            _Scored().select(None, np.zeros((4, 2)), np.zeros((1, 2)), np.random.default_rng(seed))
+            for seed in range(40)
+        }
+        assert picks == {1}
+
+    def test_tie_break_exact_ties_uniform(self):
+        """Exact ties (identical-leaf candidates) are drawn from uniformly."""
+
+        class _Scored(ALMAcquisition):
+            def score(self, model, candidates, reference, rng):
+                return np.array([0.5, 0.7, 0.7, 0.1])
+
+        picks = {
+            _Scored().select(None, np.zeros((4, 2)), np.zeros((1, 2)), np.random.default_rng(seed))
+            for seed in range(40)
+        }
+        assert picks == {1, 2}
+
+    def test_tie_break_zero_best_degrades_to_exact(self):
+        class _Scored(ALMAcquisition):
+            def score(self, model, candidates, reference, rng):
+                return np.array([-1e-300, 0.0, -5e-301])
+
+        picks = {
+            _Scored().select(None, np.zeros((3, 2)), np.zeros((1, 2)), np.random.default_rng(seed))
+            for seed in range(20)
+        }
+        assert picks == {1}
+
     def test_alc_with_real_dynamic_tree_prefers_sparse_noisy_region(self, rng):
         """A candidate in a barely-sampled region must score at least as well
         (lower expected remaining variance is better) than one in a densely

@@ -196,3 +196,154 @@ class TestFigure5And6:
             "jacobi",
             "mvt",
         )
+
+
+class TestPaperScaleSmoke:
+    def test_smoke_runner_completes_end_to_end(self):
+        """The paper-scale entry point runs Algorithm 1 end to end.
+
+        Scaled down (50 particles, 12 examples) so the test is fast; the
+        real 5000-particle configuration is exercised by
+        ``run_all --paper-scale-smoke`` / ``repro.experiments.paper_scale``.
+        """
+        from repro.experiments.paper_scale import run_paper_scale_smoke
+
+        result = run_paper_scale_smoke(
+            benchmark="mm",
+            training_examples=12,
+            particles=50,
+            candidates=25,
+            test_size=40,
+        )
+        assert result.particles == 50
+        assert result.training_examples == 12
+        assert result.final_rmse > 0
+        assert result.wall_seconds > 0
+        rendered = result.render()
+        assert "Paper-scale smoke run" in rendered
+        assert "training examples    : 12" in rendered
+
+    def test_paper_scale_defaults_match_the_paper(self):
+        """Without overrides the smoke uses the paper's model settings."""
+        import dataclasses
+
+        from repro.core.learner import LearnerConfig
+
+        config = LearnerConfig.paper_scale()
+        config = dataclasses.replace(config, max_training_examples=40)
+        assert config.tree_particles == 5000
+        assert config.n_candidates == 500
+
+    def test_run_all_flag_dispatches_to_smoke(self, capsys, monkeypatch):
+        import importlib
+
+        run_all_module = importlib.import_module("repro.experiments.run_all")
+        from repro.experiments.paper_scale import PaperScaleSmokeResult
+
+        calls = {}
+
+        def fake_smoke(benchmark, training_examples):
+            calls["benchmark"] = benchmark
+            calls["examples"] = training_examples
+            return PaperScaleSmokeResult(
+                benchmark=benchmark,
+                particles=5000,
+                candidates=500,
+                training_examples=training_examples,
+                wall_seconds=1.0,
+                seconds_per_example=0.1,
+                final_rmse=0.5,
+                best_rmse=0.4,
+                simulated_cost_seconds=10.0,
+            )
+
+        monkeypatch.setattr(run_all_module, "run_paper_scale_smoke", fake_smoke)
+        assert (
+            run_all_module.main(
+                ["--paper-scale-smoke", "--smoke-benchmark", "adi", "--smoke-examples", "17"]
+            )
+            == 0
+        )
+        assert calls == {"benchmark": "adi", "examples": 17}
+        assert "Paper-scale smoke run" in capsys.readouterr().out
+
+
+class TestCheckRegressionGate:
+    """The BENCH_model.json perf gate (benchmarks/check_regression.py)."""
+
+    @pytest.fixture()
+    def gate(self):
+        import importlib.util
+        import pathlib
+
+        path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "check_regression.py"
+        )
+        spec = importlib.util.spec_from_file_location("check_regression", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    @staticmethod
+    def _payload(**means):
+        return {
+            "benchmarks": [
+                {
+                    "name": name,
+                    "group": "model-update" if "update" in name else "predict-alc",
+                    "stats": {"mean": mean},
+                }
+                for name, mean in means.items()
+            ]
+        }
+
+    def test_passes_when_within_threshold(self, gate):
+        baseline = self._payload(update_bench=1.0, alc_bench=0.5)
+        current = self._payload(update_bench=1.1, alc_bench=0.45)
+        regressions, notes = gate.compare(baseline, current)
+        assert regressions == []
+        assert any("IMPROVED" in line for line in notes)
+
+    def test_fails_on_regression_beyond_threshold(self, gate):
+        baseline = self._payload(update_bench=1.0)
+        current = self._payload(update_bench=1.3)
+        regressions, _ = gate.compare(baseline, current)
+        assert len(regressions) == 1
+        assert "update_bench" in regressions[0]
+
+    def test_new_and_retired_benchmarks_never_fail(self, gate):
+        baseline = self._payload(old_update_bench=1.0)
+        current = self._payload(new_update_bench=2.0)
+        regressions, notes = gate.compare(baseline, current)
+        assert regressions == []
+        assert any("NEW" in line for line in notes)
+        assert any("RETIRED" in line for line in notes)
+
+    def test_only_gated_groups_are_compared(self, gate):
+        baseline = {
+            "benchmarks": [
+                {"name": "figure_bench", "group": "figure1", "stats": {"mean": 1.0}}
+            ]
+        }
+        current = {
+            "benchmarks": [
+                {"name": "figure_bench", "group": "figure1", "stats": {"mean": 9.0}}
+            ]
+        }
+        regressions, notes = gate.compare(baseline, current)
+        assert regressions == []
+        assert notes == []
+
+    def test_gate_against_committed_baseline(self, gate):
+        """The real invocation path: current BENCH_model.json vs git HEAD."""
+        current = gate.BENCH_JSON
+        if not current.is_file():
+            pytest.skip("no BENCH_model.json in the working tree")
+        baseline = gate._load_baseline("HEAD")
+        if baseline is None:
+            pytest.skip("no committed BENCH_model.json at HEAD")
+        payload = __import__("json").loads(current.read_text("utf-8"))
+        regressions, _ = gate.compare(baseline, payload, threshold=1e9)
+        assert regressions == []

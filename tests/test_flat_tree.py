@@ -82,6 +82,18 @@ class TestFlatTreeRouting:
                 forest_ids[p] - forest.leaf_offsets[p], local
             )
 
+    def test_forest_route_one_matches_per_tree_route_one(self):
+        """The one-row-many-trees kernel agrees with per-tree scalar descents."""
+        model, rng = _grown_model(13)
+        trees = [FlatTree.compile(root) for root in model._particles]
+        forest = FlatForest.from_trees(trees)
+        for _ in range(10):
+            x = rng.uniform(-2.5, 2.5, size=4)
+            global_ids = forest.route_one(x)
+            assert global_ids.shape == (len(trees),)
+            for p, tree in enumerate(trees):
+                assert global_ids[p] - forest.leaf_offsets[p] == tree.route_one(x)
+
     def test_single_leaf_tree(self):
         model = DynamicTreeRegressor(
             DynamicTreeConfig(n_particles=3), rng=np.random.default_rng(0)

@@ -194,6 +194,113 @@ class TestGaussianProcess:
         with pytest.raises(RuntimeError):
             gp.predict(np.zeros((1, 2)))
 
+    def test_rank1_update_matches_full_refit(self, rng):
+        """The rank-1 Cholesky extension is equivalent to refactoring.
+
+        With the hyper-parameters pinned by overrides, the incremental
+        factor and a from-scratch ``cho_factor`` describe the same matrix,
+        so predictions and ALC scores must agree to numerical precision
+        however the observations arrived.
+        """
+        X = rng.uniform(-1, 1, size=(40, 3))
+        y = np.sin(X[:, 0]) + 0.3 * X[:, 1] + rng.normal(0, 0.05, 40)
+        kwargs = dict(lengthscale=0.8, signal_variance=1.2, noise_variance=0.01)
+        incremental = GaussianProcessRegressor(refit_interval=1000, **kwargs)
+        incremental.fit(X[:20], y[:20])
+        incremental.predict(X[:1])  # trigger the initial factorization
+        full = GaussianProcessRegressor(refit_interval=1, **kwargs)
+        full.fit(X[:20], y[:20])
+        for i in range(20, 40):
+            incremental.update(X[i], float(y[i]))
+            full.update(X[i], float(y[i]))
+        grid = rng.uniform(-1, 1, size=(15, 3))
+        a = incremental.predict(grid)
+        b = full.predict(grid)
+        np.testing.assert_allclose(a.mean, b.mean, rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(a.variance, b.variance, rtol=1e-8, atol=1e-10)
+        alc_a = incremental.expected_average_variance(grid[:5], grid[5:])
+        alc_b = full.expected_average_variance(grid[:5], grid[5:])
+        np.testing.assert_allclose(alc_a, alc_b, rtol=1e-8, atol=1e-12)
+
+    def test_rank1_update_with_heuristic_hyperparameters_stays_close(self, rng):
+        """Frozen-heuristic incremental updates track the refit model.
+
+        Hyper-parameters drift slightly between refits, so only statistical
+        closeness is required — this is the configuration the learner uses.
+        """
+        X = rng.uniform(-1, 1, size=(50, 2))
+        y = X[:, 0] * X[:, 1] + rng.normal(0, 0.05, 50)
+        incremental = GaussianProcessRegressor(refit_interval=10)
+        incremental.fit(X[:30], y[:30])
+        full = GaussianProcessRegressor(refit_interval=1)
+        full.fit(X[:30], y[:30])
+        for i in range(30, 50):
+            incremental.update(X[i], float(y[i]))
+            full.update(X[i], float(y[i]))
+        grid = rng.uniform(-1, 1, size=(20, 2))
+        a = incremental.predict(grid)
+        b = full.predict(grid)
+        assert incremental.training_size == full.training_size == 50
+        np.testing.assert_allclose(a.mean, b.mean, atol=0.1)
+
+    def test_refit_interval_validation(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(refit_interval=0)
+
+    def test_refit_interval_one_never_extends(self, rng, monkeypatch):
+        """``refit_interval=1`` restores always-refit behaviour exactly:
+        the rank-1 extension path must never run, even with predictions
+        interleaved between updates."""
+        X = rng.uniform(-1, 1, size=(30, 3))
+        y = X[:, 0] + rng.normal(0, 0.01, 30)
+        gp = GaussianProcessRegressor(refit_interval=1)
+        gp.fit(X[:20], y[:20])
+        calls = []
+        original = GaussianProcessRegressor._extend_factor
+        monkeypatch.setattr(
+            GaussianProcessRegressor,
+            "_extend_factor",
+            lambda self, *args: calls.append(1) or original(self, *args),
+        )
+        for i in range(20, 30):
+            gp.update(X[i], float(y[i]))
+            gp.predict(X[:1])
+        assert calls == []
+
+    def test_refit_interval_counts_extensions_between_refits(self, rng, monkeypatch):
+        """``refit_interval=k`` pays one full refit every k observations."""
+        X = rng.uniform(-1, 1, size=(40, 2))
+        y = X[:, 1] + rng.normal(0, 0.01, 40)
+        gp = GaussianProcessRegressor(refit_interval=5)
+        gp.fit(X[:20], y[:20])
+        gp.predict(X[:1])
+        refits = []
+        original = GaussianProcessRegressor._refresh
+        def counting(self):
+            if self._stale:
+                refits.append(self.training_size)
+            return original(self)
+        monkeypatch.setattr(GaussianProcessRegressor, "_refresh", counting)
+        for i in range(20, 40):
+            gp.update(X[i], float(y[i]))
+            gp.predict(X[:1])
+        assert len(refits) == 4  # 20 observations / interval 5
+
+    def test_near_duplicate_update_falls_back_to_refit(self):
+        """A nearly-duplicate point keeps the factor positive-definite by
+        falling back to a full refit instead of extending."""
+        gp = GaussianProcessRegressor(
+            lengthscale=1.0, signal_variance=1.0, noise_variance=1e-12, jitter=1e-12,
+            refit_interval=1000,
+        )
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        gp.fit(X, np.array([1.0, 2.0]))
+        gp.predict(X[:1])
+        gp.update(np.array([0.0, 1e-9]), 1.0)
+        prediction = gp.predict(np.array([[0.0, 0.0]]))
+        assert np.isfinite(prediction.mean).all()
+        assert np.isfinite(prediction.variance).all()
+
 
 class TestBaselines:
     def test_constant_model(self, rng):
