@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test docs-check bench bench-gate
+
+## Tier-1 verification: the full test suite plus the benchmark harness.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Execute every fenced shell command in README.md's Quickstart section
+## (smoke mode), so the documentation cannot rot silently.
+docs-check:
+	$(PYTHON) -m pytest tests/test_docs.py -q
+
+## Refresh the tracked model benchmarks (writes BENCH_model.json).
+bench:
+	$(PYTHON) -m pytest benchmarks/test_bench_predict.py benchmarks/test_bench_model_update.py -q
+
+## Fail on >20% mean-time regressions in the gated benchmark groups.
+bench-gate:
+	$(PYTHON) benchmarks/check_regression.py

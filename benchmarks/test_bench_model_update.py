@@ -119,6 +119,42 @@ def test_bench_particle_update_1000(benchmark, paper_scale_model, kernel):
     benchmark.pedantic(run_updates, setup=fresh_state, rounds=rounds, iterations=1)
 
 
+@pytest.mark.benchmark(group="predict-alc")
+@pytest.mark.parametrize("forest", ["incremental", "rebuild"])
+def test_bench_forest_maintenance_1000(benchmark, paper_scale_model, forest):
+    """First predict/ALC batch after an update at 1 000 particles.
+
+    This is the per-iteration cost the incremental forest amortises: the
+    untimed setup absorbs one observation, the timed body scores a
+    candidate batch — paying the forest repair (``incremental``) or the
+    full ``FlatForest.from_trees`` rebuild (``rebuild``) plus the routing
+    itself.  Their ratio in ``BENCH_model.json`` is the tracked win of the
+    incremental maintenance; equivalence is pinned separately by
+    ``tests/test_incremental_forest.py``.
+    """
+    fitted, X, y = paper_scale_model
+    model = copy.deepcopy(fitted)
+    if forest == "rebuild":
+        model._config = dataclasses.replace(model.config, incremental_forest=False)
+    rng = np.random.default_rng(5)
+    candidates = rng.uniform(-1.5, 1.5, size=(20, X.shape[1]))
+    reference = candidates[:10]
+    model.predict(candidates[:1])  # build the initial forest outside the timing
+    state = {"i": 0}
+
+    def absorb_one():
+        i = 200 + state["i"] % 20
+        state["i"] += 1
+        model.update(X[i], float(y[i]))
+        return (), {}
+
+    def score_batch():
+        model.expected_average_variance(candidates, reference)
+        model.predict(candidates[:5])
+
+    benchmark.pedantic(score_batch, setup=absorb_one, rounds=40, iterations=1)
+
+
 @pytest.mark.benchmark(group="model-update")
 def test_bench_particle_update_5000(benchmark, bench_scale_is_laptop):
     """The batched kernel at the paper's full 5 000 particles.

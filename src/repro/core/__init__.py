@@ -22,7 +22,7 @@ from .curves import (
     time_to_reach,
 )
 from .evaluation import TestSet, build_test_set, evaluate_rmse
-from .learner import ActiveLearner, LearnerConfig, LearningResult
+from .learner import ActiveLearner, LearnerCheckpoint, LearnerConfig, LearningResult
 from .plans import SamplingPlan, adaptive_ci_plan, fixed_plan, sequential_plan, standard_plans
 
 __all__ = [
@@ -45,6 +45,7 @@ __all__ = [
     "build_test_set",
     "evaluate_rmse",
     "ActiveLearner",
+    "LearnerCheckpoint",
     "LearnerConfig",
     "LearningResult",
     "SamplingPlan",

@@ -23,6 +23,18 @@ fixed-35 plan, the single-observation plan and the paper's variable
 3. Periodically evaluate the intermediate model's RMSE on a held-out test
    set; the resulting :class:`~repro.core.curves.LearningCurve` is the raw
    material of Table 1 and Figures 5-6.
+
+The loop is *checkpointable*: :meth:`ActiveLearner.run` can emit a
+picklable :class:`LearnerCheckpoint` every few examples and resume from one
+later, reproducing the uninterrupted trajectory bit-for-bit.  The sharded
+experiment backend (:mod:`repro.experiments.runner`) uses this to survive
+killed paper-scale runs: a checkpoint captures everything the loop state
+depends on — the model (with its own generator), the learner/profiler
+generator they share, the profiler's ledger and per-configuration
+statistics, the candidate pool and the curve — while the benchmark itself
+is reattached on resume (its memoised cost caches are pure functions; the
+one piece of *stateful* benchmark state, the noise model's frequency-drift
+walk, rides along in the checkpoint for the owner to restore).
 """
 
 from __future__ import annotations
@@ -42,7 +54,7 @@ from .curves import CurvePoint, LearningCurve
 from .evaluation import TestSet, evaluate_rmse
 from .plans import SamplingPlan, sequential_plan
 
-__all__ = ["LearnerConfig", "LearningResult", "ActiveLearner"]
+__all__ = ["LearnerConfig", "LearningResult", "LearnerCheckpoint", "ActiveLearner"]
 
 ModelFactory = Callable[[np.random.Generator], SurrogateModel]
 
@@ -123,6 +135,37 @@ class LearningResult:
         return sum(self.observation_counts.values())
 
 
+@dataclass
+class LearnerCheckpoint:
+    """Mid-run snapshot of the learning loop, sufficient for bit-exact resume.
+
+    Produced by :meth:`ActiveLearner.run` via its ``checkpoint_sink`` and
+    consumed by a later ``run(..., resume=checkpoint)``.  The snapshot
+    references the *live* loop objects — a sink must serialise it (pickle)
+    before the loop continues, which is how the experiment runner uses it.
+    Pickling the whole checkpoint in one pass preserves the identity
+    sharing the loop depends on (the profiler and the candidate draws use
+    the same :class:`numpy.random.Generator`).
+
+    ``noise_model`` carries the benchmark's noise model, whose stateful
+    components (frequency drift) are the only benchmark-side state a resume
+    must restore; the checkpoint owner reattaches it to a freshly rebuilt
+    benchmark (``SpaptBenchmark.restore_noise_model``) because benchmarks
+    themselves hold unpicklable memoisation caches.
+    """
+
+    plan_name: str
+    n_seed: int
+    training_examples: int
+    next_iteration: int
+    rng: np.random.Generator
+    model: SurrogateModel
+    profiler: Profiler
+    pool: CandidatePool
+    curve: LearningCurve
+    noise_model: object = None
+
+
 class ActiveLearner:
     """The Algorithm-1 learning loop for one benchmark and one sampling plan."""
 
@@ -159,38 +202,89 @@ class ActiveLearner:
 
     # ------------------------------------------------------------------ run
 
-    def run(self, test_set: TestSet) -> LearningResult:
-        """Execute the learning loop and return its learning curve and costs."""
+    def run(
+        self,
+        test_set: TestSet,
+        resume: Optional[LearnerCheckpoint] = None,
+        checkpoint_interval: Optional[int] = None,
+        checkpoint_sink: Optional[Callable[[LearnerCheckpoint], None]] = None,
+    ) -> LearningResult:
+        """Execute the learning loop and return its learning curve and costs.
+
+        ``checkpoint_sink`` (with a positive ``checkpoint_interval``) is
+        called with a :class:`LearnerCheckpoint` every ``checkpoint_interval``
+        training examples; the sink must serialise the snapshot before
+        returning.  ``resume`` restarts the loop from such a checkpoint —
+        the continued trajectory (curve, costs, model state, RNG stream) is
+        bit-identical to the uninterrupted run, provided ``test_set`` and
+        the benchmark are rebuilt the same way (the checkpoint owner is
+        responsible for restoring the benchmark's noise-model state from
+        ``resume.noise_model`` before calling this).
+        """
         config = self._config
         plan = self._plan
         benchmark = self._benchmark
         space = benchmark.search_space
-        rng = self._rng
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be positive when given")
 
-        profiler = Profiler(benchmark, rng=rng)
-        pool = CandidatePool(
-            space,
-            max_observations=plan.max_observations_per_example,
-            revisit=plan.revisit,
-        )
-        model = self._model_factory(np.random.default_rng(rng.integers(2 ** 63)))
-        curve = LearningCurve(plan.name)
+        if resume is not None:
+            if resume.plan_name != plan.name:
+                raise ValueError(
+                    f"checkpoint is for plan {resume.plan_name!r}, "
+                    f"not {plan.name!r}"
+                )
+            rng = resume.rng
+            self._rng = rng
+            profiler = resume.profiler
+            profiler.attach_program(benchmark)
+            pool = resume.pool
+            model = resume.model
+            curve = resume.curve
+            n_seed = resume.n_seed
+            training_examples = resume.training_examples
+            start_iteration = resume.next_iteration
+        else:
+            rng = self._rng
+            profiler = Profiler(benchmark, rng=rng)
+            pool = CandidatePool(
+                space,
+                max_observations=plan.max_observations_per_example,
+                revisit=plan.revisit,
+            )
+            model = self._model_factory(np.random.default_rng(rng.integers(2 ** 63)))
+            curve = LearningCurve(plan.name)
 
-        # ---- seeding (Algorithm 1, lines 2-4) ---------------------------
-        n_seed = min(config.n_initial, space.size)
-        seed_configurations = space.sample_distinct(n_seed, rng)
-        seed_features = benchmark.features_many(seed_configurations)
-        seed_targets = []
-        for configuration in seed_configurations:
-            profiler.measure(configuration, repetitions=config.seed_observations)
-            pool.record(configuration, config.seed_observations)
-            seed_targets.append(profiler.mean_runtime(configuration))
-        model.fit(seed_features, np.asarray(seed_targets))
-        self._record_point(curve, model, test_set, profiler, pool, n_seed)
+            # ---- seeding (Algorithm 1, lines 2-4) -----------------------
+            n_seed = min(config.n_initial, space.size)
+            seed_configurations = space.sample_distinct(n_seed, rng)
+            seed_features = benchmark.features_many(seed_configurations)
+            seed_targets = []
+            for configuration in seed_configurations:
+                profiler.measure(configuration, repetitions=config.seed_observations)
+                pool.record(configuration, config.seed_observations)
+                seed_targets.append(profiler.mean_runtime(configuration))
+            model.fit(seed_features, np.asarray(seed_targets))
+            self._record_point(curve, model, test_set, profiler, pool, n_seed)
+            training_examples = n_seed
+            start_iteration = n_seed
+
+        def snapshot(next_iteration: int) -> LearnerCheckpoint:
+            return LearnerCheckpoint(
+                plan_name=plan.name,
+                n_seed=n_seed,
+                training_examples=training_examples,
+                next_iteration=next_iteration,
+                rng=rng,
+                model=model,
+                profiler=profiler,
+                pool=pool,
+                curve=curve,
+                noise_model=benchmark.noise_model,
+            )
 
         # ---- learning loop (Algorithm 1, lines 6-29) --------------------
-        training_examples = n_seed
-        for iteration in range(n_seed, config.max_training_examples):
+        for iteration in range(start_iteration, config.max_training_examples):
             if self._budget_exhausted(profiler):
                 break
             if pool.exhausted():
@@ -223,6 +317,13 @@ class ActiveLearner:
                 self._record_point(
                     curve, model, test_set, profiler, pool, training_examples
                 )
+            checkpoint_now = (
+                checkpoint_sink is not None
+                and checkpoint_interval is not None
+                and (training_examples - n_seed) % checkpoint_interval == 0
+            )
+            if checkpoint_now:
+                checkpoint_sink(snapshot(iteration + 1))
 
         if not curve.points or curve.points[-1].training_examples != training_examples:
             self._record_point(curve, model, test_set, profiler, pool, training_examples)

@@ -14,6 +14,14 @@ Figure 6  :func:`repro.experiments.figure6.run_figure6`
 Every driver takes an :class:`repro.experiments.config.ExperimentScale`
 (``smoke``, ``laptop`` or ``paper``) and returns structured results with a
 ``render()`` method that prints the same rows/series the paper reports.
+
+:mod:`repro.experiments.runner` is the sharded, checkpointed backend for
+paper-scale runs (``run_all --paper-run``): it decomposes the evaluation
+into (benchmark × plan × repetition) work units served from an on-disk
+task queue, checkpoints each in-flight learner so killed runs resume
+bit-identically, and merges completed units back into the same
+:class:`~repro.core.comparison.PlanComparison` structures the drivers
+above consume.
 """
 
 from .config import ExperimentScale
@@ -24,7 +32,8 @@ from .figure6 import PAPER_FIGURE6_BENCHMARKS, Figure6Result, run_figure6
 from .noise_robustness import NoiseRobustnessResult, run_noise_robustness, scaled_benchmark
 from .paper_scale import PaperScaleSmokeResult, run_paper_scale_smoke
 from .run_all import run_all
-from .table1 import PAPER_TABLE1_SPEEDUPS, Table1Result, run_table1
+from .runner import ExperimentRunner, RunManifest, RunnerError, WorkUnit, run_paper_run
+from .table1 import PAPER_TABLE1_SPEEDUPS, Table1Result, run_table1, table1_from_comparisons
 from .table2 import Table2Result, run_table2
 
 __all__ = [
@@ -45,9 +54,15 @@ __all__ = [
     "PaperScaleSmokeResult",
     "run_paper_scale_smoke",
     "run_all",
+    "ExperimentRunner",
+    "RunManifest",
+    "RunnerError",
+    "WorkUnit",
+    "run_paper_run",
     "PAPER_TABLE1_SPEEDUPS",
     "Table1Result",
     "run_table1",
+    "table1_from_comparisons",
     "Table2Result",
     "run_table2",
 ]

@@ -1,7 +1,7 @@
 """Run every experiment and emit a single consolidated report.
 
 ``python -m repro.experiments.run_all [--scale smoke|laptop|paper] [--output FILE]
-[--workers N] [--paper-scale-smoke]``
+[--workers N] [--paper-scale-smoke] [--paper-run --run-dir DIR [--resume]]``
 
 regenerates, in order, Table 2, Figure 1, Figure 2, Table 1, Figure 5 and
 Figure 6 (the last two are derived from the Table 1 comparisons so nothing
@@ -12,6 +12,15 @@ filling in EXPERIMENTS.md.
 ``--paper-scale-smoke`` instead runs one benchmark end-to-end at the
 paper's model scale (5 000 dynamic-tree particles, 500 candidates — see
 :mod:`repro.experiments.paper_scale`) and reports its timings.
+
+``--paper-run`` instead drives the paper's full evaluation — every
+benchmark × sampling plan × repetition at the selected scale (default:
+``paper``, i.e. 2 500 examples × 10 repetitions) — through the sharded,
+checkpointed backend of :mod:`repro.experiments.runner`, with live
+progress/ETA on stderr and the merged Table 1 / Figure 5 / Figure 6 report
+on completion.  The run is resumable: re-invoke with the same ``--run-dir``
+plus ``--resume`` after a crash or kill and it continues from the last
+per-unit checkpoint, bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -27,10 +36,30 @@ from .figure2 import run_figure2
 from .figure5 import figure5_from_table1
 from .figure6 import Figure6Panel, Figure6Result
 from .paper_scale import run_paper_scale_smoke
+from .runner import run_paper_run
 from .table1 import run_table1
 from .table2 import run_table2
 
 __all__ = ["run_all", "main"]
+
+_EPILOG = """\
+paper-run workflow:
+  # launch the full paper configuration (2500 examples x 10 repetitions,
+  # all benchmarks), sharded over 8 worker processes:
+  python -m repro.experiments.run_all --paper-run --run-dir paper_run --workers 8
+
+  # killed or crashed? resume from the per-unit checkpoints — completed
+  # units are never re-run and the merged results are bit-identical to an
+  # uninterrupted run:
+  python -m repro.experiments.run_all --paper-run --run-dir paper_run --workers 8 --resume
+
+  # a fast end-to-end rehearsal of the same backend at smoke scale:
+  python -m repro.experiments.run_all --paper-run --scale smoke --run-dir /tmp/rehearsal
+
+  --run-dir holds the task queue (manifest.jsonl), one result file per
+  completed (benchmark x plan x repetition) unit, and the in-flight
+  checkpoints; see docs/reproduction.md for runtimes and output layout.
+"""
 
 
 def _scale_from_name(name: str) -> ExperimentScale:
@@ -85,14 +114,30 @@ def run_all(scale: Optional[ExperimentScale] = None, workers: int = 1) -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="laptop", choices=["smoke", "laptop", "paper"])
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=["smoke", "laptop", "paper"],
+        help=(
+            "experiment scale (default: laptop; with --paper-run the default "
+            "is the paper's full configuration)"
+        ),
+    )
     parser.add_argument("--output", default=None, help="write the report to this file")
     parser.add_argument(
         "--workers",
         type=int,
         default=1,
-        help="process-pool size for the (benchmark x plan x repetition) learner runs",
+        help=(
+            "worker processes executing the (benchmark x plan x repetition) "
+            "learner runs: the Table 1 process pool for a report run, or the "
+            "sharded task-queue workers for --paper-run"
+        ),
     )
     parser.add_argument(
         "--paper-scale-smoke",
@@ -110,15 +155,80 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=40,
         help="training examples for --paper-scale-smoke (default: 40)",
     )
+    parser.add_argument(
+        "--paper-run",
+        action="store_true",
+        help=(
+            "drive the full benchmark x plan x repetition evaluation through "
+            "the sharded, checkpointed backend (see the epilog)"
+        ),
+    )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        help="task-queue directory for --paper-run (default: ./paper_run)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "continue a --paper-run whose --run-dir already holds a manifest: "
+            "completed units are kept, the in-flight unit restarts from its "
+            "last checkpoint"
+        ),
+    )
+    parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=None,
+        help="override the scale's repetition count for --paper-run",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=25,
+        help=(
+            "training examples between per-unit checkpoints for --paper-run "
+            "(default: 25)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be at least 1")
-    if args.paper_scale_smoke:
+    if args.checkpoint_interval < 1:
+        parser.error("--checkpoint-interval must be at least 1")
+    if args.repetitions is not None and args.repetitions < 1:
+        parser.error("--repetitions must be at least 1")
+    if args.paper_run and args.paper_scale_smoke:
+        parser.error("--paper-run and --paper-scale-smoke are mutually exclusive")
+    if not args.paper_run:
+        # Refuse rather than silently ignore: a user resuming a killed
+        # paper run who forgets --paper-run would otherwise get a fresh
+        # report run and no resumption.
+        for flag, value in (
+            ("--run-dir", args.run_dir),
+            ("--resume", args.resume or None),
+            ("--repetitions", args.repetitions),
+        ):
+            if value is not None:
+                parser.error(f"{flag} only makes sense together with --paper-run")
+    if args.paper_run:
+        scale = _scale_from_name(args.scale if args.scale is not None else "paper")
+        report = run_paper_run(
+            scale,
+            run_dir=args.run_dir if args.run_dir is not None else "paper_run",
+            workers=args.workers,
+            resume=args.resume,
+            repetitions=args.repetitions,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    elif args.paper_scale_smoke:
         report = run_paper_scale_smoke(
             benchmark=args.smoke_benchmark, training_examples=args.smoke_examples
         ).render()
     else:
-        report = run_all(_scale_from_name(args.scale), workers=args.workers)
+        scale = _scale_from_name(args.scale if args.scale is not None else "laptop")
+        report = run_all(scale, workers=args.workers)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")

@@ -1,0 +1,615 @@
+"""Sharded, checkpointed experiment backend for paper-scale runs.
+
+The paper's headline evaluation — every SPAPT benchmark × three sampling
+plans × ten repetitions at 2 500 training examples each — is hours of
+compute even with the batched SMC kernel, and a single crash near the end
+of a monolithic ``compare_sampling_plans_suite`` call used to throw all of
+it away.  This module decomposes the suite into order-independent
+**work units** (one ``benchmark × plan × repetition`` learner run each) and
+executes them from a persistent on-disk queue:
+
+* ``<run_dir>/manifest.jsonl`` — the task queue: a header fingerprinting
+  the experiment configuration plus one record per work unit, written once
+  when the run is created and validated on every resume (a manifest created
+  for a different configuration refuses to resume rather than silently
+  mixing results);
+* ``<run_dir>/results/<unit>.pkl`` — one atomically written file per
+  completed unit (the unit's :class:`~repro.core.learner.LearningResult`
+  with the model stripped); a unit with a result file is never re-run;
+* ``<run_dir>/checkpoints/<unit>.pkl`` — the in-flight unit's most recent
+  :class:`~repro.core.learner.LearnerCheckpoint`, refreshed atomically
+  every ``checkpoint_interval`` training examples and deleted when the unit
+  completes.  A killed run resumes from the last checkpoint instead of
+  restarting the unit, and the resumed trajectory is bit-identical to the
+  uninterrupted one (pinned by ``tests/test_runner.py``).
+
+Units are seeded exactly like the process-pool schedule of
+:func:`repro.core.comparison.compare_sampling_plans_suite` (each unit
+rebuilds its benchmark and held-out test set from the repetition's
+deterministic seed), so a sharded run merges to the same comparisons the
+pool backend produces, and the merge feeds the existing
+``reporting``/``curves`` aggregation unchanged.
+
+``run_all --paper-run`` drives the full paper configuration through
+:func:`run_paper_run`; :class:`ExperimentRunner` is the programmatic
+surface for anything in between (smoke-scale resumability tests, partial
+benchmark subsets, multi-invocation runs sharing one queue directory).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.acquisition import AcquisitionFunction, ALCAcquisition
+from ..core.comparison import ComparisonConfig, PlanComparison, _assemble
+from ..core.evaluation import build_test_set
+from ..core.learner import ActiveLearner, LearnerCheckpoint, LearningResult
+from ..core.plans import SamplingPlan, standard_plans
+from ..spapt.suite import BENCHMARK_SPECS, get_benchmark
+
+__all__ = [
+    "WorkUnit",
+    "RunManifest",
+    "RunnerError",
+    "ExperimentRunner",
+    "run_paper_run",
+]
+
+_MANIFEST_VERSION = 1
+
+
+class RunnerError(RuntimeError):
+    """A run directory cannot be created, resumed or merged."""
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent learner run: a (benchmark × plan × repetition) cell."""
+
+    benchmark: str
+    plan_name: str
+    plan_index: int
+    repetition: int
+
+    @property
+    def unit_id(self) -> str:
+        """Filesystem-safe identifier, stable across runs."""
+        plan_slug = "".join(
+            ch if ch.isalnum() or ch in "-_" else "-" for ch in self.plan_name
+        )
+        return f"{self.benchmark}--{plan_slug}--r{self.repetition:03d}"
+
+    def to_record(self) -> dict:
+        return {
+            "kind": "unit",
+            "benchmark": self.benchmark,
+            "plan_name": self.plan_name,
+            "plan_index": self.plan_index,
+            "repetition": self.repetition,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "WorkUnit":
+        return cls(
+            benchmark=record["benchmark"],
+            plan_name=record["plan_name"],
+            plan_index=int(record["plan_index"]),
+            repetition=int(record["repetition"]),
+        )
+
+
+def _atomic_write_bytes(path: pathlib.Path, payload: bytes) -> None:
+    """Write ``payload`` so that ``path`` is either absent, old or complete.
+
+    The temporary file lives in the target directory (same filesystem) and
+    carries the writer's pid, so concurrent workers never collide and a
+    crash mid-write leaves at worst a stray ``*.tmp`` behind.
+    """
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _config_fingerprint(
+    config: ComparisonConfig,
+    plans: Sequence[SamplingPlan],
+    benchmarks: Sequence[str],
+    acquisition: Optional[AcquisitionFunction] = None,
+) -> str:
+    """Digest identifying the experiment a run directory belongs to.
+
+    The acquisition enters by class identity (its instances have no stable
+    repr), so resuming with a different acquisition function is refused
+    like any other configuration change.
+    """
+    acquisition_tag = (
+        f"{type(acquisition).__module__}.{type(acquisition).__qualname__}"
+        if acquisition is not None
+        else ""
+    )
+    blob = repr(
+        (config, tuple(plans), tuple(benchmarks), acquisition_tag)
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """The persistent task queue: configuration fingerprint plus work units."""
+
+    fingerprint: str
+    units: Tuple[WorkUnit, ...]
+
+    @classmethod
+    def build(
+        cls,
+        benchmarks: Sequence[str],
+        plans: Sequence[SamplingPlan],
+        config: ComparisonConfig,
+        acquisition: Optional[AcquisitionFunction] = None,
+    ) -> "RunManifest":
+        units = tuple(
+            WorkUnit(
+                benchmark=name,
+                plan_name=plan.name,
+                plan_index=plan_index,
+                repetition=repetition,
+            )
+            for name in benchmarks
+            for repetition in range(config.repetitions)
+            for plan_index, plan in enumerate(plans)
+        )
+        ids = [unit.unit_id for unit in units]
+        if len(set(ids)) != len(ids):
+            # Two plan names that differ only in slugged-away characters
+            # would share result/checkpoint paths and silently drop units.
+            raise RunnerError(
+                "plan names collide after filesystem slugging; rename the plans"
+            )
+        return cls(
+            fingerprint=_config_fingerprint(config, plans, benchmarks, acquisition),
+            units=units,
+        )
+
+    def write(self, path: pathlib.Path) -> None:
+        lines = [
+            json.dumps(
+                {
+                    "kind": "header",
+                    "version": _MANIFEST_VERSION,
+                    "fingerprint": self.fingerprint,
+                    "units": len(self.units),
+                }
+            )
+        ]
+        lines.extend(json.dumps(unit.to_record()) for unit in self.units)
+        _atomic_write_bytes(path, ("\n".join(lines) + "\n").encode("utf-8"))
+
+    @classmethod
+    def read(cls, path: pathlib.Path) -> "RunManifest":
+        units: List[WorkUnit] = []
+        fingerprint: Optional[str] = None
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if record.get("kind") == "header":
+                    if record.get("version") != _MANIFEST_VERSION:
+                        raise RunnerError(
+                            f"manifest {path} has version {record.get('version')!r}; "
+                            f"this code reads version {_MANIFEST_VERSION}"
+                        )
+                    fingerprint = record["fingerprint"]
+                elif record.get("kind") == "unit":
+                    units.append(WorkUnit.from_record(record))
+        if fingerprint is None:
+            raise RunnerError(f"manifest {path} has no header record")
+        return cls(fingerprint=fingerprint, units=tuple(units))
+
+
+def _execute_unit(
+    run_dir: str,
+    unit: WorkUnit,
+    plan: SamplingPlan,
+    config: ComparisonConfig,
+    acquisition: AcquisitionFunction,
+    checkpoint_interval: int,
+) -> Tuple[str, int]:
+    """Run one work unit to completion (worker-process entry point).
+
+    Rebuilds the benchmark and the repetition's held-out test set from their
+    deterministic seeds (matching ``compare_sampling_plans_suite``'s pool
+    schedule exactly), resumes from the unit's checkpoint when one exists —
+    restoring the benchmark's stateful noise components only *after* the
+    test set is rebuilt, since building it advances the drift walk — and
+    atomically publishes the result.  Returns ``(unit_id, examples_run)``.
+    """
+    base = pathlib.Path(run_dir)
+    result_path = base / "results" / f"{unit.unit_id}.pkl"
+    checkpoint_path = base / "checkpoints" / f"{unit.unit_id}.pkl"
+    progress_path = base / "progress" / f"{unit.unit_id}.json"
+    if result_path.exists():
+        return unit.unit_id, 0
+
+    benchmark = get_benchmark(unit.benchmark)
+    test_rng = np.random.default_rng(config.seed + 7919 * unit.repetition)
+    test_set = build_test_set(
+        benchmark,
+        size=config.test_size,
+        observations=config.test_observations,
+        rng=test_rng,
+    )
+
+    resume: Optional[LearnerCheckpoint] = None
+    if checkpoint_path.exists():
+        try:
+            with open(checkpoint_path, "rb") as handle:
+                resume = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            resume = None  # corrupt/stale checkpoint: restart the unit
+    if resume is not None:
+        benchmark.restore_noise_model(resume.noise_model)
+
+    run_rng = np.random.default_rng(
+        config.seed + 104729 * unit.repetition + 1299709 * unit.plan_index + 1
+    )
+    learner = ActiveLearner(
+        benchmark,
+        plan=plan,
+        acquisition=acquisition,
+        config=config.learner,
+        rng=run_rng,
+    )
+
+    def sink(checkpoint: LearnerCheckpoint) -> None:
+        _atomic_write_bytes(
+            checkpoint_path,
+            pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        _atomic_write_bytes(
+            progress_path,
+            json.dumps(
+                {
+                    "examples": checkpoint.training_examples,
+                    "target": config.learner.max_training_examples,
+                }
+            ).encode("utf-8"),
+        )
+
+    result = learner.run(
+        test_set,
+        resume=resume,
+        checkpoint_interval=checkpoint_interval,
+        checkpoint_sink=sink,
+    )
+    payload = {
+        "unit": unit.to_record(),
+        "result": dataclasses.replace(result, model=None),
+    }
+    _atomic_write_bytes(
+        result_path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+    for stale in (checkpoint_path, progress_path):
+        try:
+            stale.unlink()
+        except OSError:
+            pass
+    return unit.unit_id, result.training_examples
+
+
+class ExperimentRunner:
+    """Sharded executor for a suite of (benchmark × plan × repetition) runs.
+
+    One instance owns one run directory.  :meth:`run` creates (or resumes)
+    the manifest, executes every pending unit over ``workers`` processes
+    with per-unit checkpointing, and returns the merged per-benchmark
+    :class:`~repro.core.comparison.PlanComparison` dictionary — the same
+    structure ``compare_sampling_plans_suite`` returns, so Table 1 /
+    Figure 5 / Figure 6 aggregation applies unchanged.
+    """
+
+    def __init__(
+        self,
+        run_dir: os.PathLike,
+        benchmarks: Sequence[str],
+        config: Optional[ComparisonConfig] = None,
+        plans: Optional[Sequence[SamplingPlan]] = None,
+        acquisition: Optional[AcquisitionFunction] = None,
+        checkpoint_interval: int = 25,
+    ) -> None:
+        self.run_dir = pathlib.Path(run_dir)
+        self.benchmarks = list(benchmarks)
+        unknown = [name for name in self.benchmarks if name not in BENCHMARK_SPECS]
+        if unknown:
+            raise KeyError(f"unknown benchmarks: {', '.join(unknown)}")
+        self.config = config if config is not None else ComparisonConfig()
+        self.plans = list(plans) if plans is not None else standard_plans()
+        if not self.plans:
+            raise ValueError("at least one sampling plan is required")
+        self.acquisition = (
+            acquisition if acquisition is not None else ALCAcquisition()
+        )
+        if checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be at least 1")
+        self.checkpoint_interval = checkpoint_interval
+
+    # ------------------------------------------------------------ queue state
+
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        return self.run_dir / "manifest.jsonl"
+
+    def _result_path(self, unit: WorkUnit) -> pathlib.Path:
+        return self.run_dir / "results" / f"{unit.unit_id}.pkl"
+
+    def prepare(self, resume: bool = False) -> RunManifest:
+        """Create the run directory and manifest, or validate an existing one.
+
+        A fresh directory is always fine.  An existing manifest requires
+        ``resume=True`` (guarding against accidentally pointing a new
+        experiment at an old queue) and must fingerprint-match the current
+        configuration (guarding against silently mixing results from
+        different experiments in one directory).
+        """
+        manifest = RunManifest.build(
+            self.benchmarks, self.plans, self.config, self.acquisition
+        )
+        if self.manifest_path.exists():
+            if not resume:
+                raise RunnerError(
+                    f"{self.run_dir} already holds a run; pass resume=True "
+                    "(CLI: --resume) to continue it, or choose a fresh --run-dir"
+                )
+            existing = RunManifest.read(self.manifest_path)
+            if existing.fingerprint != manifest.fingerprint:
+                raise RunnerError(
+                    f"{self.run_dir} was created for a different experiment "
+                    f"configuration (fingerprint {existing.fingerprint} != "
+                    f"{manifest.fingerprint}); refusing to mix results"
+                )
+            return existing
+        for sub in ("results", "checkpoints", "progress"):
+            (self.run_dir / sub).mkdir(parents=True, exist_ok=True)
+        manifest.write(self.manifest_path)
+        return manifest
+
+    def pending_units(self, manifest: Optional[RunManifest] = None) -> List[WorkUnit]:
+        """Units without a published result, in manifest order."""
+        if manifest is None:
+            manifest = RunManifest.read(self.manifest_path)
+        return [
+            unit for unit in manifest.units if not self._result_path(unit).exists()
+        ]
+
+    # -------------------------------------------------------------- execution
+
+    def run(
+        self,
+        workers: int = 1,
+        resume: bool = False,
+        progress: Optional[Callable[[str], None]] = None,
+        progress_interval: float = 10.0,
+    ) -> Dict[str, PlanComparison]:
+        """Execute every pending unit, then merge and return the comparisons.
+
+        ``workers == 1`` executes units in-process (still checkpointing);
+        larger values fan the units out over a process pool.  ``progress``
+        receives human-readable status lines (unit completions and periodic
+        ETA summaries); pass ``print`` — or leave ``None`` for silence.
+        """
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        manifest = self.prepare(resume=resume)
+        pending = self.pending_units(manifest)
+        total = len(manifest.units)
+        done = total - len(pending)
+        say = progress if progress is not None else (lambda line: None)
+        say(
+            f"run {self.run_dir}: {total} units "
+            f"({done} already complete, {len(pending)} pending, "
+            f"{workers} worker{'s' if workers != 1 else ''})"
+        )
+        started = time.monotonic()
+        if pending:
+            if workers == 1:
+                for unit in pending:
+                    _execute_unit(
+                        str(self.run_dir),
+                        unit,
+                        self.plans[unit.plan_index],
+                        self.config,
+                        self.acquisition,
+                        self.checkpoint_interval,
+                    )
+                    done += 1
+                    say(self._status_line(done, total, started))
+            else:
+                self._run_pool(pending, workers, done, total, started, say,
+                               progress_interval)
+        say(f"run {self.run_dir}: all {total} units complete; merging")
+        return self.merge(manifest)
+
+    def _run_pool(
+        self,
+        pending: Sequence[WorkUnit],
+        workers: int,
+        done: int,
+        total: int,
+        started: float,
+        say: Callable[[str], None],
+        progress_interval: float,
+    ) -> None:
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = {
+                pool.submit(
+                    _execute_unit,
+                    str(self.run_dir),
+                    unit,
+                    self.plans[unit.plan_index],
+                    self.config,
+                    self.acquisition,
+                    self.checkpoint_interval,
+                ): unit
+                for unit in pending
+            }
+            outstanding = set(futures)
+            try:
+                while outstanding:
+                    finished, outstanding = wait(
+                        outstanding, timeout=progress_interval,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in finished:
+                        future.result()  # propagate worker failures
+                        done += 1
+                    if finished or outstanding:
+                        say(self._status_line(done, total, started))
+            except BaseException:
+                # Fail fast: without this, leaving the executor context
+                # would silently run every queued unit to completion before
+                # the error surfaces — hours of doomed compute at paper
+                # scale.  (Checkpoints and published results survive, so a
+                # fixed-and-resumed run loses nothing.)
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+
+    def _status_line(self, done: int, total: int, started: float) -> str:
+        """One progress line: units, in-flight example counts, elapsed, ETA."""
+        elapsed = time.monotonic() - started
+        target = self.config.learner.max_training_examples
+        inflight_examples = 0
+        progress_dir = self.run_dir / "progress"
+        if progress_dir.is_dir():
+            for path in progress_dir.glob("*.json"):
+                try:
+                    inflight_examples += int(
+                        json.loads(path.read_text("utf-8")).get("examples", 0)
+                    )
+                except (OSError, ValueError):
+                    continue
+        done_examples = done * target + inflight_examples
+        total_examples = total * target
+        if done_examples > 0 and elapsed > 0:
+            rate = done_examples / elapsed
+            eta = (total_examples - done_examples) / rate
+            eta_text = f", ETA {eta / 60.0:.1f} min"
+        else:
+            eta_text = ""
+        return (
+            f"  units {done}/{total}, examples ~{done_examples}/{total_examples}, "
+            f"elapsed {elapsed / 60.0:.1f} min{eta_text}"
+        )
+
+    # ------------------------------------------------------------------ merge
+
+    def merge(
+        self, manifest: Optional[RunManifest] = None
+    ) -> Dict[str, PlanComparison]:
+        """Fold every completed unit into per-benchmark plan comparisons.
+
+        Raises :class:`RunnerError` when any unit is missing a result —
+        merging a partial run would silently bias the averaged curves.
+        """
+        if manifest is None:
+            manifest = RunManifest.read(self.manifest_path)
+        missing = self.pending_units(manifest)
+        if missing:
+            raise RunnerError(
+                f"cannot merge {self.run_dir}: {len(missing)} unit(s) incomplete "
+                f"(first: {missing[0].unit_id})"
+            )
+        grouped: Dict[str, Dict[str, List[Tuple[int, LearningResult]]]] = {
+            name: {plan.name: [] for plan in self.plans} for name in self.benchmarks
+        }
+        for unit in manifest.units:
+            with open(self._result_path(unit), "rb") as handle:
+                payload = pickle.load(handle)
+            grouped[unit.benchmark][unit.plan_name].append(
+                (unit.repetition, payload["result"])
+            )
+        comparisons: Dict[str, PlanComparison] = {}
+        for name in self.benchmarks:
+            per_plan = {
+                plan_name: [
+                    result for _, result in sorted(runs, key=lambda item: item[0])
+                ]
+                for plan_name, runs in grouped[name].items()
+            }
+            comparisons[name] = _assemble(name, self.plans, per_plan)
+        return comparisons
+
+
+def run_paper_run(
+    scale,
+    run_dir: os.PathLike,
+    workers: int = 1,
+    resume: bool = False,
+    repetitions: Optional[int] = None,
+    checkpoint_interval: int = 25,
+    progress: Optional[Callable[[str], None]] = None,
+) -> str:
+    """Drive the paper's full evaluation through the sharded backend.
+
+    ``scale`` is an :class:`~repro.experiments.config.ExperimentScale`
+    (``ExperimentScale.paper()`` for the real thing; the smoke scale makes
+    this a fast end-to-end test of the backend).  Executes — or resumes —
+    the (benchmark × plan × repetition) queue under ``run_dir``, then
+    merges and renders the Table 1 / Figure 5 / Figure 6 sections from the
+    existing aggregation code.  Returns the rendered report.
+    """
+    from .figure5 import figure5_from_table1
+    from .figure6 import Figure6Panel, Figure6Result
+    from .table1 import table1_from_comparisons
+
+    config = scale.comparison_config()
+    if repetitions is not None:
+        if repetitions < 1:
+            raise ValueError("repetitions must be at least 1")
+        config = dataclasses.replace(config, repetitions=repetitions)
+    runner = ExperimentRunner(
+        run_dir,
+        benchmarks=scale.benchmarks,
+        config=config,
+        checkpoint_interval=checkpoint_interval,
+    )
+    say = progress if progress is not None else (
+        lambda line: print(line, file=sys.stderr, flush=True)
+    )
+    comparisons = runner.run(workers=workers, resume=resume, progress=say)
+    names = list(scale.benchmarks)
+    table1 = table1_from_comparisons(names, comparisons)
+    panels = {
+        name: Figure6Panel(
+            benchmark=name, curves=comparison.curves, comparison=comparison
+        )
+        for name, comparison in comparisons.items()
+    }
+    sections = [
+        (
+            f"Paper run (scale: {scale.name}, benchmarks: {', '.join(names)}, "
+            f"repetitions: {config.repetitions}, "
+            f"examples/run: {config.learner.max_training_examples}, "
+            f"run dir: {run_dir})"
+        ),
+        table1.render(),
+        figure5_from_table1(table1).render(),
+        Figure6Result(panels=panels).render(),
+    ]
+    return "\n\n".join(sections)

@@ -21,7 +21,13 @@ from ..spapt.suite import get_benchmark
 from .config import ExperimentScale
 from .reporting import format_scientific, format_table
 
-__all__ = ["Table1Row", "Table1Result", "run_table1", "PAPER_TABLE1_SPEEDUPS"]
+__all__ = [
+    "Table1Row",
+    "Table1Result",
+    "run_table1",
+    "table1_from_comparisons",
+    "PAPER_TABLE1_SPEEDUPS",
+]
 
 BASELINE_PLAN = "all observations"
 VARIABLE_PLAN = "variable observations"
@@ -136,6 +142,18 @@ def run_table1(
         config=scale.comparison_config(),
         workers=workers,
     )
+    return table1_from_comparisons(names, comparisons)
+
+
+def table1_from_comparisons(
+    names: Sequence[str], comparisons: Dict[str, PlanComparison]
+) -> Table1Result:
+    """Fold finished plan comparisons into Table 1 rows.
+
+    Shared by :func:`run_table1` and the sharded paper-run backend
+    (:mod:`repro.experiments.runner`), whose merge step produces the same
+    per-benchmark :class:`~repro.core.comparison.PlanComparison` mapping.
+    """
     rows: List[Table1Row] = []
     for name in names:
         benchmark = get_benchmark(name)

@@ -136,6 +136,25 @@ class Profiler:
     def program(self) -> TunableProgram:
         return self._program
 
+    # ---------------------------------------------------------- checkpointing
+
+    def __getstate__(self) -> dict:
+        """Pickle everything except the program (benchmarks hold unpicklable
+        memoisation caches); :meth:`attach_program` reattaches one on resume."""
+        state = self.__dict__.copy()
+        state["_program"] = None
+        return state
+
+    def attach_program(self, program: TunableProgram) -> None:
+        """Reattach a program to an unpickled profiler.
+
+        The profiler's own state (ledger, per-configuration statistics,
+        compiled set, generator) is restored by pickle; the program is
+        supplied by the checkpoint owner, which must also restore any
+        stateful noise components the program carries.
+        """
+        self._program = program
+
     @property
     def ledger(self) -> CostLedger:
         return self._ledger

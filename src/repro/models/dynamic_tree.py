@@ -75,7 +75,7 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 import numpy as np
 
 from .base import Prediction, SurrogateModel
-from .flat_tree import FlatForest, FlatTree
+from .flat_tree import FlatForest, FlatTree, IncrementalForest
 from .leaf import (
     GaussianLeafModel,
     LMLCache,
@@ -117,6 +117,15 @@ class DynamicTreeConfig:
     disabling it falls back to the per-node, per-particle reference
     implementations (slow — only useful for equivalence testing).  The two
     modes produce bit-identical seeded trajectories.
+
+    ``incremental_forest`` keeps the concatenated
+    :class:`~repro.models.flat_tree.FlatForest` alive across updates and
+    repairs only the particles that changed (see
+    :class:`~repro.models.flat_tree.IncrementalForest`) instead of
+    rebuilding it from every tree on the first predict/ALC batch after an
+    update.  Both settings produce bit-identical predictions and ALC
+    scores; disabling it restores the always-rebuild path (the oracle the
+    incremental maintenance is equivalence-tested against).
     """
 
     n_particles: int = 40
@@ -128,6 +137,7 @@ class DynamicTreeConfig:
     prior_kappa: float = 0.1
     prior_alpha: float = 3.0
     vectorized: bool = True
+    incremental_forest: bool = True
 
     def __post_init__(self) -> None:
         if self.n_particles < 1:
@@ -305,10 +315,20 @@ class DynamicTreeRegressor(SurrogateModel):
         # next leaf patch lands on it.
         self._flat: List[Optional[FlatTree]] = []
         self._flat_shared: List[bool] = []
-        # Concatenation of every particle's FlatTree, rebuilt lazily after
-        # any update (the concatenated arrays snapshot the per-tree arrays,
-        # so in-place leaf patches do not carry over).
+        # Concatenation of every particle's FlatTree.  With
+        # ``incremental_forest`` the padded arrays persist across updates
+        # and ``_ensure_forest`` repairs only the changed particles
+        # (``_forest_stale`` records the in-place leaf patches it must
+        # mirror); otherwise the concatenation is rebuilt lazily after any
+        # update (the concatenated arrays snapshot the per-tree arrays, so
+        # in-place leaf patches do not carry over).
         self._forest: Optional[FlatForest] = None
+        self._forest_cache: Optional[IncrementalForest] = None
+        # ``(slot, local leaf id) -> cache row values`` patched since the
+        # last sync (latest patch wins), plus a dirty bit so predict/ALC
+        # calls between updates skip the per-particle sync scan entirely.
+        self._forest_stale: Dict[Tuple[int, int], Tuple[float, ...]] = {}
+        self._forest_dirty = False
         # Per-depth tree-prior log terms (split probabilities only depend on
         # the frozen config, and every particle's scores reuse them).
         self._depth_cache: Dict[int, Tuple[float, float, float]] = {}
@@ -377,6 +397,9 @@ class DynamicTreeRegressor(SurrogateModel):
         self._flat = []
         self._flat_shared = []
         self._forest = None
+        self._forest_cache = None
+        self._forest_stale.clear()
+        self._forest_dirty = True
         for _ in range(self._config.n_particles):
             root = _Node(depth=0)
             root.leaf = GaussianLeafModel(self._prior)
@@ -432,6 +455,7 @@ class DynamicTreeRegressor(SurrogateModel):
                 local_leaf_ids = self._resample(x, y)
             index = self._append_observation(x, y)
             self._forest = None
+            self._forest_dirty = True
             self._propagate_all(x, y, index, local_leaf_ids)
         finally:
             if replaying:
@@ -458,6 +482,10 @@ class DynamicTreeRegressor(SurrogateModel):
         """
         flats = self._flat
         shared = self._flat_shared
+        # Stale-row records only matter while a live incremental forest
+        # exists to repair; before the first predict/ALC sync (and during
+        # fit) there is nothing to patch, so skip the bookkeeping.
+        stale = self._forest_stale if self._forest_cache is not None else None
         for slot, leaf_node in zip(slots, leaves):
             flat = flats[slot]
             if flat is None:
@@ -472,7 +500,9 @@ class DynamicTreeRegressor(SurrogateModel):
                 if local_leaf_ids is not None
                 else flat.route_one(x)
             )
-            flat.patch_leaf(leaf_id, leaf_node.leaf)
+            row = flat.patch_leaf(leaf_id, leaf_node.leaf)
+            if stale is not None:
+                stale[(slot, leaf_id)] = row
 
     def _update_reference(self, x: np.ndarray, y: float) -> None:
         """Per-particle reference implementation of one SMC update.
@@ -484,6 +514,7 @@ class DynamicTreeRegressor(SurrogateModel):
             self._resample_reference(x, y)
         index = self._append_observation(x, y)
         self._forest = None
+        self._forest_dirty = True
         for particle_index, root in enumerate(self._particles):
             new_root, structural, leaf = self._propagate(root, x, y, index)
             self._particles[particle_index] = new_root
@@ -494,7 +525,10 @@ class DynamicTreeRegressor(SurrogateModel):
                 # Stay move: the structure is intact, only the statistics of
                 # the leaf containing ``x`` changed — patch them in place.
                 assert leaf.leaf is not None
-                flat.patch_leaf(flat.route_one(x), leaf.leaf)
+                leaf_id = flat.route_one(x)
+                row = flat.patch_leaf(leaf_id, leaf.leaf)
+                if self._forest_cache is not None:
+                    self._forest_stale[(particle_index, leaf_id)] = row
 
     # ----------------------------------------------------------- prediction
 
@@ -507,7 +541,29 @@ class DynamicTreeRegressor(SurrogateModel):
         return flat
 
     def _ensure_forest(self) -> FlatForest:
-        """The concatenated forest, recompiling stale particles as needed."""
+        """The concatenated forest, repaired or rebuilt as needed.
+
+        With ``incremental_forest`` the padded forest persists across
+        updates: particles whose :class:`FlatTree` object is unchanged keep
+        their segments (stay-move leaf patches are mirrored row-by-row from
+        ``_forest_stale``), recompiled/resampled particles get their
+        segments rewritten in place, and only a capacity overflow or a
+        particle-count change triggers a full rebuild.  Without the flag
+        every call after an update rebuilds via ``FlatForest.from_trees``
+        — the equivalence oracle for the incremental path.
+        """
+        if self._config.incremental_forest:
+            cache = self._forest_cache
+            if cache is not None and not self._forest_dirty:
+                return cache.forest
+            flats = [self._flat_tree(i) for i in range(len(self._particles))]
+            if cache is None or not cache.sync(flats, self._forest_stale):
+                cache = IncrementalForest(flats)
+                self._forest_cache = cache
+            self._forest_stale.clear()
+            self._forest_dirty = False
+            return cache.forest
+        self._forest_stale.clear()
         if self._forest is None:
             self._forest = FlatForest.from_trees(
                 [self._flat_tree(i) for i in range(len(self._particles))]

@@ -35,7 +35,7 @@ import numpy as np
 
 from .leaf import GaussianLeafModel, LeafCacheArrays
 
-__all__ = ["FlatTree", "FlatForest"]
+__all__ = ["FlatTree", "FlatForest", "IncrementalForest"]
 
 
 class FlatTree:
@@ -219,9 +219,13 @@ class FlatTree:
 
     # ------------------------------------------------------------- patching
 
-    def patch_leaf(self, leaf_id: int, leaf: GaussianLeafModel) -> None:
-        """Refresh one leaf's cached statistics after a "stay" move."""
-        self.caches.patch(leaf_id, leaf)
+    def patch_leaf(self, leaf_id: int, leaf: GaussianLeafModel) -> Tuple[float, ...]:
+        """Refresh one leaf's cached statistics after a "stay" move.
+
+        Returns the written cache row (see
+        :meth:`~repro.models.leaf.LeafCacheArrays.patch`).
+        """
+        return self.caches.patch(leaf_id, leaf)
 
 
 class FlatForest:
@@ -365,3 +369,226 @@ class FlatForest:
         """Per-particle predictive ``(mean, variance)``, each ``(n_particles, n_rows)``."""
         leaf_ids = self.route(X)
         return self.caches.mean[leaf_ids], self.caches.variance[leaf_ids]
+
+
+class IncrementalForest:
+    """A :class:`FlatForest` maintained *in place* across model updates.
+
+    ``FlatForest.from_trees`` touches every node of every particle —
+    O(total nodes) of concatenation and index shifting — and the dynamic
+    tree used to pay it on the first predict/ALC batch after *every*
+    update, even though a typical update only patches one leaf row per
+    particle (stay moves) and restructures a handful of particles
+    (grow/prune, resample duplicates).  This class keeps the concatenated
+    arrays alive between updates and repairs exactly what changed:
+
+    * each particle's segment is allocated with *capacity slack*
+      (``~2x`` its node/leaf count), so a recompiled tree that still fits
+      is written back into its own segment — O(segment), no other
+      particle moves and no offsets change;
+    * "stay" moves, the overwhelming majority, arrive as ``(slot,
+      leaf_id)`` stale-row records and are repaired by copying single
+      cache rows — O(particles) per update instead of O(total nodes);
+    * a tree that outgrows its segment (or a particle-count change)
+      aborts :meth:`sync`, and the owner rebuilds with fresh capacities —
+      amortised over the doublings of the tree, like a growing array.
+
+    Padding entries between a segment's live nodes and its capacity are
+    never reachable (children only point inside the live prefix and roots
+    sit at segment starts), so the padded arrays behave exactly like the
+    tight ``from_trees`` arrays under :meth:`FlatForest.route`: routing
+    decisions, gathered leaf statistics and ``bincount`` groupings are
+    bit-identical, only the numeric values of the global leaf ids differ.
+
+    Ownership tracking is by object identity: the forest remembers which
+    :class:`FlatTree` instance each segment was written from.  A tree
+    patched in place (stay move) keeps its identity and reports the
+    patched rows through ``stale_rows``; every other change installs a
+    *different* ``FlatTree`` object in the slot, which :meth:`sync`
+    detects and repairs at the cheapest sufficient grain — a cache-segment
+    copy when the structure arrays are shared (copy-on-write cache copies
+    after a resample), a full segment rewrite otherwise (grow/prune
+    recompilations, resample permutations).
+    """
+
+    __slots__ = (
+        "forest",
+        "_trees",
+        "_node_caps",
+        "_leaf_caps",
+        "_node_offsets",
+        "_leaf_offsets",
+        "n_particles",
+    )
+
+    #: Extra node/leaf rows reserved per segment beyond the current tree
+    #: size; a grow move adds two nodes (one leaf), so doubling plus a
+    #: small constant gives each particle room for many structural moves
+    #: before a full rebuild is needed.
+    MIN_SLACK = 8
+
+    def __init__(self, trees: Sequence[FlatTree]) -> None:
+        if not trees:
+            raise ValueError("a forest needs at least one tree")
+        self.n_particles = len(trees)
+        self._trees: List[Optional[FlatTree]] = [None] * len(trees)
+        node_caps = np.asarray(
+            [2 * tree.n_nodes + self.MIN_SLACK for tree in trees], dtype=np.intp
+        )
+        leaf_caps = np.asarray(
+            [2 * tree.n_leaves + self.MIN_SLACK for tree in trees], dtype=np.intp
+        )
+        node_offsets = np.concatenate([[0], np.cumsum(node_caps[:-1])]).astype(np.intp)
+        leaf_offsets = np.concatenate([[0], np.cumsum(leaf_caps[:-1])]).astype(np.intp)
+        total_nodes = int(node_caps.sum())
+        total_leaves = int(leaf_caps.sum())
+        self._node_caps = node_caps
+        self._leaf_caps = leaf_caps
+        self._node_offsets = node_offsets
+        self._leaf_offsets = leaf_offsets
+        # Padding nodes are marked as leaves with no slot; they are
+        # unreachable by construction, the marks only keep accidental
+        # reads well-defined.
+        split_dim = np.full(total_nodes, -1, dtype=np.intp)
+        split_value = np.zeros(total_nodes)
+        left = np.full(total_nodes, -1, dtype=np.intp)
+        right = np.full(total_nodes, -1, dtype=np.intp)
+        leaf_slot = np.full(total_nodes, -1, dtype=np.intp)
+        caches = LeafCacheArrays(np.zeros((total_leaves, 6)))
+        self.forest = FlatForest(
+            split_dim=split_dim,
+            split_value=split_value,
+            left=left,
+            right=right,
+            leaf_slot=leaf_slot,
+            caches=caches,
+            roots=node_offsets,
+            leaf_offsets=leaf_offsets,
+        )
+        self._write_segments(list(range(len(trees))), trees)
+
+    def _write_segments(self, slots: List[int], trees: Sequence[FlatTree]) -> None:
+        """Install each ``trees[slot]`` into its padded segment, batched.
+
+        One concatenate-and-scatter per field instead of a handful of numpy
+        calls per slot, so the cost scales with the *changed* node count
+        plus one pass over the changed slots — a sync that repairs 5% of
+        the particles pays ~5% of a full rebuild.
+
+        The child/leaf indices are shifted by plain adds with no ``-1``
+        masking: a leaf's ``left``/``right`` and an internal node's
+        ``leaf_slot`` are never dereferenced (routing only follows children
+        of internal nodes and only reads leaf slots of leaves), so the
+        shifted ``-1`` sentinels may hold garbage without affecting any
+        query — ``split_dim``, the one array routing branches on, is copied
+        exactly.
+        """
+        forest = self.forest
+        source = [trees[slot] for slot in slots]
+        slots_arr = np.asarray(slots, dtype=np.intp)
+        node_counts = np.asarray([tree.n_nodes for tree in source], dtype=np.intp)
+        leaf_counts = np.asarray([tree.n_leaves for tree in source], dtype=np.intp)
+        node_offsets = self._node_offsets[slots_arr]
+        leaf_offsets = self._leaf_offsets[slots_arr]
+
+        node_shift = np.repeat(node_offsets, node_counts)
+        starts = np.cumsum(node_counts) - node_counts
+        dest = node_shift + (
+            np.arange(int(node_counts.sum()), dtype=np.intp)
+            - np.repeat(starts, node_counts)
+        )
+        forest.split_dim[dest] = np.concatenate([tree.split_dim for tree in source])
+        forest.split_value[dest] = np.concatenate(
+            [tree.split_value for tree in source]
+        )
+        forest.left[dest] = (
+            np.concatenate([tree.left for tree in source]) + node_shift
+        )
+        forest.right[dest] = (
+            np.concatenate([tree.right for tree in source]) + node_shift
+        )
+        forest.leaf_slot[dest] = np.concatenate(
+            [tree.leaf_slot for tree in source]
+        ) + np.repeat(leaf_offsets, node_counts)
+
+        leaf_starts = np.cumsum(leaf_counts) - leaf_counts
+        leaf_dest = np.repeat(leaf_offsets, leaf_counts) + (
+            np.arange(int(leaf_counts.sum()), dtype=np.intp)
+            - np.repeat(leaf_starts, leaf_counts)
+        )
+        forest.caches.data[leaf_dest] = np.concatenate(
+            [tree.caches.data for tree in source], axis=0
+        )
+        recorded = self._trees
+        for slot, tree in zip(slots, source):
+            recorded[slot] = tree
+
+    def sync(
+        self,
+        trees: Sequence[FlatTree],
+        stale_rows: "dict[Tuple[int, int], Tuple[float, ...]]",
+    ) -> bool:
+        """Bring the forest up to date with ``trees``; False forces a rebuild.
+
+        ``trees`` must hold one compiled :class:`FlatTree` per particle, in
+        particle order; ``stale_rows`` maps ``(slot, local leaf id)`` to the
+        cache-row values patched in place since the last sync (latest patch
+        wins, which a dict gives for free), applied as one batched fancy
+        assignment.  A tree whose *structure arrays* are unchanged but whose
+        cache matrix is a new object (a copy-on-write cache copy after a
+        resample) only has its cache segment recopied; a structurally new
+        tree gets a full segment rewrite.  Either way the slot's recorded
+        stale rows are dropped — the segment copy is the current truth and
+        the recorded values may predate it.  Returns ``False`` (leaving the
+        forest unusable until rebuilt) when the particle count changed or a
+        recompiled tree no longer fits its segment capacity.
+        """
+        if len(trees) != self.n_particles:
+            return False
+        recorded = self._trees
+        node_caps = self._node_caps
+        leaf_caps = self._leaf_caps
+        data = self.forest.caches.data
+        leaf_offsets = self._leaf_offsets
+        changed: List[int] = []
+        rewritten: set = set()
+        for slot, tree in enumerate(trees):
+            known = recorded[slot]
+            if tree is known:
+                continue
+            rewritten.add(slot)
+            if known is not None and tree.split_dim is known.split_dim:
+                # Copy-on-write cache copy: identical structure, fresh
+                # cache matrix — refresh the cache segment only.  (The
+                # structure arrays may be shared by a *different* tree that
+                # arrived here through a resample, so recorded stale rows
+                # for this slot are stale-by-lineage and must be dropped —
+                # hence the ``rewritten`` membership above.)
+                offset = int(leaf_offsets[slot])
+                data[offset : offset + tree.n_leaves] = tree.caches.data
+                recorded[slot] = tree
+                continue
+            if tree.n_nodes > node_caps[slot] or tree.n_leaves > leaf_caps[slot]:
+                return False
+            changed.append(slot)
+        if changed:
+            self._write_segments(changed, trees)
+        if stale_rows:
+            if rewritten:
+                items = [
+                    (key, row)
+                    for key, row in stale_rows.items()
+                    if key[0] not in rewritten
+                ]
+            else:
+                items = list(stale_rows.items())
+            if items:
+                count = len(items)
+                slots = np.fromiter(
+                    (key[0] for key, _ in items), dtype=np.intp, count=count
+                )
+                ids = np.fromiter(
+                    (key[1] for key, _ in items), dtype=np.intp, count=count
+                )
+                data[leaf_offsets[slots] + ids] = [row for _, row in items]
+        return True

@@ -487,10 +487,15 @@ class LeafCacheArrays:
         row = self.data[slot].tolist()
         return row[0], row[3], row[4], row[5]
 
-    def patch(self, slot: int, leaf: GaussianLeafModel) -> None:
-        """Refresh one row from a leaf model's (memoized) posterior."""
+    def patch(self, slot: int, leaf: GaussianLeafModel) -> Tuple[float, ...]:
+        """Refresh one row from a leaf model's (memoized) posterior.
+
+        Returns the written row as a tuple so callers tracking patches (the
+        incremental forest's stale-row records) get the values without
+        re-reading the array.
+        """
         mean, dof_scale, coef, const = leaf.predictive_logpdf_terms()
-        self.data[slot] = (
+        row = (
             mean,
             leaf.predictive_variance(),
             float(leaf.count),
@@ -498,3 +503,5 @@ class LeafCacheArrays:
             coef,
             const,
         )
+        self.data[slot] = row
+        return row

@@ -380,6 +380,19 @@ class SpaptBenchmark:
     def noise_model(self) -> NoiseModel:
         return self._noise_model
 
+    def restore_noise_model(self, noise_model: NoiseModel) -> None:
+        """Install a noise model checkpointed from an earlier instance.
+
+        The noise model is the only *stateful* part of a benchmark (the
+        frequency-drift component carries a random-walk state between
+        observations); everything else is rebuilt deterministically from
+        the spec.  A resumed experiment (see
+        :mod:`repro.experiments.runner`) rebuilds the benchmark by name and
+        restores the drift state through this hook, keeping the resumed
+        measurement stream bit-identical to the uninterrupted one.
+        """
+        self._noise_model = noise_model
+
     @property
     def paper_search_space_size(self) -> float:
         return PAPER_SEARCH_SPACE_SIZES[self._spec.name]

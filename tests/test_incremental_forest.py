@@ -1,0 +1,188 @@
+"""Equivalence tests for the incrementally maintained FlatForest.
+
+The incremental forest (``DynamicTreeConfig(incremental_forest=True)``, the
+default) must be indistinguishable from rebuilding the concatenation with
+``FlatForest.from_trees`` after every update: bit-identical predictions and
+ALC scores across long update sequences (covering stay/grow/prune moves,
+resample permutations and copy-on-write cache copies), and live segments
+that match a fresh compilation of every particle exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.models.dynamic_tree import DynamicTreeConfig, DynamicTreeRegressor
+from repro.models.flat_tree import FlatTree, IncrementalForest
+
+
+def _training_data(size, dims=5, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1.5, 1.5, size=(size, dims))
+    y = (
+        1.0
+        + 0.3 * X[:, 0]
+        + np.where(X[:, 1] > 0, 0.5, 0.0)
+        + rng.normal(0, 0.05, size)
+    )
+    return X, y
+
+
+def _model_pair(n_particles=40, seed=3, resample_threshold=0.5):
+    """Identically seeded models, incremental forest on vs off."""
+    config = DynamicTreeConfig(
+        n_particles=n_particles,
+        incremental_forest=True,
+        resample_threshold=resample_threshold,
+    )
+    incremental = DynamicTreeRegressor(config, rng=np.random.default_rng(seed))
+    rebuild = DynamicTreeRegressor(
+        dataclasses.replace(config, incremental_forest=False),
+        rng=np.random.default_rng(seed),
+    )
+    return incremental, rebuild
+
+
+class TestBitIdentity:
+    def test_predict_and_alc_bit_identical_across_updates(self):
+        X, y = _training_data(240)
+        incremental, rebuild = _model_pair()
+        incremental.fit(X[:30], y[:30])
+        rebuild.fit(X[:30], y[:30])
+        rng = np.random.default_rng(9)
+        probe = rng.uniform(-1.5, 1.5, size=(30, X.shape[1]))
+        reference = rng.uniform(-1.5, 1.5, size=(20, X.shape[1]))
+        for i in range(30, 240):
+            incremental.update(X[i], float(y[i]))
+            rebuild.update(X[i], float(y[i]))
+            p_inc = incremental.predict(probe)
+            p_reb = rebuild.predict(probe)
+            assert np.array_equal(p_inc.mean, p_reb.mean)
+            assert np.array_equal(p_inc.variance, p_reb.variance)
+            scores_inc = incremental.expected_average_variance(probe, reference)
+            scores_reb = rebuild.expected_average_variance(probe, reference)
+            assert np.array_equal(scores_inc, scores_reb)
+
+    def test_aggressive_resampling_stays_bit_identical(self):
+        """A resample-every-update regime exercises permutations, duplicate
+        sharing and copy-on-write cache copies on every single sync."""
+        X, y = _training_data(120, seed=5)
+        incremental, rebuild = _model_pair(resample_threshold=1.0, seed=11)
+        incremental.fit(X[:20], y[:20])
+        rebuild.fit(X[:20], y[:20])
+        probe = X[:25]
+        for i in range(20, 120):
+            incremental.update(X[i], float(y[i]))
+            rebuild.update(X[i], float(y[i]))
+            p_inc = incremental.predict(probe)
+            p_reb = rebuild.predict(probe)
+            assert np.array_equal(p_inc.mean, p_reb.mean)
+            assert np.array_equal(p_inc.variance, p_reb.variance)
+
+    def test_trajectories_match_reference_implementation(self):
+        """The incremental forest sits on top of the vectorized kernels, so
+        the whole stack must still replay the per-particle reference."""
+        X, y = _training_data(90, seed=7)
+        config = DynamicTreeConfig(n_particles=12, incremental_forest=True)
+        vectorized = DynamicTreeRegressor(config, rng=np.random.default_rng(2))
+        reference = DynamicTreeRegressor(
+            dataclasses.replace(config, vectorized=False),
+            rng=np.random.default_rng(2),
+        )
+        vectorized.fit(X[:15], y[:15])
+        reference.fit(X[:15], y[:15])
+        probe = X[:20]
+        for i in range(15, 90):
+            vectorized.update(X[i], float(y[i]))
+            reference.update(X[i], float(y[i]))
+        p_vec = vectorized.predict(probe)
+        p_ref = reference.predict(probe)
+        assert np.array_equal(p_vec.mean, p_ref.mean)
+        assert np.array_equal(p_vec.variance, p_ref.variance)
+
+
+class TestSegments:
+    def test_live_segments_match_fresh_compilations(self):
+        """After a sync every slot's live segment equals a from-scratch
+        compile of that particle (cache rows exactly; structure arrays on
+        the entries routing can reach)."""
+        X, y = _training_data(200)
+        model, _ = _model_pair(n_particles=30)
+        model.fit(X[:25], y[:25])
+        for i in range(25, 200):
+            model.update(X[i], float(y[i]))
+        model.predict(X[:5])  # forces the sync
+        cache = model._forest_cache
+        assert cache is not None
+        forest = cache.forest
+        for slot in range(model.n_particles):
+            fresh = FlatTree.compile(model._particles[slot])
+            node_offset = int(cache._node_offsets[slot])
+            leaf_offset = int(cache._leaf_offsets[slot])
+            nodes = slice(node_offset, node_offset + fresh.n_nodes)
+            assert np.array_equal(forest.split_dim[nodes], fresh.split_dim)
+            assert np.array_equal(forest.split_value[nodes], fresh.split_value)
+            internal = fresh.split_dim >= 0
+            assert np.array_equal(
+                forest.left[nodes][internal], fresh.left[internal] + node_offset
+            )
+            assert np.array_equal(
+                forest.right[nodes][internal], fresh.right[internal] + node_offset
+            )
+            leaves = ~internal
+            assert np.array_equal(
+                forest.leaf_slot[nodes][leaves],
+                fresh.leaf_slot[leaves] + leaf_offset,
+            )
+            assert np.array_equal(
+                forest.caches.data[leaf_offset : leaf_offset + fresh.n_leaves],
+                fresh.caches.data,
+            )
+
+    def test_capacity_overflow_forces_rebuild(self):
+        X, y = _training_data(60)
+        model, _ = _model_pair(n_particles=8)
+        model.fit(X[:10], y[:10])
+        model.predict(X[:3])
+        first = model._forest_cache
+        assert first is not None
+        # Grow the trees far beyond the 2x capacity of the first build.
+        for i in range(10, 60):
+            model.update(X[i], float(y[i]))
+            model.predict(X[:3])
+        # Some intermediate sync must have replaced the original cache.
+        assert model._forest_cache is not None
+        assert model._forest_cache is not first
+
+    def test_sync_rejects_particle_count_change(self):
+        X, y = _training_data(30)
+        model, _ = _model_pair(n_particles=6)
+        model.fit(X[:12], y[:12])
+        model.predict(X[:3])
+        cache = model._forest_cache
+        trees = [model._flat_tree(i) for i in range(model.n_particles)]
+        assert cache.sync(trees, {}) is True
+        assert cache.sync(trees[:-1], {}) is False
+
+
+class TestIncrementalForestUnit:
+    def test_stale_row_batch_applies_latest_value(self):
+        X, y = _training_data(40)
+        model, _ = _model_pair(n_particles=4)
+        model.fit(X[:20], y[:20])
+        model.predict(X[:3])
+        cache = model._forest_cache
+        trees = [model._flat_tree(i) for i in range(model.n_particles)]
+        row = tuple(float(v) for v in trees[0].caches.data[0])
+        bumped = (row[0] + 1.0,) + row[1:]
+        trees[0].caches.data[0] = bumped
+        assert cache.sync(trees, {(0, 0): bumped}) is True
+        offset = int(cache._leaf_offsets[0])
+        assert tuple(cache.forest.caches.data[offset]) == bumped
+
+    def test_requires_at_least_one_tree(self):
+        with pytest.raises(ValueError):
+            IncrementalForest([])

@@ -24,6 +24,16 @@ PACKAGES = [
     "repro.experiments",
 ]
 
+#: The documented public API surface: these modules must carry substantive
+#: module docstrings (README and docs/ link into them).
+DOCUMENTED_MODULES = [
+    "repro",
+    "repro.core.learner",
+    "repro.models.dynamic_tree",
+    "repro.experiments.run_all",
+    "repro.experiments.runner",
+]
+
 
 class TestImports:
     @pytest.mark.parametrize("package", PACKAGES)
@@ -39,6 +49,18 @@ class TestImports:
 
     def test_version_present(self):
         assert repro.__version__
+
+    @pytest.mark.parametrize("module_name", DOCUMENTED_MODULES)
+    def test_public_surface_module_docstrings(self, module_name):
+        """The public API surface carries non-empty module docstrings."""
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip(), (
+            f"{module_name} has no module docstring"
+        )
+        # Substantive documentation, not a placeholder one-liner.
+        assert len(module.__doc__.strip()) > 120, (
+            f"{module_name}'s module docstring is a stub"
+        )
 
 
 class TestDocumentedQuickstart:
@@ -105,3 +127,29 @@ class TestRunAll:
         assert _scale_from_name("smoke").name == "smoke"
         with pytest.raises(ValueError):
             _scale_from_name("huge")
+
+    def test_help_is_self_explanatory_about_paper_runs(self, capsys):
+        """`run_all --help` documents the sharded paper-run workflow."""
+        from repro.experiments.run_all import main
+
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for needle in ("--paper-run", "--resume", "--run-dir", "--workers"):
+            assert needle in out, f"--help does not mention {needle}"
+        assert "checkpoint" in out
+        assert "worker processes" in out
+
+    def test_runner_api_exported(self):
+        from repro.experiments import (
+            ExperimentRunner,
+            RunManifest,
+            RunnerError,
+            WorkUnit,
+            run_paper_run,
+        )
+        from repro.core import LearnerCheckpoint
+
+        for obj in (ExperimentRunner, RunManifest, RunnerError, WorkUnit,
+                    run_paper_run, LearnerCheckpoint):
+            assert obj.__doc__

@@ -1,0 +1,295 @@
+"""Tests of the sharded, checkpointed experiment backend.
+
+Covers the on-disk task queue (manifest round-trips, resume guards), the
+learner checkpoint/resume path (bit-identical continuation, including
+benchmarks with stateful drift noise), equivalence of the sharded backend
+with the established process-pool schedule, and — the headline guarantee —
+that a ``run_all --paper-run`` invocation killed mid-flight resumes from
+its checkpoints and produces results identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import pickle
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.comparison import ComparisonConfig, compare_sampling_plans_suite
+from repro.core.evaluation import build_test_set
+from repro.core.learner import ActiveLearner, LearnerConfig
+from repro.core.plans import sequential_plan
+from repro.experiments.runner import (
+    ExperimentRunner,
+    RunManifest,
+    RunnerError,
+    WorkUnit,
+)
+from repro.spapt.suite import get_benchmark
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _small_config(repetitions=2, max_examples=20):
+    return ComparisonConfig(
+        learner=LearnerConfig(
+            n_initial=4,
+            seed_observations=4,
+            n_candidates=12,
+            max_training_examples=max_examples,
+            reference_size=8,
+            evaluation_interval=5,
+            tree_particles=6,
+        ),
+        repetitions=repetitions,
+        test_size=30,
+        test_observations=3,
+        seed=2017,
+    )
+
+
+class TestWorkUnitsAndManifest:
+    def test_unit_id_is_filesystem_safe_and_stable(self):
+        unit = WorkUnit(
+            benchmark="mm", plan_name="all observations", plan_index=0, repetition=3
+        )
+        assert unit.unit_id == "mm--all-observations--r003"
+        assert "/" not in unit.unit_id and " " not in unit.unit_id
+
+    def test_manifest_round_trip(self, tmp_path):
+        config = _small_config()
+        runner = ExperimentRunner(tmp_path / "run", ["mm", "adi"], config=config)
+        manifest = RunManifest.build(runner.benchmarks, runner.plans, config)
+        path = tmp_path / "manifest.jsonl"
+        manifest.write(path)
+        loaded = RunManifest.read(path)
+        assert loaded == manifest
+        assert len(loaded.units) == 2 * 3 * config.repetitions
+
+    def test_prepare_requires_resume_for_existing_run(self, tmp_path):
+        runner = ExperimentRunner(tmp_path, ["mm"], config=_small_config())
+        runner.prepare()
+        with pytest.raises(RunnerError, match="resume"):
+            runner.prepare(resume=False)
+        assert runner.prepare(resume=True).units
+
+    def test_prepare_rejects_mismatched_configuration(self, tmp_path):
+        ExperimentRunner(tmp_path, ["mm"], config=_small_config()).prepare()
+        other = ExperimentRunner(
+            tmp_path, ["mm"], config=_small_config(max_examples=25)
+        )
+        with pytest.raises(RunnerError, match="different experiment"):
+            other.prepare(resume=True)
+
+    def test_merge_refuses_partial_runs(self, tmp_path):
+        runner = ExperimentRunner(tmp_path, ["mm"], config=_small_config())
+        runner.prepare()
+        with pytest.raises(RunnerError, match="incomplete"):
+            runner.merge()
+
+    def test_unknown_benchmark_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            ExperimentRunner(tmp_path, ["nonexistent"], config=_small_config())
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("benchmark_name", ["mm", "adi"])
+    def test_resume_is_bit_identical(self, benchmark_name):
+        """Resuming from a pickled mid-run checkpoint continues the exact
+        trajectory — ``adi`` additionally exercises the frequency-drift
+        noise state riding along in the checkpoint."""
+        learner_config = _small_config(max_examples=24).learner
+
+        def build(seed=2017):
+            benchmark = get_benchmark(benchmark_name)
+            test_set = build_test_set(
+                benchmark, size=30, observations=3, rng=np.random.default_rng(seed + 1)
+            )
+            learner = ActiveLearner(
+                benchmark,
+                plan=sequential_plan(),
+                config=learner_config,
+                rng=np.random.default_rng(seed),
+            )
+            return benchmark, test_set, learner
+
+        _, test_set, learner = build()
+        baseline = learner.run(test_set)
+
+        blobs = []
+        _, test_set, learner = build()
+        learner.run(
+            test_set,
+            checkpoint_interval=6,
+            checkpoint_sink=lambda ckpt: blobs.append(
+                pickle.dumps(ckpt, protocol=pickle.HIGHEST_PROTOCOL)
+            ),
+        )
+        assert len(blobs) >= 2
+        checkpoint = pickle.loads(blobs[1])
+
+        benchmark, test_set, _ = build()  # test set BEFORE restoring drift state
+        benchmark.restore_noise_model(checkpoint.noise_model)
+        learner = ActiveLearner(
+            benchmark,
+            plan=sequential_plan(),
+            config=learner_config,
+            rng=np.random.default_rng(12345),  # must be ignored on resume
+        )
+        resumed = learner.run(test_set, resume=checkpoint)
+
+        assert len(baseline.curve.points) == len(resumed.curve.points)
+        for expected, actual in zip(baseline.curve.points, resumed.curve.points):
+            assert expected.cost_seconds == actual.cost_seconds
+            assert expected.rmse == actual.rmse
+        assert baseline.ledger.total_seconds == resumed.ledger.total_seconds
+        assert baseline.observation_counts == resumed.observation_counts
+
+    def test_resume_rejects_wrong_plan(self):
+        benchmark = get_benchmark("mm")
+        config = _small_config().learner
+        test_set = build_test_set(
+            benchmark, size=20, observations=2, rng=np.random.default_rng(1)
+        )
+        learner = ActiveLearner(
+            benchmark, plan=sequential_plan(), config=config,
+            rng=np.random.default_rng(0),
+        )
+        captured = []
+        learner.run(test_set, checkpoint_interval=5, checkpoint_sink=captured.append)
+        from repro.core.plans import fixed_plan
+
+        other = ActiveLearner(
+            benchmark, plan=fixed_plan(35), config=config,
+            rng=np.random.default_rng(0),
+        )
+        with pytest.raises(ValueError, match="plan"):
+            other.run(test_set, resume=captured[0])
+
+
+class TestRunnerEquivalence:
+    def test_sharded_run_matches_pool_schedule(self, tmp_path):
+        """The merged comparisons equal ``compare_sampling_plans_suite``'s
+        pool-mode output bit-for-bit (same per-unit seeding)."""
+        config = _small_config()
+        runner = ExperimentRunner(
+            tmp_path / "run", ["mm"], config=config, checkpoint_interval=5
+        )
+        merged = runner.run(workers=2)
+        suite = compare_sampling_plans_suite(["mm"], config=config, workers=2)
+        for plan_name, curve in merged["mm"].curves.items():
+            expected = suite["mm"].curves[plan_name]
+            assert np.array_equal(curve.costs(), expected.costs())
+            assert np.array_equal(curve.errors(), expected.errors())
+        assert merged["mm"].lowest_common_rmse == suite["mm"].lowest_common_rmse
+        assert merged["mm"].cost_to_reach == suite["mm"].cost_to_reach
+
+    def test_completed_run_resumes_to_identical_merge(self, tmp_path):
+        config = _small_config(repetitions=1)
+        runner = ExperimentRunner(tmp_path / "run", ["mm"], config=config)
+        first = runner.run(workers=1)
+        again = ExperimentRunner(tmp_path / "run", ["mm"], config=config).run(
+            workers=1, resume=True
+        )
+        assert first["mm"].cost_to_reach == again["mm"].cost_to_reach
+
+
+class TestKillAndResume:
+    def test_killed_paper_run_resumes_identically(self, tmp_path):
+        """The acceptance pin: a ``run_all --paper-run`` smoke run killed
+        mid-flight (SIGKILL, 2 repetitions) and resumed produces a report
+        identical to an uninterrupted run."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+
+        def command(run_dir, report, resume=False):
+            argv = [
+                sys.executable,
+                "-m",
+                "repro.experiments.run_all",
+                "--paper-run",
+                "--scale",
+                "smoke",
+                "--repetitions",
+                "2",
+                "--checkpoint-interval",
+                "3",
+                "--run-dir",
+                str(run_dir),
+                "--output",
+                str(report),
+            ]
+            if resume:
+                argv.append("--resume")
+            return argv
+
+        full_report = tmp_path / "full.txt"
+        subprocess.run(
+            command(tmp_path / "full", full_report),
+            env=env,
+            cwd=REPO_ROOT,
+            check=True,
+            capture_output=True,
+            timeout=600,
+        )
+
+        killed_dir = tmp_path / "killed"
+        killed_report = tmp_path / "killed.txt"
+        process = subprocess.Popen(
+            command(killed_dir, killed_report),
+            env=env,
+            cwd=REPO_ROOT,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        results_dir = killed_dir / "results"
+        checkpoints_dir = killed_dir / "checkpoints"
+        deadline = time.monotonic() + 300
+        try:
+            # Kill once the run is demonstrably mid-flight: at least two
+            # units published (so completed work must be preserved) or an
+            # in-flight checkpoint exists (so a unit must resume mid-run).
+            while time.monotonic() < deadline:
+                if process.poll() is not None:
+                    pytest.fail("run finished before it could be killed")
+                published = (
+                    len(list(results_dir.glob("*.pkl")))
+                    if results_dir.is_dir()
+                    else 0
+                )
+                checkpointed = (
+                    len(list(checkpoints_dir.glob("*.pkl")))
+                    if checkpoints_dir.is_dir()
+                    else 0
+                )
+                if published >= 2 or checkpointed >= 1:
+                    break
+                time.sleep(0.05)
+            process.send_signal(signal.SIGKILL)
+        finally:
+            process.wait(timeout=60)
+        assert not killed_report.exists()
+
+        resumed = subprocess.run(
+            command(killed_dir, killed_report, resume=True),
+            env=env,
+            cwd=REPO_ROOT,
+            check=True,
+            capture_output=True,
+            timeout=600,
+        )
+        assert killed_report.exists(), resumed.stderr.decode()
+
+        def body(path):
+            # Drop the header line, which names the run directory.
+            return path.read_text("utf-8").split("\n", 1)[1]
+
+        assert body(killed_report) == body(full_report)
