@@ -1,11 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check bench bench-gate
+.PHONY: test docs-check bench bench-gate lint
 
 ## Tier-1 verification: the full test suite plus the benchmark harness.
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Static checks (ruff check, no autofix; configuration in ruff.toml).
+## CI installs ruff; locally: pip install ruff.
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks examples
 
 ## Execute every fenced shell command in README.md's Quickstart section
 ## (smoke mode), so the documentation cannot rot silently.

@@ -5,13 +5,17 @@ from .acquisition import (
     ALCAcquisition,
     ALMAcquisition,
     RandomAcquisition,
+    acquisition_names,
     make_acquisition,
 )
 from .candidates import CandidatePool
 from .comparison import (
     ComparisonConfig,
     PlanComparison,
+    assemble_comparison,
     compare_sampling_plans,
+    resolve_acquisition,
+    resolve_plans,
     speedup_between,
 )
 from .curves import (
@@ -19,27 +23,41 @@ from .curves import (
     LearningCurve,
     average_curves,
     lowest_common_error,
+    speedup_factor,
     time_to_reach,
 )
 from .evaluation import TestSet, build_test_set, evaluate_rmse
 from .learner import ActiveLearner, LearnerCheckpoint, LearnerConfig, LearningResult
-from .plans import SamplingPlan, adaptive_ci_plan, fixed_plan, sequential_plan, standard_plans
+from .plans import (
+    SamplingPlan,
+    adaptive_ci_plan,
+    fixed_plan,
+    make_plan,
+    plan_names,
+    sequential_plan,
+    standard_plans,
+)
 
 __all__ = [
     "AcquisitionFunction",
     "ALCAcquisition",
     "ALMAcquisition",
     "RandomAcquisition",
+    "acquisition_names",
     "make_acquisition",
     "CandidatePool",
     "ComparisonConfig",
     "PlanComparison",
+    "assemble_comparison",
     "compare_sampling_plans",
+    "resolve_acquisition",
+    "resolve_plans",
     "speedup_between",
     "CurvePoint",
     "LearningCurve",
     "average_curves",
     "lowest_common_error",
+    "speedup_factor",
     "time_to_reach",
     "TestSet",
     "build_test_set",
@@ -51,6 +69,8 @@ __all__ = [
     "SamplingPlan",
     "adaptive_ci_plan",
     "fixed_plan",
+    "make_plan",
+    "plan_names",
     "sequential_plan",
     "standard_plans",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "ALMAcquisition",
     "RandomAcquisition",
     "make_acquisition",
+    "acquisition_names",
 ]
 
 
@@ -133,14 +134,23 @@ class RandomAcquisition(AcquisitionFunction):
         return rng.random(np.atleast_2d(candidates).shape[0])
 
 
+_ACQUISITION_REGISTRY = {
+    "alc": ALCAcquisition,
+    "alm": ALMAcquisition,
+    "random": RandomAcquisition,
+}
+
+
+def acquisition_names() -> list[str]:
+    """The names :func:`make_acquisition` accepts, in registration order."""
+    return list(_ACQUISITION_REGISTRY)
+
+
 def make_acquisition(name: str) -> AcquisitionFunction:
     """Look up an acquisition function by name (``"alc"``, ``"alm"``, ``"random"``)."""
-    registry = {
-        "alc": ALCAcquisition,
-        "alm": ALMAcquisition,
-        "random": RandomAcquisition,
-    }
     key = name.strip().lower()
-    if key not in registry:
-        raise KeyError(f"unknown acquisition {name!r}; expected one of {sorted(registry)}")
-    return registry[key]()
+    if key not in _ACQUISITION_REGISTRY:
+        raise KeyError(
+            f"unknown acquisition {name!r}; expected one of {acquisition_names()}"
+        )
+    return _ACQUISITION_REGISTRY[key]()

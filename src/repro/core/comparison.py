@@ -22,19 +22,50 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..spapt.suite import BENCHMARK_SPECS, SpaptBenchmark, get_benchmark
-from .acquisition import AcquisitionFunction, ALCAcquisition
+from .acquisition import AcquisitionFunction, ALCAcquisition, make_acquisition
 from .curves import LearningCurve, average_curves, lowest_common_error, time_to_reach
 from .evaluation import build_test_set
 from .learner import ActiveLearner, LearnerConfig, LearningResult
-from .plans import SamplingPlan, standard_plans
+from .plans import SamplingPlan, make_plan, standard_plans
 
 __all__ = [
     "ComparisonConfig",
     "PlanComparison",
+    "assemble_comparison",
     "compare_sampling_plans",
     "compare_sampling_plans_suite",
+    "resolve_acquisition",
+    "resolve_plans",
     "speedup_between",
 ]
+
+PlanLike = object  # a SamplingPlan or a registered plan name (str)
+
+
+def resolve_plans(plans: Optional[Sequence[PlanLike]]) -> List[SamplingPlan]:
+    """Normalise a plan axis: ``None`` → the paper's three standard plans,
+    strings → :func:`~repro.core.plans.make_plan` lookups, plan instances
+    pass through.  This is what lets an experiment spec declare its plan
+    axis as a list of names."""
+    if plans is None:
+        return standard_plans()
+    resolved = [
+        make_plan(plan) if isinstance(plan, str) else plan for plan in plans
+    ]
+    if not resolved:
+        raise ValueError("at least one sampling plan is required")
+    return resolved
+
+
+def resolve_acquisition(
+    acquisition: Optional[object],
+) -> AcquisitionFunction:
+    """Normalise an acquisition axis: ``None`` → ALC, strings → lookup."""
+    if acquisition is None:
+        return ALCAcquisition()
+    if isinstance(acquisition, str):
+        return make_acquisition(acquisition)
+    return acquisition
 
 
 @dataclass(frozen=True)
@@ -140,15 +171,20 @@ def _pool_job(
     return benchmark_name, plan.name, repetition, result
 
 
-def _assemble(
+def assemble_comparison(
     benchmark_name: str,
-    plans: Sequence[SamplingPlan],
+    plan_names: Sequence[str],
     per_plan_results: Dict[str, List[LearningResult]],
 ) -> PlanComparison:
-    """Fold per-run results into the averaged curves and Table 1 metrics."""
+    """Fold per-run results into the averaged curves and Table 1 metrics.
+
+    ``plan_names`` are plain labels, so the same fold serves the sampling
+    plan comparison and any other single-axis comparison of learner runs
+    (the ablation specs group runs by acquisition or model name).
+    """
     per_plan_curves = {
-        plan.name: [result.curve for result in per_plan_results[plan.name]]
-        for plan in plans
+        name: [result.curve for result in per_plan_results[name]]
+        for name in plan_names
     }
     averaged = {
         name: average_curves(curves) for name, curves in per_plan_curves.items()
@@ -180,12 +216,13 @@ def compare_sampling_plans(
     is used only when ``benchmark`` is a stock instance of a registered
     SPAPT spec; customised instances (e.g. a scaled noise profile sharing a
     registered name) always run serially, never silently substituted.
+
+    ``plans`` entries and ``acquisition`` may be given as registered names
+    (strings) instead of instances.
     """
-    plans = list(plans) if plans is not None else standard_plans()
-    if not plans:
-        raise ValueError("at least one sampling plan is required")
+    plans = resolve_plans(plans)
     config = config if config is not None else ComparisonConfig()
-    acquisition = acquisition if acquisition is not None else ALCAcquisition()
+    acquisition = resolve_acquisition(acquisition)
 
     if workers > 1 and BENCHMARK_SPECS.get(benchmark.name) is benchmark.spec:
         suite = compare_sampling_plans_suite(
@@ -211,7 +248,9 @@ def compare_sampling_plans(
                 benchmark, plan, plan_index, repetition, config, acquisition, test_set
             )
             per_plan_results[plan.name].append(result)
-    return _assemble(benchmark.name, plans, per_plan_results)
+    return assemble_comparison(
+        benchmark.name, [plan.name for plan in plans], per_plan_results
+    )
 
 
 def compare_sampling_plans_suite(
@@ -235,11 +274,9 @@ def compare_sampling_plans_suite(
     schedule.
     """
     names = list(benchmark_names)
-    plans = list(plans) if plans is not None else standard_plans()
-    if not plans:
-        raise ValueError("at least one sampling plan is required")
+    plans = resolve_plans(plans)
     config = config if config is not None else ComparisonConfig()
-    acquisition = acquisition if acquisition is not None else ALCAcquisition()
+    acquisition = resolve_acquisition(acquisition)
 
     unknown = [name for name in names if name not in BENCHMARK_SPECS]
     if unknown:
@@ -277,7 +314,9 @@ def compare_sampling_plans_suite(
             plan_name: [result for _, result in sorted(runs, key=lambda item: item[0])]
             for plan_name, runs in results[name].items()
         }
-        comparisons[name] = _assemble(name, plans, per_plan_results)
+        comparisons[name] = assemble_comparison(
+            name, [plan.name for plan in plans], per_plan_results
+        )
     return comparisons
 
 

@@ -25,6 +25,7 @@ __all__ = [
     "average_curves",
     "lowest_common_error",
     "time_to_reach",
+    "speedup_factor",
 ]
 
 
@@ -173,3 +174,39 @@ def time_to_reach(curve: LearningCurve, target_rmse: float) -> float:
             f"curve {curve.label!r} never reaches RMSE {target_rmse:.6g}"
         )
     return cost
+
+
+def speedup_factor(
+    baseline: LearningCurve, contender: LearningCurve, levels: int = 20
+) -> float:
+    """Multi-level speed-up: AUC-style ratio of costs across error levels.
+
+    Table 1's cost-to-reach speed-up compares the two curves at a *single*
+    error level (the lowest one both reach), which makes it sensitive to
+    exactly where that level falls.  Following the Speed-up Factor idea of
+    arXiv:2602.13359 this metric instead sweeps ``levels`` error levels
+    spanning the range both curves cover — from the worse of the two
+    starting errors down to the lowest common error — computes the
+    baseline/contender cost ratio at every level, and aggregates with the
+    geometric mean (equivalently: the ratio of the areas under the two
+    log-cost-versus-error curves).  Values above 1 mean the contender is
+    cheaper across the whole error range, not just at one point.
+    """
+    if levels < 1:
+        raise ValueError("levels must be at least 1")
+    lo = float(max(baseline.best_error, contender.best_error))
+    hi = float(min(baseline.errors()[0], contender.errors()[0]))
+    if hi < lo:
+        # One curve starts below the other's floor: only the common floor
+        # is comparable, so degrade to the single-level ratio.
+        hi = lo
+    log_ratios = []
+    for target in np.linspace(hi, lo, num=levels):
+        baseline_cost = time_to_reach(baseline, float(target))
+        contender_cost = time_to_reach(contender, float(target))
+        if baseline_cost <= 0 or contender_cost <= 0:
+            continue  # both at the free starting point: no information
+        log_ratios.append(np.log(baseline_cost) - np.log(contender_cost))
+    if not log_ratios:
+        return 1.0
+    return float(np.exp(np.mean(log_ratios)))

@@ -26,6 +26,8 @@ __all__ = [
     "sequential_plan",
     "adaptive_ci_plan",
     "standard_plans",
+    "make_plan",
+    "plan_names",
 ]
 
 
@@ -149,3 +151,34 @@ def standard_plans(baseline_observations: int = 35) -> list[SamplingPlan]:
         fixed_plan(1),
         sequential_plan(baseline_observations),
     ]
+
+
+#: Name → zero-argument factory for every registered sampling plan.  The
+#: registry keys double as the strategy names an experiment axis can carry
+#: (e.g. a registry-driven ablation spec listing plans to compare).
+_PLAN_FACTORIES = {
+    "all-observations": lambda: fixed_plan(35),
+    "one-observation": lambda: fixed_plan(1),
+    "variable-observations": lambda: sequential_plan(),
+    "adaptive-ci": lambda: adaptive_ci_plan(),
+}
+
+
+def plan_names() -> list[str]:
+    """The names :func:`make_plan` accepts, in registration order."""
+    return list(_PLAN_FACTORIES)
+
+
+def make_plan(name: str) -> SamplingPlan:
+    """Look up a sampling plan by name.
+
+    Accepts the registry keys (``"variable-observations"``) as well as the
+    space-separated report labels the paper's figures use (``"variable
+    observations"``); matching is case-insensitive.
+    """
+    key = name.strip().lower().replace(" ", "-").replace("_", "-")
+    if key not in _PLAN_FACTORIES:
+        raise KeyError(
+            f"unknown sampling plan {name!r}; expected one of {plan_names()}"
+        )
+    return _PLAN_FACTORIES[key]()

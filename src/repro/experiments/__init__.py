@@ -1,29 +1,37 @@
-"""Experiment harness: one driver per table/figure of the paper.
+"""Experiment harness: a declarative registry of the paper's artifacts.
 
-========  ===============================================================
-Artifact  Driver
-========  ===============================================================
-Table 1   :func:`repro.experiments.table1.run_table1`
-Table 2   :func:`repro.experiments.table2.run_table2`
-Figure 1  :func:`repro.experiments.figure1.run_figure1`
-Figure 2  :func:`repro.experiments.figure2.run_figure2`
-Figure 5  :func:`repro.experiments.figure5.run_figure5`
-Figure 6  :func:`repro.experiments.figure6.run_figure6`
-========  ===============================================================
+==================  ====================================================
+Artifact            Spec / driver
+==================  ====================================================
+Table 1             ``table1`` (:func:`repro.experiments.table1.run_table1`)
+Table 2             ``table2`` (:func:`repro.experiments.table2.run_table2`)
+Figure 1            ``figure1`` (:func:`repro.experiments.figure1.run_figure1`)
+Figure 2            ``figure2`` (:func:`repro.experiments.figure2.run_figure2`)
+Figure 5            ``figure5`` (derived from Table 1)
+Figure 6            ``figure6`` (derived from Table 1)
+Noise robustness    ``noise_robustness``
+Acquisition study   ``acquisition-ablation`` (ALC vs ALM vs random)
+Model study         ``model-ablation`` (dynamic tree vs GP vs k-NN)
+==================  ====================================================
 
+Every artifact registers an :class:`~repro.experiments.registry.ExperimentSpec`
+declaring how it decomposes into seeded, order-independent,
+checkpointable work units and how completed units fold into its report.
+The same units run on two backends: in memory
+(:func:`~repro.experiments.registry.run_artifacts`, what plain
+``run_all`` uses) or through the sharded, resumable, multi-host task
+queue of :mod:`repro.experiments.runner` (``run_all --paper-run``).
 Every driver takes an :class:`repro.experiments.config.ExperimentScale`
-(``smoke``, ``laptop`` or ``paper``) and returns structured results with a
-``render()`` method that prints the same rows/series the paper reports.
-
-:mod:`repro.experiments.runner` is the sharded, checkpointed backend for
-paper-scale runs (``run_all --paper-run``): it decomposes the evaluation
-into (benchmark × plan × repetition) work units served from an on-disk
-task queue, checkpoints each in-flight learner so killed runs resume
-bit-identically, and merges completed units back into the same
-:class:`~repro.core.comparison.PlanComparison` structures the drivers
-above consume.
+(``smoke``, ``laptop`` or ``paper``) and returns structured results with
+a ``render()`` method that prints the same rows/series the paper reports.
 """
 
+from .ablations import (
+    AblationResult,
+    AblationRow,
+    run_acquisition_ablation,
+    run_model_ablation,
+)
 from .config import ExperimentScale
 from .figure1 import Figure1Result, run_figure1
 from .figure2 import Figure2Result, run_figure2
@@ -31,8 +39,17 @@ from .figure5 import Figure5Result, figure5_from_table1, run_figure5
 from .figure6 import PAPER_FIGURE6_BENCHMARKS, Figure6Result, run_figure6
 from .noise_robustness import NoiseRobustnessResult, run_noise_robustness, scaled_benchmark
 from .paper_scale import PaperScaleSmokeResult, run_paper_scale_smoke
+from .registry import (
+    DEFAULT_ARTIFACTS,
+    ExperimentSpec,
+    UnitContext,
+    WorkUnit,
+    get_spec,
+    run_artifacts,
+    spec_names,
+)
 from .run_all import run_all
-from .runner import ExperimentRunner, RunManifest, RunnerError, WorkUnit, run_paper_run
+from .runner import ExperimentRunner, RunManifest, RunnerError, run_paper_run
 from .table1 import PAPER_TABLE1_SPEEDUPS, Table1Result, run_table1, table1_from_comparisons
 from .table2 import Table2Result, run_table2
 
@@ -51,13 +68,23 @@ __all__ = [
     "NoiseRobustnessResult",
     "run_noise_robustness",
     "scaled_benchmark",
+    "AblationResult",
+    "AblationRow",
+    "run_acquisition_ablation",
+    "run_model_ablation",
     "PaperScaleSmokeResult",
     "run_paper_scale_smoke",
     "run_all",
+    "DEFAULT_ARTIFACTS",
+    "ExperimentSpec",
+    "UnitContext",
+    "WorkUnit",
+    "get_spec",
+    "run_artifacts",
+    "spec_names",
     "ExperimentRunner",
     "RunManifest",
     "RunnerError",
-    "WorkUnit",
     "run_paper_run",
     "PAPER_TABLE1_SPEEDUPS",
     "Table1Result",

@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence
 
 from ..core.comparison import ComparisonConfig
 from ..core.learner import LearnerConfig
-from ..spapt.suite import benchmark_names
+from ..spapt.suite import BENCHMARK_SPECS, benchmark_names
 
 __all__ = ["ExperimentScale"]
 
@@ -39,6 +39,13 @@ class ExperimentScale:
     dataset_observations: int
     figure1_grid: int
     seed: int = 2017
+
+    def __post_init__(self) -> None:
+        unknown = [b for b in self.benchmarks if b not in BENCHMARK_SPECS]
+        if unknown:
+            raise KeyError(f"unknown benchmarks: {', '.join(unknown)}")
+        if not self.benchmarks:
+            raise ValueError("at least one benchmark is required")
 
     def comparison_config(self) -> ComparisonConfig:
         """The plan-comparison configuration implied by this scale."""

@@ -21,16 +21,17 @@ simulated runtimes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..measurement.profiler import Profiler
 from ..spapt.suite import SpaptBenchmark, get_benchmark
 from .config import ExperimentScale
+from .registry import ExperimentSpec, UnitContext, WorkUnit, register
 from .reporting import format_table
 
-__all__ = ["Figure1Cell", "Figure1Result", "run_figure1"]
+__all__ = ["Figure1Cell", "Figure1Result", "Figure1Spec", "run_figure1"]
 
 
 @dataclass(frozen=True)
@@ -177,6 +178,40 @@ def run_figure1(
         observations_per_point=observations_per_point,
         mae_threshold=float(threshold if threshold is not None else 0.0),
     )
+
+
+class Figure1Spec(ExperimentSpec):
+    """Figure 1 as a registry artifact.
+
+    The plane sweep threads one RNG through every cell (the profiler and
+    the optimal-plan subsampling draw from the same stream in cell order),
+    so the computation is inherently sequential and the declared
+    decomposition is a single unit — the registry still gives it the
+    manifest/result/resume machinery, it just cannot shard internally.
+    """
+
+    name = "figure1"
+    title = "Figure 1"
+
+    def work_units(self, scale: ExperimentScale) -> List[WorkUnit]:
+        return [WorkUnit(artifact=self.name, key=("plane",))]
+
+    def execute_unit(
+        self, unit: WorkUnit, scale: ExperimentScale, context: UnitContext
+    ) -> Figure1Result:
+        return run_figure1(scale)
+
+    def fold(
+        self,
+        scale: ExperimentScale,
+        payloads: Sequence[Tuple[WorkUnit, Any]],
+        deps: Mapping[str, Any],
+    ) -> Figure1Result:
+        (_, result), = payloads
+        return result
+
+
+register(Figure1Spec())
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -11,16 +11,17 @@ probably fine with one sample; points that stick out deserve more.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..measurement.profiler import Profiler
 from ..spapt.suite import SpaptBenchmark, get_benchmark
 from .config import ExperimentScale
+from .registry import ExperimentSpec, UnitContext, WorkUnit, register
 from .reporting import format_table
 
-__all__ = ["Figure2Point", "Figure2Result", "run_figure2"]
+__all__ = ["Figure2Point", "Figure2Result", "Figure2Spec", "run_figure2"]
 
 
 @dataclass(frozen=True)
@@ -105,6 +106,34 @@ def run_figure2(
     return Figure2Result(
         benchmark=benchmark.name, loop_parameter=loop_parameter, points=points
     )
+
+
+class Figure2Spec(ExperimentSpec):
+    """Figure 2 as a registry artifact: a single unit, because the sweep
+    takes one observation per point from one sequential RNG stream."""
+
+    name = "figure2"
+    title = "Figure 2"
+
+    def work_units(self, scale: ExperimentScale) -> List[WorkUnit]:
+        return [WorkUnit(artifact=self.name, key=("sweep",))]
+
+    def execute_unit(
+        self, unit: WorkUnit, scale: ExperimentScale, context: UnitContext
+    ) -> Figure2Result:
+        return run_figure2(scale)
+
+    def fold(
+        self,
+        scale: ExperimentScale,
+        payloads: Sequence[Tuple[WorkUnit, Any]],
+        deps: Mapping[str, Any],
+    ) -> Figure2Result:
+        (_, result), = payloads
+        return result
+
+
+register(Figure2Spec())
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -10,14 +10,21 @@ computation and renders the bars as text.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
 from ..measurement.stats import geometric_mean
 from .config import ExperimentScale
+from .registry import ExperimentSpec, UnitContext, WorkUnit, register
 from .reporting import format_table
 from .table1 import PAPER_TABLE1_SPEEDUPS, Table1Result, run_table1
 
-__all__ = ["Figure5Bar", "Figure5Result", "run_figure5", "figure5_from_table1"]
+__all__ = [
+    "Figure5Bar",
+    "Figure5Result",
+    "Figure5Spec",
+    "run_figure5",
+    "figure5_from_table1",
+]
 
 
 @dataclass(frozen=True)
@@ -78,6 +85,36 @@ def run_figure5(
 ) -> Figure5Result:
     """Regenerate the Figure 5 bars (runs the Table 1 experiment)."""
     return figure5_from_table1(run_table1(scale=scale, benchmarks=benchmarks))
+
+
+class Figure5Spec(ExperimentSpec):
+    """Figure 5 as a registry artifact: purely derived — it contributes no
+    work units and folds its bars straight from Table 1's result (the
+    dependency resolver schedules ``table1`` first, and nothing is
+    computed twice)."""
+
+    name = "figure5"
+    title = "Figure 5"
+    depends_on = ("table1",)
+
+    def work_units(self, scale: ExperimentScale) -> List[WorkUnit]:
+        return []
+
+    def execute_unit(
+        self, unit: WorkUnit, scale: ExperimentScale, context: UnitContext
+    ) -> Any:
+        raise RuntimeError("figure5 has no work units; it folds from table1")
+
+    def fold(
+        self,
+        scale: ExperimentScale,
+        payloads: Sequence[Tuple[WorkUnit, Any]],
+        deps: Mapping[str, Any],
+    ) -> Figure5Result:
+        return figure5_from_table1(deps["table1"])
+
+
+register(Figure5Spec())
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

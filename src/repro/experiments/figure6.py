@@ -20,15 +20,22 @@ the benchmark harness can print them and tests can assert on their shape.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.comparison import PlanComparison, compare_sampling_plans_suite
 from ..core.curves import LearningCurve
 from ..core.plans import standard_plans
 from .config import ExperimentScale
+from .registry import ExperimentSpec, UnitContext, WorkUnit, register
 from .reporting import format_table
 
-__all__ = ["Figure6Panel", "Figure6Result", "run_figure6", "PAPER_FIGURE6_BENCHMARKS"]
+__all__ = [
+    "Figure6Panel",
+    "Figure6Result",
+    "Figure6Spec",
+    "run_figure6",
+    "PAPER_FIGURE6_BENCHMARKS",
+]
 
 #: The six benchmarks shown in Figure 6 of the paper.
 PAPER_FIGURE6_BENCHMARKS = ("adi", "atax", "correlation", "gemver", "jacobi", "mvt")
@@ -94,6 +101,49 @@ def run_figure6(
             benchmark=name, curves=comparison.curves, comparison=comparison
         )
     return Figure6Result(panels=panels)
+
+
+class Figure6Spec(ExperimentSpec):
+    """Figure 6 as a registry artifact: derived from Table 1's per-unit
+    learner runs.  The fold restricts Table 1's comparisons to the paper's
+    six Figure 6 benchmarks (every scale benchmark when none of the six is
+    in scope), so the learning curves come from the same work units that
+    produced the Table 1 rows — nothing is recomputed."""
+
+    name = "figure6"
+    title = "Figure 6"
+    depends_on = ("table1",)
+
+    def work_units(self, scale: ExperimentScale) -> List[WorkUnit]:
+        return []
+
+    def execute_unit(
+        self, unit: WorkUnit, scale: ExperimentScale, context: UnitContext
+    ) -> Any:
+        raise RuntimeError("figure6 has no work units; it folds from table1")
+
+    def fold(
+        self,
+        scale: ExperimentScale,
+        payloads: Sequence[Tuple[WorkUnit, Any]],
+        deps: Mapping[str, Any],
+    ) -> Figure6Result:
+        comparisons: Dict[str, PlanComparison] = deps["table1"].comparisons
+        names = [b for b in PAPER_FIGURE6_BENCHMARKS if b in comparisons]
+        if not names:
+            names = list(comparisons)
+        panels = {
+            name: Figure6Panel(
+                benchmark=name,
+                curves=comparisons[name].curves,
+                comparison=comparisons[name],
+            )
+            for name in names
+        }
+        return Figure6Result(panels=panels)
+
+
+register(Figure6Spec())
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -19,17 +19,29 @@ plan.  The questions it answers:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.comparison import PlanComparison, compare_sampling_plans
 from ..core.plans import standard_plans
 from ..measurement.noise import NoiseProfile
 from ..spapt.suite import BENCHMARK_SPECS, SpaptBenchmark
 from .config import ExperimentScale
+from .registry import ExperimentSpec, UnitContext, WorkUnit, register
 from .reporting import format_table
 
-__all__ = ["NoiseLevelResult", "NoiseRobustnessResult", "scaled_benchmark", "run_noise_robustness"]
+__all__ = [
+    "NoiseLevelResult",
+    "NoiseRobustnessResult",
+    "NoiseRobustnessSpec",
+    "scaled_benchmark",
+    "run_noise_robustness",
+    "DEFAULT_NOISE_MULTIPLIERS",
+]
+
+#: Noise multipliers of the robustness sweep (1x = Table 2's calibration).
+DEFAULT_NOISE_MULTIPLIERS: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0)
 
 BASELINE_PLAN = "all observations"
 VARIABLE_PLAN = "variable observations"
@@ -108,35 +120,117 @@ class NoiseRobustnessResult:
         )
 
 
+def _level_comparison(
+    benchmark_name: str, multiplier: float, scale: ExperimentScale
+) -> PlanComparison:
+    """The plan comparison at one noise level — the robustness work unit.
+
+    Each level builds its own scaled benchmark and runs the comparison
+    serially inside the unit (the historical schedule: stateful noise
+    carries across the level's repetitions), so the levels themselves are
+    order-independent and shard freely.
+    """
+    benchmark = scaled_benchmark(benchmark_name, multiplier)
+    comparison = compare_sampling_plans(
+        benchmark, plans=standard_plans(), config=scale.comparison_config()
+    )
+    # Unit payloads must stay small and picklable: drop the per-run models.
+    stripped = {
+        plan_name: [dataclasses.replace(r, model=None) for r in results]
+        for plan_name, results in comparison.results.items()
+    }
+    return dataclasses.replace(comparison, results=stripped)
+
+
+def _level_result(multiplier: float, comparison: PlanComparison) -> NoiseLevelResult:
+    return NoiseLevelResult(
+        noise_multiplier=float(multiplier),
+        lowest_common_rmse=comparison.lowest_common_rmse,
+        baseline_cost_seconds=comparison.cost_to_reach[BASELINE_PLAN],
+        variable_cost_seconds=comparison.cost_to_reach[VARIABLE_PLAN],
+        speedup=comparison.speedup(BASELINE_PLAN, VARIABLE_PLAN),
+        baseline_best_rmse=comparison.curves[BASELINE_PLAN].best_error,
+        variable_best_rmse=comparison.curves[VARIABLE_PLAN].best_error,
+    )
+
+
 def run_noise_robustness(
     scale: Optional[ExperimentScale] = None,
     benchmark_name: str = "mm",
-    noise_multipliers: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    noise_multipliers: Sequence[float] = DEFAULT_NOISE_MULTIPLIERS,
 ) -> NoiseRobustnessResult:
     """Run the future-work noise-injection study for one benchmark."""
     scale = scale if scale is not None else ExperimentScale.laptop()
     levels: List[NoiseLevelResult] = []
     comparisons: Dict[float, PlanComparison] = {}
     for multiplier in noise_multipliers:
-        benchmark = scaled_benchmark(benchmark_name, multiplier)
-        comparison = compare_sampling_plans(
-            benchmark, plans=standard_plans(), config=scale.comparison_config()
-        )
+        comparison = _level_comparison(benchmark_name, multiplier, scale)
         comparisons[multiplier] = comparison
-        levels.append(
-            NoiseLevelResult(
-                noise_multiplier=float(multiplier),
-                lowest_common_rmse=comparison.lowest_common_rmse,
-                baseline_cost_seconds=comparison.cost_to_reach[BASELINE_PLAN],
-                variable_cost_seconds=comparison.cost_to_reach[VARIABLE_PLAN],
-                speedup=comparison.speedup(BASELINE_PLAN, VARIABLE_PLAN),
-                baseline_best_rmse=comparison.curves[BASELINE_PLAN].best_error,
-                variable_best_rmse=comparison.curves[VARIABLE_PLAN].best_error,
-            )
-        )
+        levels.append(_level_result(multiplier, comparison))
     return NoiseRobustnessResult(
         benchmark=benchmark_name, levels=levels, comparisons=comparisons
     )
+
+
+class NoiseRobustnessSpec(ExperimentSpec):
+    """The noise-injection study as registry work units: one per noise
+    multiplier, on the study benchmark (``mm`` when the scale includes it,
+    otherwise the scale's first benchmark)."""
+
+    name = "noise_robustness"
+    title = "Noise robustness"
+    multipliers: Tuple[float, ...] = DEFAULT_NOISE_MULTIPLIERS
+
+    @staticmethod
+    def study_benchmark(scale: ExperimentScale) -> str:
+        return "mm" if "mm" in scale.benchmarks else scale.benchmarks[0]
+
+    def fingerprint_extras(self) -> Tuple[float, ...]:
+        return self.multipliers
+
+    def work_units(self, scale: ExperimentScale) -> List[WorkUnit]:
+        benchmark = self.study_benchmark(scale)
+        return [
+            WorkUnit(
+                artifact=self.name,
+                key=(benchmark, f"{multiplier:g}x"),
+                params={"benchmark": benchmark, "multiplier": multiplier},
+            )
+            for multiplier in self.multipliers
+        ]
+
+    def execute_unit(
+        self, unit: WorkUnit, scale: ExperimentScale, context: UnitContext
+    ) -> PlanComparison:
+        return _level_comparison(
+            str(unit.params["benchmark"]), float(unit.params["multiplier"]), scale
+        )
+
+    def fold(
+        self,
+        scale: ExperimentScale,
+        payloads: Sequence[Tuple[WorkUnit, Any]],
+        deps: Mapping[str, Any],
+    ) -> NoiseRobustnessResult:
+        ordered = sorted(
+            payloads, key=lambda pair: float(pair[0].params["multiplier"])
+        )
+        levels = [
+            _level_result(float(unit.params["multiplier"]), comparison)
+            for unit, comparison in ordered
+        ]
+        comparisons = {
+            float(unit.params["multiplier"]): comparison
+            for unit, comparison in ordered
+        }
+        return NoiseRobustnessResult(
+            benchmark=self.study_benchmark(scale),
+            levels=levels,
+            comparisons=comparisons,
+        )
+
+
+register(NoiseRobustnessSpec())
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

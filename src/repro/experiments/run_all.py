@@ -1,51 +1,55 @@
-"""Run every experiment and emit a single consolidated report.
+"""Thin dispatcher over the experiment registry: run artifacts, emit a report.
 
-``python -m repro.experiments.run_all [--scale smoke|laptop|paper] [--output FILE]
-[--workers N] [--paper-scale-smoke] [--paper-run --run-dir DIR [--resume]]``
+``python -m repro.experiments.run_all [--scale smoke|laptop|paper]
+[--only table2,figure1,...] [--output FILE] [--workers N]
+[--paper-scale-smoke] [--paper-run --run-dir DIR [--resume]]``
 
-regenerates, in order, Table 2, Figure 1, Figure 2, Table 1, Figure 5 and
-Figure 6 (the last two are derived from the Table 1 comparisons so nothing
-is recomputed twice) and prints — or writes to ``--output`` — the rendered
-rows/series for all of them.  This is the one-command entry point for
-filling in EXPERIMENTS.md.
+Every artifact — table1, table2, figure1, figure2, figure5, figure6,
+noise_robustness, acquisition-ablation, model-ablation — is declared in
+:mod:`repro.experiments.registry`; this module merely selects artifacts
+(``--only``, default: the consolidated report), picks a backend, and
+streams each artifact's rendered section to ``--output``/stdout *as it
+completes* (atomic appends), so a killed report run still leaves the
+finished sections on disk.
 
-``--paper-scale-smoke`` instead runs one benchmark end-to-end at the
-paper's model scale (5 000 dynamic-tree particles, 500 candidates — see
-:mod:`repro.experiments.paper_scale`) and reports its timings.
+Backends:
 
-``--paper-run`` instead drives the paper's full evaluation — every
-benchmark × sampling plan × repetition at the selected scale (default:
-``paper``, i.e. 2 500 examples × 10 repetitions) — through the sharded,
-checkpointed backend of :mod:`repro.experiments.runner`, with live
-progress/ETA on stderr and the merged Table 1 / Figure 5 / Figure 6 report
-on completion.  The run is resumable: re-invoke with the same ``--run-dir``
-plus ``--resume`` after a crash or kill and it continues from the last
-per-unit checkpoint, bit-identical to an uninterrupted run.
+* default — in-memory execution, the degenerate one-worker path of the
+  sharded backend (``--workers N`` fans the work units of each artifact
+  over a process pool; results are worker-count invariant);
+* ``--paper-run`` — the sharded, checkpointed, multi-host task queue of
+  :mod:`repro.experiments.runner` (``--run-dir``, ``--resume``), the
+  backend for the paper's full 2 500-example × 10-repetition evaluation;
+* ``--paper-scale-smoke`` — one benchmark end-to-end at the paper's model
+  scale (5 000 particles, 500 candidates) to sanity-check throughput.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
-from typing import Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from .config import ExperimentScale
-from .figure1 import run_figure1
-from .figure2 import run_figure2
-from .figure5 import figure5_from_table1
-from .figure6 import Figure6Panel, Figure6Result
 from .paper_scale import run_paper_scale_smoke
+from .registry import DEFAULT_ARTIFACTS, run_artifacts, spec_names
 from .runner import run_paper_run
-from .table1 import run_table1
-from .table2 import run_table2
 
 __all__ = ["run_all", "main"]
 
 _EPILOG = """\
+artifacts:
+  --only takes a comma-separated subset of the registered artifacts
+  (default: %(default_artifacts)s).
+  Dependencies are resolved automatically: --only figure6 runs the
+  Table 1 work units it folds from, but renders only Figure 6.
+  Registered: %(all_artifacts)s.
+
 paper-run workflow:
   # launch the full paper configuration (2500 examples x 10 repetitions,
-  # all benchmarks), sharded over 8 worker processes:
+  # all benchmarks, every report artifact), sharded over 8 worker processes:
   python -m repro.experiments.run_all --paper-run --run-dir paper_run --workers 8
 
   # killed or crashed? resume from the per-unit checkpoints — completed
@@ -53,13 +57,21 @@ paper-run workflow:
   # uninterrupted run:
   python -m repro.experiments.run_all --paper-run --run-dir paper_run --workers 8 --resume
 
+  # several machines can share one queue over a network filesystem:
+  # create the run on one host, then point the others at it with --resume.
+  # per-unit claim files (atomic O_EXCL create + stale-lease takeover)
+  # keep two hosts from executing the same unit.
+
   # a fast end-to-end rehearsal of the same backend at smoke scale:
   python -m repro.experiments.run_all --paper-run --scale smoke --run-dir /tmp/rehearsal
 
   --run-dir holds the task queue (manifest.jsonl), one result file per
-  completed (benchmark x plan x repetition) unit, and the in-flight
-  checkpoints; see docs/reproduction.md for runtimes and output layout.
-"""
+  completed work unit, in-flight checkpoints, claim files and an events
+  journal; see docs/reproduction.md for runtimes and output layout.
+""" % {
+    "default_artifacts": ",".join(DEFAULT_ARTIFACTS),
+    "all_artifacts": ",".join(spec_names()),
+}
 
 
 def _scale_from_name(name: str) -> ExperimentScale:
@@ -73,44 +85,60 @@ def _scale_from_name(name: str) -> ExperimentScale:
     return factories[name]()
 
 
-def run_all(scale: Optional[ExperimentScale] = None, workers: int = 1) -> str:
-    """Run every table/figure driver and return the consolidated text report.
+def _append_section(path: str, text: str, truncate: bool = False) -> None:
+    """Append one rendered section with a single O_APPEND write, so a
+    killed run leaves only whole sections behind.  ``truncate`` starts the
+    file over (used for the first section of an invocation, so re-running
+    into the same ``--output`` never mixes two reports)."""
+    flags = os.O_CREAT | os.O_WRONLY | (os.O_TRUNC if truncate else os.O_APPEND)
+    fd = os.open(path, flags, 0o644)
+    try:
+        os.write(fd, text.encode("utf-8"))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
-    ``workers > 1`` distributes the learner runs behind Table 1 (and hence
-    Figures 5-6) over a process pool — one job per (benchmark × plan ×
-    repetition).  Results are deterministic and worker-count invariant;
-    benchmarks with stateful drift noise start each run with a fresh noise
-    state in pool mode, so those rows can differ slightly from a serial run.
+
+def run_all(
+    scale: Optional[ExperimentScale] = None,
+    workers: int = 1,
+    artifacts: Optional[Sequence[str]] = None,
+    section_sink: Optional[Callable[[str, str], None]] = None,
+) -> str:
+    """Run the selected artifacts in memory and return the text report.
+
+    ``workers > 1`` distributes each artifact's work units over a process
+    pool; results are deterministic and worker-count invariant (every unit
+    is seeded independently of execution order).  ``section_sink`` receives
+    ``(artifact_name, rendered_section)`` as each artifact completes —
+    the streaming hook the CLI uses for ``--output``.
     """
     scale = scale if scale is not None else ExperimentScale.laptop()
-    sections = []
+    selected = list(artifacts) if artifacts is not None else list(DEFAULT_ARTIFACTS)
+    requested = set(selected)
     started = time.time()
-
-    table2 = run_table2(scale)
-    sections.append(table2.render())
-
-    figure1 = run_figure1(scale)
-    sections.append(figure1.render())
-
-    figure2 = run_figure2(scale)
-    sections.append(figure2.render())
-
-    table1 = run_table1(scale, workers=workers)
-    sections.append(table1.render())
-    sections.append(figure5_from_table1(table1).render())
-
-    panels = {
-        name: Figure6Panel(benchmark=name, curves=comparison.curves, comparison=comparison)
-        for name, comparison in table1.comparisons.items()
-    }
-    sections.append(Figure6Result(panels=panels).render())
-
-    elapsed = time.time() - started
     header = (
-        f"Experiment report (scale: {scale.name}, benchmarks: {', '.join(scale.benchmarks)}, "
-        f"wall time {elapsed:.0f}s)"
+        f"Experiment report (scale: {scale.name}, benchmarks: "
+        f"{', '.join(scale.benchmarks)}, artifacts: {', '.join(selected)})"
     )
-    return "\n\n".join([header] + sections)
+    sections: List[str] = [header]
+    if section_sink is not None:
+        section_sink("header", header)
+
+    def on_result(spec, result) -> None:
+        if spec.name not in requested:
+            return
+        text = result.render()
+        sections.append(text)
+        if section_sink is not None:
+            section_sink(spec.name, text)
+
+    run_artifacts(scale, selected, workers=workers, on_result=on_result)
+    footer = f"wall time {time.time() - started:.0f}s"
+    sections.append(footer)
+    if section_sink is not None:
+        section_sink("footer", footer)
+    return "\n\n".join(sections)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -128,15 +156,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "is the paper's full configuration)"
         ),
     )
-    parser.add_argument("--output", default=None, help="write the report to this file")
+    parser.add_argument(
+        "--only",
+        default=None,
+        metavar="ARTIFACTS",
+        help=(
+            "comma-separated artifact subset to run and render "
+            "(see the epilog for the registered names)"
+        ),
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help=(
+            "append each artifact's rendered section to this file as it "
+            "completes (a killed run keeps its finished sections)"
+        ),
+    )
     parser.add_argument(
         "--workers",
         type=int,
         default=1,
         help=(
-            "worker processes executing the (benchmark x plan x repetition) "
-            "learner runs: the Table 1 process pool for a report run, or the "
-            "sharded task-queue workers for --paper-run"
+            "worker processes executing each artifact's work units: an "
+            "in-memory process pool for a report run, or the sharded "
+            "task-queue workers for --paper-run"
         ),
     )
     parser.add_argument(
@@ -159,8 +203,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--paper-run",
         action="store_true",
         help=(
-            "drive the full benchmark x plan x repetition evaluation through "
-            "the sharded, checkpointed backend (see the epilog)"
+            "drive the selected artifacts' work units through the sharded, "
+            "checkpointed, multi-host backend (see the epilog)"
         ),
     )
     parser.add_argument(
@@ -174,7 +218,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help=(
             "continue a --paper-run whose --run-dir already holds a manifest: "
             "completed units are kept, the in-flight unit restarts from its "
-            "last checkpoint"
+            "last checkpoint (also how additional hosts join a shared run)"
         ),
     )
     parser.add_argument(
@@ -201,6 +245,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--repetitions must be at least 1")
     if args.paper_run and args.paper_scale_smoke:
         parser.error("--paper-run and --paper-scale-smoke are mutually exclusive")
+    if args.paper_scale_smoke and args.only is not None:
+        # Refuse rather than silently drop the artifact selection.
+        parser.error("--only does not apply to --paper-scale-smoke")
     if not args.paper_run:
         # Refuse rather than silently ignore: a user resuming a killed
         # paper run who forgets --paper-run would otherwise get a fresh
@@ -212,28 +259,58 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ):
             if value is not None:
                 parser.error(f"{flag} only makes sense together with --paper-run")
+    artifacts: Optional[List[str]] = None
+    if args.only is not None:
+        artifacts = [name.strip() for name in args.only.split(",") if name.strip()]
+        if not artifacts:
+            parser.error("--only needs at least one artifact name")
+        known = set(spec_names())
+        unknown = [name for name in artifacts if name not in known]
+        if unknown:
+            parser.error(
+                f"unknown artifact(s): {', '.join(unknown)}; "
+                f"registered: {', '.join(spec_names())}"
+            )
+
+    first_section = True
+
+    def section_sink(name: str, text: str) -> None:
+        nonlocal first_section
+        if args.output:
+            _append_section(args.output, text + "\n\n", truncate=first_section)
+        else:
+            print(text, end="\n\n", flush=True)
+        first_section = False
+
     if args.paper_run:
         scale = _scale_from_name(args.scale if args.scale is not None else "paper")
-        report = run_paper_run(
+        run_paper_run(
             scale,
             run_dir=args.run_dir if args.run_dir is not None else "paper_run",
+            artifacts=artifacts,
             workers=args.workers,
             resume=args.resume,
             repetitions=args.repetitions,
             checkpoint_interval=args.checkpoint_interval,
+            section_sink=section_sink,
         )
     elif args.paper_scale_smoke:
         report = run_paper_scale_smoke(
             benchmark=args.smoke_benchmark, training_examples=args.smoke_examples
         ).render()
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(report + "\n")
+        else:
+            print(report)
     else:
         scale = _scale_from_name(args.scale if args.scale is not None else "laptop")
-        report = run_all(scale, workers=args.workers)
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(report + "\n")
-    else:
-        print(report)
+        run_all(
+            scale,
+            workers=args.workers,
+            artifacts=artifacts,
+            section_sink=section_sink,
+        )
     return 0
 
 

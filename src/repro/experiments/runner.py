@@ -1,63 +1,65 @@
-"""Sharded, checkpointed experiment backend for paper-scale runs.
+"""Sharded, checkpointed, multi-host backend for registry experiments.
 
-The paper's headline evaluation — every SPAPT benchmark × three sampling
-plans × ten repetitions at 2 500 training examples each — is hours of
-compute even with the batched SMC kernel, and a single crash near the end
-of a monolithic ``compare_sampling_plans_suite`` call used to throw all of
-it away.  This module decomposes the suite into order-independent
-**work units** (one ``benchmark × plan × repetition`` learner run each) and
-executes them from a persistent on-disk queue:
+Any artifact registered in :mod:`repro.experiments.registry` runs here:
+the runner asks each selected :class:`~repro.experiments.registry.ExperimentSpec`
+to decompose into seeded, order-independent work units and executes them
+from a persistent on-disk queue:
 
 * ``<run_dir>/manifest.jsonl`` — the task queue: a header fingerprinting
-  the experiment configuration plus one record per work unit, written once
-  when the run is created and validated on every resume (a manifest created
-  for a different configuration refuses to resume rather than silently
-  mixing results);
-* ``<run_dir>/results/<unit>.pkl`` — one atomically written file per
-  completed unit (the unit's :class:`~repro.core.learner.LearningResult`
-  with the model stripped); a unit with a result file is never re-run;
+  the scale and the selected artifacts plus one record per work unit,
+  written once when the run is created and validated on every resume (a
+  manifest created for a different configuration refuses to resume rather
+  than silently mixing results);
+* ``<run_dir>/results/<unit>.pkl`` — one atomically written payload per
+  completed unit; a unit with a result file is never re-run;
 * ``<run_dir>/checkpoints/<unit>.pkl`` — the in-flight unit's most recent
-  :class:`~repro.core.learner.LearnerCheckpoint`, refreshed atomically
-  every ``checkpoint_interval`` training examples and deleted when the unit
-  completes.  A killed run resumes from the last checkpoint instead of
-  restarting the unit, and the resumed trajectory is bit-identical to the
-  uninterrupted one (pinned by ``tests/test_runner.py``).
+  checkpoint (for learner units: a
+  :class:`~repro.core.learner.LearnerCheckpoint`), refreshed atomically
+  every ``checkpoint_interval`` training examples and deleted when the
+  unit completes.  A killed run resumes from the last checkpoint, and the
+  resumed trajectory is bit-identical to the uninterrupted one;
+* ``<run_dir>/claims/<unit>.claim`` — per-unit claim files created with
+  ``O_EXCL`` (host + pid + lease timestamp), so several *machines* can
+  point workers at one shared run directory: a unit is executed by
+  whichever worker wins the atomic create, peers skip fresh claims and
+  poll for the owner's result, and a claim whose lease expired (owner
+  died) is taken over via an atomic rename — exactly one contender wins;
+* ``<run_dir>/log/events.jsonl`` — an append-only journal of claim /
+  execute / publish / takeover events (host, pid, timestamps), the audit
+  trail the contention tests assert on.
 
-Units are seeded exactly like the process-pool schedule of
-:func:`repro.core.comparison.compare_sampling_plans_suite` (each unit
-rebuilds its benchmark and held-out test set from the repetition's
-deterministic seed), so a sharded run merges to the same comparisons the
-pool backend produces, and the merge feeds the existing
-``reporting``/``curves`` aggregation unchanged.
-
-``run_all --paper-run`` drives the full paper configuration through
-:func:`run_paper_run`; :class:`ExperimentRunner` is the programmatic
-surface for anything in between (smoke-scale resumability tests, partial
-benchmark subsets, multi-invocation runs sharing one queue directory).
+Artifacts execute in dependency order; each one folds and (optionally)
+streams its rendered report section as soon as its units are complete, so
+a killed report run still leaves every finished section behind.
+``run_all --paper-run`` drives this via :func:`run_paper_run`;
+:class:`ExperimentRunner` is the programmatic surface.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
 import os
 import pathlib
 import pickle
+import socket
 import sys
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from hashlib import sha256
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from ..core.acquisition import AcquisitionFunction, ALCAcquisition
-from ..core.comparison import ComparisonConfig, PlanComparison, _assemble
-from ..core.evaluation import build_test_set
-from ..core.learner import ActiveLearner, LearnerCheckpoint, LearningResult
-from ..core.plans import SamplingPlan, standard_plans
-from ..spapt.suite import BENCHMARK_SPECS, get_benchmark
+from .config import ExperimentScale
+from .registry import (
+    DEFAULT_ARTIFACTS,
+    ExperimentSpec,
+    UnitContext,
+    WorkUnit,
+    get_spec,
+    resolve_artifacts,
+)
 
 __all__ = [
     "WorkUnit",
@@ -67,47 +69,11 @@ __all__ = [
     "run_paper_run",
 ]
 
-_MANIFEST_VERSION = 1
+_MANIFEST_VERSION = 2
 
 
 class RunnerError(RuntimeError):
     """A run directory cannot be created, resumed or merged."""
-
-
-@dataclass(frozen=True)
-class WorkUnit:
-    """One independent learner run: a (benchmark × plan × repetition) cell."""
-
-    benchmark: str
-    plan_name: str
-    plan_index: int
-    repetition: int
-
-    @property
-    def unit_id(self) -> str:
-        """Filesystem-safe identifier, stable across runs."""
-        plan_slug = "".join(
-            ch if ch.isalnum() or ch in "-_" else "-" for ch in self.plan_name
-        )
-        return f"{self.benchmark}--{plan_slug}--r{self.repetition:03d}"
-
-    def to_record(self) -> dict:
-        return {
-            "kind": "unit",
-            "benchmark": self.benchmark,
-            "plan_name": self.plan_name,
-            "plan_index": self.plan_index,
-            "repetition": self.repetition,
-        }
-
-    @classmethod
-    def from_record(cls, record: dict) -> "WorkUnit":
-        return cls(
-            benchmark=record["benchmark"],
-            plan_name=record["plan_name"],
-            plan_index=int(record["plan_index"]),
-            repetition=int(record["repetition"]),
-        )
 
 
 def _atomic_write_bytes(path: pathlib.Path, payload: bytes) -> None:
@@ -125,27 +91,135 @@ def _atomic_write_bytes(path: pathlib.Path, payload: bytes) -> None:
     os.replace(tmp, path)
 
 
-def _config_fingerprint(
-    config: ComparisonConfig,
-    plans: Sequence[SamplingPlan],
-    benchmarks: Sequence[str],
-    acquisition: Optional[AcquisitionFunction] = None,
-) -> str:
-    """Digest identifying the experiment a run directory belongs to.
+def _host_tag() -> str:
+    return f"{socket.gethostname()}:{os.getpid()}"
 
-    The acquisition enters by class identity (its instances have no stable
-    repr), so resuming with a different acquisition function is refused
-    like any other configuration change.
-    """
-    acquisition_tag = (
-        f"{type(acquisition).__module__}.{type(acquisition).__qualname__}"
-        if acquisition is not None
-        else ""
-    )
-    blob = repr(
-        (config, tuple(plans), tuple(benchmarks), acquisition_tag)
+
+def _append_event(run_dir: pathlib.Path, event: str, unit_id: str) -> None:
+    """One journal line per event, written with a single ``O_APPEND`` write.
+
+    On local POSIX filesystems a single small append lands as one whole
+    record, so concurrent writers interleave lines, never fragments.  On
+    network filesystems ``O_APPEND`` is weaker (NFS emulates it
+    client-side) and a torn line is possible under cross-host contention;
+    the journal is an audit trail, not a correctness mechanism — claims
+    and results rely only on ``O_EXCL`` create and atomic rename, which
+    hold on NFSv3+."""
+    line = (
+        json.dumps(
+            {
+                "event": event,
+                "unit": unit_id,
+                "host": socket.gethostname(),
+                "pid": os.getpid(),
+                "time": time.time(),
+            }
+        )
+        + "\n"
     ).encode("utf-8")
-    return hashlib.sha256(blob).hexdigest()[:16]
+    path = run_dir / "log" / "events.jsonl"
+    fd = os.open(path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
+
+
+# ------------------------------------------------------------------- claims
+
+
+def _claim_payload(lease_seconds: float) -> bytes:
+    now = time.time()
+    return json.dumps(
+        {
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+            "acquired": now,
+            "renewed": now,
+            "lease_seconds": lease_seconds,
+        }
+    ).encode("utf-8")
+
+
+def _claim_is_stale(path: pathlib.Path, default_lease: float) -> bool:
+    try:
+        record = json.loads(path.read_text("utf-8"))
+        renewed = float(record["renewed"])
+        lease = float(record.get("lease_seconds", default_lease))
+    except (OSError, ValueError, KeyError, TypeError):
+        # Unreadable or torn claim: treat as stale once it is old enough
+        # that no live writer can still be mid-create.
+        try:
+            renewed = path.stat().st_mtime
+        except OSError:
+            return False  # vanished: the owner released it
+        return time.time() - renewed > default_lease
+    if record.get("host") == socket.gethostname():
+        # A dead local owner can be detected directly instead of waiting
+        # out the lease: a SIGKILLed run (claims never released) resumes
+        # instantly.  An *alive* pid still falls through to the lease
+        # check — the owner's heartbeat renews the lease while it works,
+        # so an expired lease under a live pid means a hung owner (or a
+        # recycled pid) and the unit should be taken over.
+        try:
+            os.kill(int(record["pid"]), 0)
+        except (ProcessLookupError, ValueError, TypeError):
+            return True
+        except PermissionError:
+            pass  # alive, owned by another user
+    return time.time() - renewed > lease
+
+
+def _try_claim(path: pathlib.Path, lease_seconds: float) -> bool:
+    """Atomically claim a unit; returns False when a peer holds a live claim.
+
+    The create is ``O_EXCL``, so exactly one contender wins a free unit.
+    A stale claim (owner's lease expired — it died without releasing) is
+    taken over by renaming it aside first: rename is atomic and succeeds
+    for exactly one contender, so two hosts discovering the same dead
+    claim cannot both take it.
+    """
+    run_dir = path.parent.parent
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    except FileExistsError:
+        if not _claim_is_stale(path, lease_seconds):
+            return False
+        graveyard = path.with_name(f"{path.name}.stale.{_host_tag()}")
+        try:
+            os.rename(path, graveyard)
+        except OSError:
+            return False  # another contender won the takeover race
+        try:
+            graveyard.unlink()
+        except OSError:
+            pass
+        _append_event(run_dir, "takeover", path.stem)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return False
+    try:
+        os.write(fd, _claim_payload(lease_seconds))
+    finally:
+        os.close(fd)
+    _append_event(run_dir, "claim", path.stem)
+    return True
+
+
+def _renew_claim(path: pathlib.Path, lease_seconds: float) -> None:
+    """Refresh the lease timestamp of a claim this worker owns."""
+    _atomic_write_bytes(path, _claim_payload(lease_seconds))
+
+
+def _release_claim(path: pathlib.Path) -> None:
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
+# ------------------------------------------------------------------ manifest
 
 
 @dataclass(frozen=True)
@@ -157,42 +231,38 @@ class RunManifest:
 
     @classmethod
     def build(
-        cls,
-        benchmarks: Sequence[str],
-        plans: Sequence[SamplingPlan],
-        config: ComparisonConfig,
-        acquisition: Optional[AcquisitionFunction] = None,
+        cls, scale: ExperimentScale, specs: Sequence[ExperimentSpec]
     ) -> "RunManifest":
-        units = tuple(
-            WorkUnit(
-                benchmark=name,
-                plan_name=plan.name,
-                plan_index=plan_index,
-                repetition=repetition,
-            )
-            for name in benchmarks
-            for repetition in range(config.repetitions)
-            for plan_index, plan in enumerate(plans)
-        )
+        units: List[WorkUnit] = []
+        for spec in specs:
+            units.extend(spec.work_units(scale))
         ids = [unit.unit_id for unit in units]
         if len(set(ids)) != len(ids):
-            # Two plan names that differ only in slugged-away characters
+            # Two unit keys that differ only in slugged-away characters
             # would share result/checkpoint paths and silently drop units.
             raise RunnerError(
-                "plan names collide after filesystem slugging; rename the plans"
+                "work-unit ids collide after filesystem slugging; "
+                "rename the offending plan/variant names"
             )
-        return cls(
-            fingerprint=_config_fingerprint(config, plans, benchmarks, acquisition),
-            units=units,
-        )
+        fingerprint = sha256(
+            repr(
+                tuple((spec.name, spec.fingerprint(scale)) for spec in specs)
+            ).encode("utf-8")
+        ).hexdigest()[:16]
+        return cls(fingerprint=fingerprint, units=tuple(units))
 
-    def write(self, path: pathlib.Path) -> None:
+    def write(
+        self, path: pathlib.Path, scale: ExperimentScale,
+        artifacts: Sequence[str],
+    ) -> None:
         lines = [
             json.dumps(
                 {
                     "kind": "header",
                     "version": _MANIFEST_VERSION,
                     "fingerprint": self.fingerprint,
+                    "scale": scale.name,
+                    "artifacts": list(artifacts),
                     "units": len(self.units),
                 }
             )
@@ -224,131 +294,179 @@ class RunManifest:
         return cls(fingerprint=fingerprint, units=tuple(units))
 
 
+# ----------------------------------------------------------- unit execution
+
+
+class _FileUnitContext(UnitContext):
+    """File-backed checkpoint/progress context for one claimed unit.
+
+    Checkpoints and progress counters are written atomically; every
+    checkpoint also renews the unit's claim lease, so a live long-running
+    unit is never mistaken for a dead one as long as its checkpoint
+    cadence beats the lease.
+    """
+
+    def __init__(
+        self,
+        run_dir: pathlib.Path,
+        unit: WorkUnit,
+        checkpoint_interval: int,
+        lease_seconds: float,
+    ) -> None:
+        self.checkpoint_interval = checkpoint_interval
+        self._checkpoint_path = run_dir / "checkpoints" / f"{unit.unit_id}.pkl"
+        self._progress_path = run_dir / "progress" / f"{unit.unit_id}.json"
+        self._claim_path = run_dir / "claims" / f"{unit.unit_id}.claim"
+        self._lease_seconds = lease_seconds
+
+    def load_checkpoint(self) -> Optional[Any]:
+        if not self._checkpoint_path.exists():
+            return None
+        try:
+            with open(self._checkpoint_path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None  # corrupt/stale checkpoint: restart the unit
+
+    def save_checkpoint(self, state: Any) -> None:
+        _atomic_write_bytes(
+            self._checkpoint_path,
+            pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        _renew_claim(self._claim_path, self._lease_seconds)
+
+    def progress(self, done: int, target: int) -> None:
+        _atomic_write_bytes(
+            self._progress_path,
+            json.dumps({"examples": done, "target": target}).encode("utf-8"),
+        )
+
+    def cleanup(self) -> None:
+        for stale in (self._checkpoint_path, self._progress_path):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+
+class _ClaimHeartbeat:
+    """Daemon thread renewing a claim's lease while its unit executes.
+
+    Learner units renew on every checkpoint anyway; units that never
+    checkpoint (table2's dataset sweep, the figures, a noise level) would
+    otherwise outlive their lease and get taken over mid-execution by a
+    polling peer.  The heartbeat renews at a third of the lease, so a
+    live owner's claim is never stale no matter how long the unit runs.
+    """
+
+    def __init__(self, claim_path: pathlib.Path, lease_seconds: float) -> None:
+        self._claim_path = claim_path
+        self._lease_seconds = lease_seconds
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._beat, daemon=True)
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._lease_seconds / 3.0):
+            _renew_claim(self._claim_path, self._lease_seconds)
+
+    def __enter__(self) -> "_ClaimHeartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
 def _execute_unit(
     run_dir: str,
-    unit: WorkUnit,
-    plan: SamplingPlan,
-    config: ComparisonConfig,
-    acquisition: AcquisitionFunction,
+    spec_name: str,
+    scale: ExperimentScale,
+    record: dict,
     checkpoint_interval: int,
-) -> Tuple[str, int]:
-    """Run one work unit to completion (worker-process entry point).
+    lease_seconds: float,
+) -> Tuple[str, str]:
+    """Claim and run one work unit (worker-process entry point).
 
-    Rebuilds the benchmark and the repetition's held-out test set from their
-    deterministic seeds (matching ``compare_sampling_plans_suite``'s pool
-    schedule exactly), resumes from the unit's checkpoint when one exists —
-    restoring the benchmark's stateful noise components only *after* the
-    test set is rebuilt, since building it advances the drift walk — and
-    atomically publishes the result.  Returns ``(unit_id, examples_run)``.
+    Returns ``(unit_id, status)`` where status is ``"done"`` (executed and
+    published), ``"already"`` (result existed) or ``"claimed"`` (a peer
+    holds a live claim; the caller should poll for the peer's result).
     """
     base = pathlib.Path(run_dir)
+    unit = WorkUnit.from_record(record)
     result_path = base / "results" / f"{unit.unit_id}.pkl"
-    checkpoint_path = base / "checkpoints" / f"{unit.unit_id}.pkl"
-    progress_path = base / "progress" / f"{unit.unit_id}.json"
     if result_path.exists():
-        return unit.unit_id, 0
-
-    benchmark = get_benchmark(unit.benchmark)
-    test_rng = np.random.default_rng(config.seed + 7919 * unit.repetition)
-    test_set = build_test_set(
-        benchmark,
-        size=config.test_size,
-        observations=config.test_observations,
-        rng=test_rng,
-    )
-
-    resume: Optional[LearnerCheckpoint] = None
-    if checkpoint_path.exists():
-        try:
-            with open(checkpoint_path, "rb") as handle:
-                resume = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            resume = None  # corrupt/stale checkpoint: restart the unit
-    if resume is not None:
-        benchmark.restore_noise_model(resume.noise_model)
-
-    run_rng = np.random.default_rng(
-        config.seed + 104729 * unit.repetition + 1299709 * unit.plan_index + 1
-    )
-    learner = ActiveLearner(
-        benchmark,
-        plan=plan,
-        acquisition=acquisition,
-        config=config.learner,
-        rng=run_rng,
-    )
-
-    def sink(checkpoint: LearnerCheckpoint) -> None:
+        return unit.unit_id, "already"
+    claim_path = base / "claims" / f"{unit.unit_id}.claim"
+    if not _try_claim(claim_path, lease_seconds):
+        return unit.unit_id, "claimed"
+    context = _FileUnitContext(base, unit, checkpoint_interval, lease_seconds)
+    try:
+        if result_path.exists():
+            # The previous owner published between our staleness check and
+            # the takeover; nothing to do.
+            return unit.unit_id, "already"
+        _append_event(base, "execute", unit.unit_id)
+        spec = get_spec(spec_name)
+        with _ClaimHeartbeat(claim_path, lease_seconds):
+            payload = spec.execute_unit(unit, scale, context)
         _atomic_write_bytes(
-            checkpoint_path,
-            pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL),
+            result_path,
+            pickle.dumps(
+                {"unit": unit.to_record(), "payload": payload},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            ),
         )
-        _atomic_write_bytes(
-            progress_path,
-            json.dumps(
-                {
-                    "examples": checkpoint.training_examples,
-                    "target": config.learner.max_training_examples,
-                }
-            ).encode("utf-8"),
-        )
+        _append_event(base, "publish", unit.unit_id)
+        context.cleanup()
+    finally:
+        _release_claim(claim_path)
+    return unit.unit_id, "done"
 
-    result = learner.run(
-        test_set,
-        resume=resume,
-        checkpoint_interval=checkpoint_interval,
-        checkpoint_sink=sink,
-    )
-    payload = {
-        "unit": unit.to_record(),
-        "result": dataclasses.replace(result, model=None),
-    }
-    _atomic_write_bytes(
-        result_path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    )
-    for stale in (checkpoint_path, progress_path):
-        try:
-            stale.unlink()
-        except OSError:
-            pass
-    return unit.unit_id, result.training_examples
+
+# ------------------------------------------------------------------- runner
 
 
 class ExperimentRunner:
-    """Sharded executor for a suite of (benchmark × plan × repetition) runs.
+    """Sharded executor for registry artifacts over one run directory.
 
     One instance owns one run directory.  :meth:`run` creates (or resumes)
-    the manifest, executes every pending unit over ``workers`` processes
-    with per-unit checkpointing, and returns the merged per-benchmark
-    :class:`~repro.core.comparison.PlanComparison` dictionary — the same
-    structure ``compare_sampling_plans_suite`` returns, so Table 1 /
-    Figure 5 / Figure 6 aggregation applies unchanged.
+    the manifest covering the selected artifacts plus their dependency
+    closure, executes every pending unit over ``workers`` processes with
+    per-unit claims and checkpoints, folds each artifact as soon as its
+    units complete (streaming the rendered section through ``on_result``),
+    and returns the folded results by artifact name.
+
+    Several hosts may point runners at one shared ``run_dir``: create the
+    run once, then start every other host with ``resume=True`` (CLI:
+    ``--resume``).  The per-unit claim files keep the hosts from executing
+    the same unit twice; a host that dies mid-unit loses its claim after
+    ``claim_lease_seconds`` and a peer takes the unit over from its last
+    checkpoint.
     """
 
     def __init__(
         self,
         run_dir: os.PathLike,
-        benchmarks: Sequence[str],
-        config: Optional[ComparisonConfig] = None,
-        plans: Optional[Sequence[SamplingPlan]] = None,
-        acquisition: Optional[AcquisitionFunction] = None,
+        scale: ExperimentScale,
+        artifacts: Optional[Sequence[str]] = None,
         checkpoint_interval: int = 25,
+        claim_lease_seconds: float = 900.0,
+        claim_poll_seconds: float = 2.0,
     ) -> None:
         self.run_dir = pathlib.Path(run_dir)
-        self.benchmarks = list(benchmarks)
-        unknown = [name for name in self.benchmarks if name not in BENCHMARK_SPECS]
-        if unknown:
-            raise KeyError(f"unknown benchmarks: {', '.join(unknown)}")
-        self.config = config if config is not None else ComparisonConfig()
-        self.plans = list(plans) if plans is not None else standard_plans()
-        if not self.plans:
-            raise ValueError("at least one sampling plan is required")
-        self.acquisition = (
-            acquisition if acquisition is not None else ALCAcquisition()
+        self.scale = scale
+        self.artifacts = list(artifacts) if artifacts is not None else list(
+            DEFAULT_ARTIFACTS
         )
+        self.specs = resolve_artifacts(self.artifacts)
         if checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be at least 1")
+        if claim_lease_seconds <= 0:
+            raise ValueError("claim_lease_seconds must be positive")
         self.checkpoint_interval = checkpoint_interval
+        self.claim_lease_seconds = claim_lease_seconds
+        self.claim_poll_seconds = claim_poll_seconds
 
     # ------------------------------------------------------------ queue state
 
@@ -365,12 +483,10 @@ class ExperimentRunner:
         A fresh directory is always fine.  An existing manifest requires
         ``resume=True`` (guarding against accidentally pointing a new
         experiment at an old queue) and must fingerprint-match the current
-        configuration (guarding against silently mixing results from
-        different experiments in one directory).
+        scale and artifact selection (guarding against silently mixing
+        results from different experiments in one directory).
         """
-        manifest = RunManifest.build(
-            self.benchmarks, self.plans, self.config, self.acquisition
-        )
+        manifest = RunManifest.build(self.scale, self.specs)
         if self.manifest_path.exists():
             if not resume:
                 raise RunnerError(
@@ -385,12 +501,14 @@ class ExperimentRunner:
                     f"{manifest.fingerprint}); refusing to mix results"
                 )
             return existing
-        for sub in ("results", "checkpoints", "progress"):
+        for sub in ("results", "checkpoints", "progress", "claims", "log"):
             (self.run_dir / sub).mkdir(parents=True, exist_ok=True)
-        manifest.write(self.manifest_path)
+        manifest.write(self.manifest_path, self.scale, self.artifacts)
         return manifest
 
-    def pending_units(self, manifest: Optional[RunManifest] = None) -> List[WorkUnit]:
+    def pending_units(
+        self, manifest: Optional[RunManifest] = None
+    ) -> List[WorkUnit]:
         """Units without a published result, in manifest order."""
         if manifest is None:
             manifest = RunManifest.read(self.manifest_path)
@@ -406,66 +524,147 @@ class ExperimentRunner:
         resume: bool = False,
         progress: Optional[Callable[[str], None]] = None,
         progress_interval: float = 10.0,
-    ) -> Dict[str, PlanComparison]:
-        """Execute every pending unit, then merge and return the comparisons.
+        on_result: Optional[Callable[[ExperimentSpec, Any], None]] = None,
+    ) -> Dict[str, Any]:
+        """Execute every pending unit, fold every artifact, return results.
 
-        ``workers == 1`` executes units in-process (still checkpointing);
-        larger values fan the units out over a process pool.  ``progress``
-        receives human-readable status lines (unit completions and periodic
-        ETA summaries); pass ``print`` — or leave ``None`` for silence.
+        ``workers == 1`` executes units in-process (still claiming and
+        checkpointing); larger values fan the units out over a process
+        pool.  ``progress`` receives human-readable status lines; pass
+        ``print`` — or leave ``None`` for silence.  ``on_result`` fires
+        with ``(spec, folded_result)`` as each artifact completes.
         """
         if workers < 1:
             raise ValueError("workers must be at least 1")
         manifest = self.prepare(resume=resume)
-        pending = self.pending_units(manifest)
-        total = len(manifest.units)
-        done = total - len(pending)
         say = progress if progress is not None else (lambda line: None)
+        total = len(manifest.units)
+        state = {"total": total, "started": time.monotonic()}
         say(
-            f"run {self.run_dir}: {total} units "
-            f"({done} already complete, {len(pending)} pending, "
+            f"run {self.run_dir}: {total} units across "
+            f"{len(self.specs)} artifact(s) "
+            f"({total - len(self.pending_units(manifest))} already complete, "
             f"{workers} worker{'s' if workers != 1 else ''})"
         )
-        started = time.monotonic()
-        if pending:
-            if workers == 1:
-                for unit in pending:
-                    _execute_unit(
-                        str(self.run_dir),
-                        unit,
-                        self.plans[unit.plan_index],
-                        self.config,
-                        self.acquisition,
-                        self.checkpoint_interval,
-                    )
-                    done += 1
-                    say(self._status_line(done, total, started))
-            else:
-                self._run_pool(pending, workers, done, total, started, say,
-                               progress_interval)
-        say(f"run {self.run_dir}: all {total} units complete; merging")
-        return self.merge(manifest)
+        units_by_artifact: Dict[str, List[WorkUnit]] = {}
+        for unit in manifest.units:
+            units_by_artifact.setdefault(unit.artifact, []).append(unit)
+        results: Dict[str, Any] = {}
+        for index, spec in enumerate(self.specs):
+            units = units_by_artifact.get(spec.name, [])
+            later_units = [
+                unit
+                for later in self.specs[index + 1 :]
+                for unit in units_by_artifact.get(later.name, [])
+            ]
+            self._execute_artifact(
+                spec, units, later_units, workers, say, state, progress_interval
+            )
+            results[spec.name] = self._fold_artifact(spec, units, results)
+            say(f"  artifact {spec.name}: folded ({len(units)} unit(s))")
+            if on_result is not None:
+                on_result(spec, results[spec.name])
+        return results
 
-    def _run_pool(
+    def _execute_artifact(
+        self,
+        spec: ExperimentSpec,
+        units: Sequence[WorkUnit],
+        later_units: Sequence[WorkUnit],
+        workers: int,
+        say: Callable[[str], None],
+        state: dict,
+        progress_interval: float,
+    ) -> None:
+        """Drive one artifact's units to completion, sharing with peers.
+
+        Rounds of claim-and-execute alternate with polling: units claimed
+        by another host are left to their owner, and the round loop exits
+        only once every unit has a published result — either ours or a
+        peer's.  A peer that dies mid-unit loses its claim after the lease
+        and the next round takes the unit over.  While this artifact's
+        remaining units are all claimed by peers, the host works *ahead*
+        on later artifacts' unclaimed units instead of idling (the fold
+        barrier gates only the fold, not execution).
+        """
+        waiting_logged = False
+        while True:
+            pending = [u for u in units if not self._result_path(u).exists()]
+            if not pending:
+                return
+            # Only dispatch units that look claimable right now — checking
+            # a claim file in-process is cheap, spinning a process pool up
+            # every poll just to discover peers hold every claim is not.
+            # (The check races benignly: the claim itself is arbitrated by
+            # the atomic create inside _execute_unit.)
+            executed = 0
+            claimable = [u for u in pending if self._unit_is_open(u)]
+            if claimable:
+                executed = self._execute_round(
+                    claimable, workers, say, state, progress_interval
+                )
+            if executed:
+                waiting_logged = False
+                continue
+            ahead = [
+                u
+                for u in later_units
+                if not self._result_path(u).exists() and self._unit_is_open(u)
+            ]
+            if ahead and self._execute_round(
+                ahead, workers, say, state, progress_interval
+            ):
+                continue
+            if not waiting_logged:
+                say(
+                    f"  artifact {spec.name}: "
+                    f"{len(pending)} unit(s) claimed by other hosts; waiting"
+                )
+                waiting_logged = True
+            time.sleep(self.claim_poll_seconds)
+
+    def _unit_is_open(self, unit: WorkUnit) -> bool:
+        """True when the unit has no live claim (free, or stale takeover)."""
+        claim = self.run_dir / "claims" / f"{unit.unit_id}.claim"
+        return not claim.exists() or _claim_is_stale(claim, self.claim_lease_seconds)
+
+    def _execute_round(
         self,
         pending: Sequence[WorkUnit],
         workers: int,
-        done: int,
-        total: int,
-        started: float,
         say: Callable[[str], None],
+        state: dict,
         progress_interval: float,
-    ) -> None:
+    ) -> int:
+        """One claim-and-execute pass over ``pending`` (units may belong
+        to different artifacts — each resolves its spec by name); returns
+        how many units this invocation actually ran (claimed elsewhere →
+        0)."""
+        executed = 0
+        if workers == 1:
+            for unit in pending:
+                _, status = _execute_unit(
+                    str(self.run_dir),
+                    unit.artifact,
+                    self.scale,
+                    unit.to_record(),
+                    self.checkpoint_interval,
+                    self.claim_lease_seconds,
+                )
+                if status in ("done", "already"):
+                    say(self._status_line(state))
+                executed += status == "done"
+            return executed
         with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
             futures = {
                 pool.submit(
                     _execute_unit,
                     str(self.run_dir),
-                    unit,
-                    self.plans[unit.plan_index],
-                    self.config,
-                    self.acquisition,
+                    unit.artifact,
+                    self.scale,
+                    unit.to_record(),
                     self.checkpoint_interval,
+                    self.claim_lease_seconds,
                 ): unit
                 for unit in pending
             }
@@ -473,14 +672,15 @@ class ExperimentRunner:
             try:
                 while outstanding:
                     finished, outstanding = wait(
-                        outstanding, timeout=progress_interval,
+                        outstanding,
+                        timeout=progress_interval,
                         return_when=FIRST_COMPLETED,
                     )
                     for future in finished:
-                        future.result()  # propagate worker failures
-                        done += 1
+                        _, status = future.result()  # propagate worker failures
+                        executed += status == "done"
                     if finished or outstanding:
-                        say(self._status_line(done, total, started))
+                        say(self._status_line(state))
             except BaseException:
                 # Fail fast: without this, leaving the executor context
                 # would silently run every queued unit to completion before
@@ -489,43 +689,75 @@ class ExperimentRunner:
                 # fixed-and-resumed run loses nothing.)
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
+        return executed
 
-    def _status_line(self, done: int, total: int, started: float) -> str:
-        """One progress line: units, in-flight example counts, elapsed, ETA."""
-        elapsed = time.monotonic() - started
-        target = self.config.learner.max_training_examples
-        inflight_examples = 0
+    def _status_line(self, state: dict) -> str:
+        """One progress line: units, in-flight example counts, elapsed, ETA.
+
+        The completed count comes from the results directory, so units
+        published by peer hosts show up too.
+        """
+        total = state["total"]
+        results_dir = self.run_dir / "results"
+        done = (
+            len(list(results_dir.glob("*.pkl"))) if results_dir.is_dir() else 0
+        )
+        elapsed = time.monotonic() - state["started"]
+        inflight = []
         progress_dir = self.run_dir / "progress"
         if progress_dir.is_dir():
             for path in progress_dir.glob("*.json"):
                 try:
-                    inflight_examples += int(
-                        json.loads(path.read_text("utf-8")).get("examples", 0)
+                    record = json.loads(path.read_text("utf-8"))
+                    inflight.append(
+                        (int(record.get("examples", 0)), int(record.get("target", 0)))
                     )
                 except (OSError, ValueError):
                     continue
-        done_examples = done * target + inflight_examples
-        total_examples = total * target
-        if done_examples > 0 and elapsed > 0:
-            rate = done_examples / elapsed
-            eta = (total_examples - done_examples) / rate
+        # ETA from whole-unit completion rate plus fractional credit for
+        # in-flight learner units (their progress files report examples).
+        fractional = sum(
+            examples / target for examples, target in inflight if target > 0
+        )
+        effective = done + fractional
+        if effective > 0 and elapsed > 0 and total > done:
+            eta = (total - effective) * (elapsed / effective)
             eta_text = f", ETA {eta / 60.0:.1f} min"
         else:
             eta_text = ""
+        inflight_text = (
+            f", in flight {sum(e for e, _ in inflight)} examples"
+            if inflight
+            else ""
+        )
         return (
-            f"  units {done}/{total}, examples ~{done_examples}/{total_examples}, "
+            f"  units {done}/{total}{inflight_text}, "
             f"elapsed {elapsed / 60.0:.1f} min{eta_text}"
         )
 
     # ------------------------------------------------------------------ merge
 
-    def merge(
-        self, manifest: Optional[RunManifest] = None
-    ) -> Dict[str, PlanComparison]:
-        """Fold every completed unit into per-benchmark plan comparisons.
+    def _load_payload(self, unit: WorkUnit) -> Any:
+        with open(self._result_path(unit), "rb") as handle:
+            return pickle.load(handle)["payload"]
+
+    def _fold_artifact(
+        self,
+        spec: ExperimentSpec,
+        units: Sequence[WorkUnit],
+        results: Dict[str, Any],
+    ) -> Any:
+        """Fold one artifact from its published unit payloads; ``results``
+        must already hold every artifact in ``spec.depends_on``."""
+        payloads = [(unit, self._load_payload(unit)) for unit in units]
+        deps = {name: results[name] for name in spec.depends_on}
+        return spec.fold(self.scale, payloads, deps)
+
+    def merge(self, manifest: Optional[RunManifest] = None) -> Dict[str, Any]:
+        """Fold every artifact from the completed results on disk.
 
         Raises :class:`RunnerError` when any unit is missing a result —
-        merging a partial run would silently bias the averaged curves.
+        folding a partial run would silently bias averaged curves.
         """
         if manifest is None:
             manifest = RunManifest.read(self.manifest_path)
@@ -535,81 +767,68 @@ class ExperimentRunner:
                 f"cannot merge {self.run_dir}: {len(missing)} unit(s) incomplete "
                 f"(first: {missing[0].unit_id})"
             )
-        grouped: Dict[str, Dict[str, List[Tuple[int, LearningResult]]]] = {
-            name: {plan.name: [] for plan in self.plans} for name in self.benchmarks
-        }
+        units_by_artifact: Dict[str, List[WorkUnit]] = {}
         for unit in manifest.units:
-            with open(self._result_path(unit), "rb") as handle:
-                payload = pickle.load(handle)
-            grouped[unit.benchmark][unit.plan_name].append(
-                (unit.repetition, payload["result"])
+            units_by_artifact.setdefault(unit.artifact, []).append(unit)
+        results: Dict[str, Any] = {}
+        for spec in self.specs:
+            results[spec.name] = self._fold_artifact(
+                spec, units_by_artifact.get(spec.name, []), results
             )
-        comparisons: Dict[str, PlanComparison] = {}
-        for name in self.benchmarks:
-            per_plan = {
-                plan_name: [
-                    result for _, result in sorted(runs, key=lambda item: item[0])
-                ]
-                for plan_name, runs in grouped[name].items()
-            }
-            comparisons[name] = _assemble(name, self.plans, per_plan)
-        return comparisons
+        return results
 
 
 def run_paper_run(
-    scale,
+    scale: ExperimentScale,
     run_dir: os.PathLike,
+    artifacts: Optional[Sequence[str]] = None,
     workers: int = 1,
     resume: bool = False,
     repetitions: Optional[int] = None,
     checkpoint_interval: int = 25,
     progress: Optional[Callable[[str], None]] = None,
+    section_sink: Optional[Callable[[str, str], None]] = None,
 ) -> str:
-    """Drive the paper's full evaluation through the sharded backend.
+    """Drive registry artifacts through the sharded backend; return the report.
 
-    ``scale`` is an :class:`~repro.experiments.config.ExperimentScale`
-    (``ExperimentScale.paper()`` for the real thing; the smoke scale makes
-    this a fast end-to-end test of the backend).  Executes — or resumes —
-    the (benchmark × plan × repetition) queue under ``run_dir``, then
-    merges and renders the Table 1 / Figure 5 / Figure 6 sections from the
-    existing aggregation code.  Returns the rendered report.
+    ``artifacts`` defaults to the consolidated report
+    (:data:`~repro.experiments.registry.DEFAULT_ARTIFACTS`); any registered
+    artifact name — including the ablation specs — is accepted.  Each
+    artifact's rendered section goes to ``section_sink`` as soon as it
+    folds (dependency-only artifacts are computed but not rendered), and
+    the full report is returned at the end.
     """
-    from .figure5 import figure5_from_table1
-    from .figure6 import Figure6Panel, Figure6Result
-    from .table1 import table1_from_comparisons
-
-    config = scale.comparison_config()
     if repetitions is not None:
         if repetitions < 1:
             raise ValueError("repetitions must be at least 1")
-        config = dataclasses.replace(config, repetitions=repetitions)
+        scale = dataclasses.replace(scale, repetitions=repetitions)
+    selected = list(artifacts) if artifacts is not None else list(DEFAULT_ARTIFACTS)
     runner = ExperimentRunner(
         run_dir,
-        benchmarks=scale.benchmarks,
-        config=config,
+        scale,
+        artifacts=selected,
         checkpoint_interval=checkpoint_interval,
     )
     say = progress if progress is not None else (
         lambda line: print(line, file=sys.stderr, flush=True)
     )
-    comparisons = runner.run(workers=workers, resume=resume, progress=say)
-    names = list(scale.benchmarks)
-    table1 = table1_from_comparisons(names, comparisons)
-    panels = {
-        name: Figure6Panel(
-            benchmark=name, curves=comparison.curves, comparison=comparison
-        )
-        for name, comparison in comparisons.items()
-    }
-    sections = [
-        (
-            f"Paper run (scale: {scale.name}, benchmarks: {', '.join(names)}, "
-            f"repetitions: {config.repetitions}, "
-            f"examples/run: {config.learner.max_training_examples}, "
-            f"run dir: {run_dir})"
-        ),
-        table1.render(),
-        figure5_from_table1(table1).render(),
-        Figure6Result(panels=panels).render(),
-    ]
+    header = (
+        f"Paper run (scale: {scale.name}, benchmarks: "
+        f"{', '.join(scale.benchmarks)}, repetitions: {scale.repetitions}, "
+        f"artifacts: {', '.join(selected)}, run dir: {run_dir})"
+    )
+    sections = [header]
+    if section_sink is not None:
+        section_sink("header", header)
+    requested = set(selected)
+
+    def on_result(spec: ExperimentSpec, result: Any) -> None:
+        if spec.name not in requested:
+            return
+        text = result.render()
+        sections.append(text)
+        if section_sink is not None:
+            section_sink(spec.name, text)
+
+    runner.run(workers=workers, resume=resume, progress=say, on_result=on_result)
     return "\n\n".join(sections)

@@ -12,18 +12,34 @@ regression, adi at 0.29x).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.comparison import PlanComparison, compare_sampling_plans_suite
+from ..core.comparison import (
+    PlanComparison,
+    assemble_comparison,
+    compare_sampling_plans_suite,
+)
+from ..core.curves import speedup_factor
+from ..core.learner import LearningResult
 from ..core.plans import standard_plans
 from ..measurement.stats import geometric_mean
 from ..spapt.suite import get_benchmark
 from .config import ExperimentScale
+from .registry import (
+    ExperimentSpec,
+    UnitContext,
+    WorkUnit,
+    execute_learner_run,
+    group_learner_results,
+    register,
+    slugify,
+)
 from .reporting import format_scientific, format_table
 
 __all__ = [
     "Table1Row",
     "Table1Result",
+    "Table1Spec",
     "run_table1",
     "table1_from_comparisons",
     "PAPER_TABLE1_SPEEDUPS",
@@ -50,7 +66,12 @@ PAPER_TABLE1_SPEEDUPS: Dict[str, float] = {
 
 @dataclass(frozen=True)
 class Table1Row:
-    """One benchmark's row of Table 1."""
+    """One benchmark's row of Table 1.
+
+    ``speedup`` is the paper's single-level metric (cost ratio at the
+    lowest common RMSE); ``speedup_factor`` is the multi-level AUC-ratio
+    of :func:`repro.core.curves.speedup_factor`, reported alongside it.
+    """
 
     benchmark: str
     search_space_size: float
@@ -59,6 +80,7 @@ class Table1Row:
     baseline_cost_seconds: float
     our_cost_seconds: float
     speedup: float
+    speedup_factor: float
     paper_speedup: float
 
 
@@ -77,6 +99,10 @@ class Table1Result:
     def paper_geometric_mean_speedup(self) -> float:
         return geometric_mean([row.paper_speedup for row in self.rows])
 
+    @property
+    def geometric_mean_speedup_factor(self) -> float:
+        return geometric_mean([row.speedup_factor for row in self.rows])
+
     def to_rows(self) -> List[List[object]]:
         data: List[List[object]] = []
         for row in self.rows:
@@ -88,6 +114,7 @@ class Table1Result:
                     f"{row.baseline_cost_seconds:.4g}",
                     f"{row.our_cost_seconds:.4g}",
                     f"{row.speedup:.2f}",
+                    f"{row.speedup_factor:.2f}",
                     f"{row.paper_speedup:.2f}",
                 ]
             )
@@ -99,6 +126,7 @@ class Table1Result:
                 "",
                 "",
                 f"{self.geometric_mean_speedup:.2f}",
+                f"{self.geometric_mean_speedup_factor:.2f}",
                 f"{self.paper_geometric_mean_speedup:.2f}",
             ]
         )
@@ -113,6 +141,7 @@ class Table1Result:
                 "cost of the baseline (s)",
                 "cost of our approach (s)",
                 "speed-up",
+                "speed-up factor",
                 "paper speed-up",
             ],
             rows=self.to_rows(),
@@ -167,10 +196,76 @@ def table1_from_comparisons(
                 baseline_cost_seconds=comparison.cost_to_reach[BASELINE_PLAN],
                 our_cost_seconds=comparison.cost_to_reach[VARIABLE_PLAN],
                 speedup=comparison.speedup(BASELINE_PLAN, VARIABLE_PLAN),
+                speedup_factor=speedup_factor(
+                    comparison.curves[BASELINE_PLAN],
+                    comparison.curves[VARIABLE_PLAN],
+                ),
                 paper_speedup=PAPER_TABLE1_SPEEDUPS.get(name, float("nan")),
             )
         )
     return Table1Result(rows=rows, comparisons=comparisons)
+
+
+class Table1Spec(ExperimentSpec):
+    """Table 1 as registry work units: one learner run per
+    (benchmark × sampling plan × repetition) cell, seeded exactly like the
+    pool schedule of ``compare_sampling_plans_suite`` (so the sharded fold
+    equals the pool backend bit-for-bit; benchmarks with stateful drift
+    noise start each unit with a fresh noise state, like the pool)."""
+
+    name = "table1"
+    title = "Table 1"
+
+    def work_units(self, scale: ExperimentScale) -> List[WorkUnit]:
+        plans = standard_plans()
+        return [
+            WorkUnit(
+                artifact=self.name,
+                key=(name, slugify(plan.name), f"r{repetition:03d}"),
+                params={
+                    "benchmark": name,
+                    "plan_name": plan.name,
+                    "plan_index": plan_index,
+                    "repetition": repetition,
+                },
+            )
+            for name in scale.benchmarks
+            for repetition in range(scale.repetitions)
+            for plan_index, plan in enumerate(plans)
+        ]
+
+    def execute_unit(
+        self, unit: WorkUnit, scale: ExperimentScale, context: UnitContext
+    ) -> LearningResult:
+        plan_index = int(unit.params["plan_index"])
+        return execute_learner_run(
+            benchmark_name=str(unit.params["benchmark"]),
+            plan=standard_plans()[plan_index],
+            plan_index=plan_index,
+            repetition=int(unit.params["repetition"]),
+            config=scale.comparison_config(),
+            context=context,
+        )
+
+    def fold(
+        self,
+        scale: ExperimentScale,
+        payloads: Sequence[Tuple[WorkUnit, Any]],
+        deps: Mapping[str, Any],
+    ) -> Table1Result:
+        plan_names = [plan.name for plan in standard_plans()]
+        names = list(scale.benchmarks)
+        grouped = group_learner_results(
+            payloads, names, plan_names, axis_param="plan_name"
+        )
+        comparisons = {
+            name: assemble_comparison(name, plan_names, grouped[name])
+            for name in names
+        }
+        return table1_from_comparisons(names, comparisons)
+
+
+register(Table1Spec())
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

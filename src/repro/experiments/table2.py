@@ -17,7 +17,7 @@ situation an adaptive sampling plan exploits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,9 +25,10 @@ from ..measurement.stats import confidence_interval_halfwidth, ci_to_mean_ratio
 from ..spapt.dataset import Dataset, generate_dataset
 from ..spapt.suite import get_benchmark
 from .config import ExperimentScale
+from .registry import ExperimentSpec, UnitContext, WorkUnit, register
 from .reporting import format_scientific, format_table
 
-__all__ = ["Table2Row", "Table2Result", "run_table2"]
+__all__ = ["Table2Row", "Table2Result", "Table2Spec", "run_table2"]
 
 
 @dataclass(frozen=True)
@@ -100,6 +101,47 @@ def _ci_ratio_for_subsample(
     return ci_to_mean_ratio(float(sample.mean()), half)
 
 
+def benchmark_noise_row(
+    name: str, index: int, scale: ExperimentScale, small_sample: int = 5
+) -> Tuple[Table2Row, Dataset]:
+    """One benchmark's Table 2 row (and its profiled dataset).
+
+    This is the Table 2 work-unit body: the RNG is seeded from the
+    benchmark's *position* in the suite (``scale.seed + 31 * index``), so
+    the rows are independent of execution order and a sharded run matches
+    the serial sweep bit-for-bit.
+    """
+    benchmark = get_benchmark(name)
+    rng = np.random.default_rng(scale.seed + 31 * index)
+    dataset = generate_dataset(
+        benchmark,
+        configurations=scale.dataset_configurations,
+        observations_per_configuration=scale.dataset_observations,
+        rng=rng,
+    )
+    variances = dataset.variances()
+    ci_full = []
+    ci_small = []
+    for entry in dataset.entries:
+        observations = np.asarray(entry.observations)
+        half = confidence_interval_halfwidth(observations)
+        ci_full.append(ci_to_mean_ratio(float(observations.mean()), half))
+        ci_small.append(_ci_ratio_for_subsample(observations, small_sample, rng))
+    row = Table2Row(
+        benchmark=name,
+        variance_min=float(variances.min()),
+        variance_mean=float(variances.mean()),
+        variance_max=float(variances.max()),
+        ci35_min=float(np.min(ci_full)),
+        ci35_mean=float(np.mean(ci_full)),
+        ci35_max=float(np.max(ci_full)),
+        ci5_min=float(np.min(ci_small)),
+        ci5_mean=float(np.mean(ci_small)),
+        ci5_max=float(np.max(ci_small)),
+    )
+    return row, dataset
+
+
 def run_table2(
     scale: Optional[ExperimentScale] = None,
     benchmarks: Optional[Sequence[str]] = None,
@@ -111,38 +153,57 @@ def run_table2(
     rows: List[Table2Row] = []
     datasets: Dict[str, Dataset] = {}
     for index, name in enumerate(names):
-        benchmark = get_benchmark(name)
-        rng = np.random.default_rng(scale.seed + 31 * index)
-        dataset = generate_dataset(
-            benchmark,
-            configurations=scale.dataset_configurations,
-            observations_per_configuration=scale.dataset_observations,
-            rng=rng,
-        )
+        row, dataset = benchmark_noise_row(name, index, scale, small_sample)
+        rows.append(row)
         datasets[name] = dataset
-        variances = dataset.variances()
-        ci_full = []
-        ci_small = []
-        for entry in dataset.entries:
-            observations = np.asarray(entry.observations)
-            half = confidence_interval_halfwidth(observations)
-            ci_full.append(ci_to_mean_ratio(float(observations.mean()), half))
-            ci_small.append(_ci_ratio_for_subsample(observations, small_sample, rng))
-        rows.append(
-            Table2Row(
-                benchmark=name,
-                variance_min=float(variances.min()),
-                variance_mean=float(variances.mean()),
-                variance_max=float(variances.max()),
-                ci35_min=float(np.min(ci_full)),
-                ci35_mean=float(np.mean(ci_full)),
-                ci35_max=float(np.max(ci_full)),
-                ci5_min=float(np.min(ci_small)),
-                ci5_mean=float(np.mean(ci_small)),
-                ci5_max=float(np.max(ci_small)),
-            )
-        )
     return Table2Result(rows=rows, datasets=datasets)
+
+
+class Table2Spec(ExperimentSpec):
+    """Table 2 as registry work units: one per benchmark (its RNG depends
+    only on the benchmark's suite position, so units shard freely)."""
+
+    name = "table2"
+    title = "Table 2"
+
+    def work_units(self, scale: ExperimentScale) -> List[WorkUnit]:
+        return [
+            WorkUnit(
+                artifact=self.name,
+                key=(name,),
+                params={"benchmark": name, "index": index},
+            )
+            for index, name in enumerate(scale.benchmarks)
+        ]
+
+    def execute_unit(
+        self, unit: WorkUnit, scale: ExperimentScale, context: UnitContext
+    ) -> Tuple[Table2Row, Tuple]:
+        row, dataset = benchmark_noise_row(
+            str(unit.params["benchmark"]), int(unit.params["index"]), scale
+        )
+        # Payloads must pickle: ship the entries, not the Dataset, whose
+        # benchmark reference carries unpicklable memoisation caches.
+        return row, dataset.entries
+
+    def fold(
+        self,
+        scale: ExperimentScale,
+        payloads: Sequence[Tuple[WorkUnit, Any]],
+        deps: Mapping[str, Any],
+    ) -> Table2Result:
+        indexed = sorted(payloads, key=lambda pair: int(pair[0].params["index"]))
+        rows = [row for _, (row, _) in indexed]
+        datasets = {
+            str(unit.params["benchmark"]): Dataset(
+                get_benchmark(str(unit.params["benchmark"])), entries
+            )
+            for unit, (_, entries) in indexed
+        }
+        return Table2Result(rows=rows, datasets=datasets)
+
+
+register(Table2Spec())
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

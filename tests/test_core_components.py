@@ -11,6 +11,7 @@ from repro.core.acquisition import (
     ALCAcquisition,
     ALMAcquisition,
     RandomAcquisition,
+    acquisition_names,
     make_acquisition,
 )
 from repro.core.candidates import CandidatePool
@@ -19,9 +20,17 @@ from repro.core.curves import (
     LearningCurve,
     average_curves,
     lowest_common_error,
+    speedup_factor,
     time_to_reach,
 )
-from repro.core.plans import SamplingPlan, fixed_plan, sequential_plan, standard_plans
+from repro.core.plans import (
+    SamplingPlan,
+    fixed_plan,
+    make_plan,
+    plan_names,
+    sequential_plan,
+    standard_plans,
+)
 from repro.models.dynamic_tree import DynamicTreeConfig, DynamicTreeRegressor
 from repro.spapt.search_space import SearchSpace, TunableParameter
 
@@ -329,3 +338,105 @@ def test_curve_best_error_reachable_property(pairs):
     # and never exceeds the final cost.
     cost = time_to_reach(curve, curve.best_error)
     assert cost <= curve.final_cost + 1e-9
+
+
+class TestNameBasedFactories:
+    """The name-based strategy factories: an experiment axis can be a list
+    of plain strings resolved at the core layer."""
+
+    def test_make_plan_resolves_registered_names(self):
+        assert make_plan("all-observations").observations_per_selection == 35
+        assert make_plan("one-observation").observations_per_selection == 1
+        assert make_plan("variable-observations").is_sequential
+        assert make_plan("adaptive-ci").ci_threshold is not None
+
+    def test_make_plan_accepts_report_labels(self):
+        # The space-separated labels the paper's figures use resolve too.
+        assert make_plan("variable observations") == sequential_plan()
+        assert make_plan("ALL OBSERVATIONS") == fixed_plan(35)
+
+    def test_make_plan_rejects_unknown(self):
+        with pytest.raises(KeyError, match="unknown sampling plan"):
+            make_plan("bogus")
+
+    def test_plan_names_cover_standard_plans(self):
+        resolved = {make_plan(name).name for name in plan_names()}
+        assert {plan.name for plan in standard_plans()} <= resolved
+
+    def test_acquisition_names_round_trip(self):
+        assert acquisition_names() == ["alc", "alm", "random"]
+        for name in acquisition_names():
+            assert make_acquisition(name).name == name
+
+    def test_make_model_resolves_every_name(self):
+        from repro.models import make_model, model_factory, model_names
+
+        rng = np.random.default_rng(0)
+        for name in model_names():
+            model = make_model(name, rng=rng, tree_particles=4)
+            model.fit(np.array([[0.1], [0.9], [0.5]]), np.array([1.0, 2.0, 1.5]))
+            prediction = model.predict(np.array([[0.4]]))
+            assert prediction.mean.shape == (1,)
+            factory = model_factory(name, tree_particles=4)
+            assert type(factory(np.random.default_rng(1))) is type(model)
+
+    def test_make_model_rejects_unknown(self):
+        from repro.models import make_model
+
+        with pytest.raises(KeyError, match="unknown model"):
+            make_model("transformer")
+
+    def test_comparison_resolves_plan_and_acquisition_names(self):
+        from repro.core.comparison import resolve_acquisition, resolve_plans
+
+        plans = resolve_plans(["all-observations", sequential_plan()])
+        assert plans[0] == fixed_plan(35)
+        assert plans[1].is_sequential
+        assert resolve_acquisition("alm").name == "alm"
+        assert resolve_acquisition(None).name == "alc"
+
+
+class TestSpeedupFactor:
+    @staticmethod
+    def _curve(label, points):
+        return LearningCurve(
+            label,
+            [
+                CurvePoint(
+                    cost_seconds=c, rmse=r, training_examples=i, observations=i
+                )
+                for i, (c, r) in enumerate(points)
+            ],
+        )
+
+    def test_uniformly_cheaper_contender_scores_its_cost_ratio(self):
+        # The contender reaches every error level at exactly half the cost,
+        # so the multi-level factor equals the single-level speed-up.
+        baseline = self._curve("base", [(2.0, 1.0), (4.0, 0.5), (8.0, 0.25)])
+        contender = self._curve("fast", [(1.0, 1.0), (2.0, 0.5), (4.0, 0.25)])
+        assert speedup_factor(baseline, contender) == pytest.approx(2.0)
+
+    def test_identical_curves_score_one(self):
+        curve = self._curve("a", [(1.0, 1.0), (2.0, 0.4)])
+        same = self._curve("b", [(1.0, 1.0), (2.0, 0.4)])
+        assert speedup_factor(curve, same) == pytest.approx(1.0)
+
+    def test_crossing_curves_average_across_levels(self):
+        # Contender is cheaper at high error, pricier at low error: the
+        # geometric mean lands strictly between the two pointwise ratios.
+        baseline = self._curve("base", [(2.0, 1.0), (3.0, 0.2)])
+        contender = self._curve("cross", [(1.0, 1.0), (6.0, 0.2)])
+        factor = speedup_factor(baseline, contender, levels=5)
+        assert 0.5 < factor < 2.0
+
+    def test_degenerate_range_falls_back_to_single_level(self):
+        # One curve starts below the other's floor: only the common floor
+        # is comparable.
+        baseline = self._curve("base", [(4.0, 0.5)])
+        contender = self._curve("deep", [(2.0, 0.3)])
+        assert speedup_factor(baseline, contender) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_levels(self):
+        curve = self._curve("a", [(1.0, 1.0)])
+        with pytest.raises(ValueError):
+            speedup_factor(curve, curve, levels=0)

@@ -77,6 +77,13 @@ class TestTable1:
             row.baseline_cost_seconds / row.our_cost_seconds
         )
 
+    def test_speedup_factor_reported(self, result):
+        """Every row carries the multi-level AUC-ratio speed-up and the
+        rendered table exposes it next to the single-level metric."""
+        assert result.rows[0].speedup_factor > 0
+        assert result.geometric_mean_speedup_factor > 0
+        assert "speed-up factor" in result.render()
+
     def test_geometric_mean(self, result):
         assert result.geometric_mean_speedup == pytest.approx(result.rows[0].speedup)
 

@@ -30,6 +30,7 @@ DOCUMENTED_MODULES = [
     "repro",
     "repro.core.learner",
     "repro.models.dynamic_tree",
+    "repro.experiments.registry",
     "repro.experiments.run_all",
     "repro.experiments.runner",
 ]
@@ -143,13 +144,35 @@ class TestRunAll:
     def test_runner_api_exported(self):
         from repro.experiments import (
             ExperimentRunner,
+            ExperimentSpec,
             RunManifest,
             RunnerError,
+            UnitContext,
             WorkUnit,
+            get_spec,
+            run_artifacts,
             run_paper_run,
+            spec_names,
         )
         from repro.core import LearnerCheckpoint
 
-        for obj in (ExperimentRunner, RunManifest, RunnerError, WorkUnit,
-                    run_paper_run, LearnerCheckpoint):
+        for obj in (ExperimentRunner, ExperimentSpec, RunManifest, RunnerError,
+                    UnitContext, WorkUnit, get_spec, run_artifacts,
+                    run_paper_run, spec_names, LearnerCheckpoint):
             assert obj.__doc__
+
+    def test_every_registered_spec_satisfies_the_contract(self):
+        """Each spec declares name/title, resolves its dependencies, and
+        its unit ids are namespaced by the artifact."""
+        from repro.experiments import get_spec, spec_names
+
+        for name in spec_names():
+            spec = get_spec(name)
+            assert spec.name == name
+            assert spec.title
+            for dependency in spec.depends_on:
+                assert get_spec(dependency) is not spec
+            from repro.experiments import ExperimentScale
+
+            units = spec.work_units(ExperimentScale.smoke(benchmarks=("mm",)))
+            assert all(unit.unit_id.startswith(name) for unit in units)

@@ -6,10 +6,13 @@ benchmarks with stateful drift noise), equivalence of the sharded backend
 with the established process-pool schedule, and — the headline guarantee —
 that a ``run_all --paper-run`` invocation killed mid-flight resumes from
 its checkpoints and produces results identical to an uninterrupted run.
+The registry-level guarantees (every artifact's sharded fold equals its
+serial driver, multi-host claim contention) live in ``test_registry.py``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pathlib
 import pickle
@@ -21,23 +24,27 @@ import time
 import numpy as np
 import pytest
 
-from repro.core.comparison import ComparisonConfig, compare_sampling_plans_suite
+from repro.core.comparison import compare_sampling_plans_suite
 from repro.core.evaluation import build_test_set
 from repro.core.learner import ActiveLearner, LearnerConfig
 from repro.core.plans import sequential_plan
+from repro.experiments.config import ExperimentScale
 from repro.experiments.runner import (
     ExperimentRunner,
     RunManifest,
     RunnerError,
     WorkUnit,
 )
+from repro.experiments.registry import resolve_artifacts
 from repro.spapt.suite import get_benchmark
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
-def _small_config(repetitions=2, max_examples=20):
-    return ComparisonConfig(
+def _small_scale(benchmarks=("mm",), repetitions=2, max_examples=20):
+    return ExperimentScale(
+        name="test",
+        benchmarks=tuple(benchmarks),
         learner=LearnerConfig(
             n_initial=4,
             seed_observations=4,
@@ -50,6 +57,9 @@ def _small_config(repetitions=2, max_examples=20):
         repetitions=repetitions,
         test_size=30,
         test_observations=3,
+        dataset_configurations=30,
+        dataset_observations=4,
+        figure1_grid=4,
         seed=2017,
     )
 
@@ -57,45 +67,68 @@ def _small_config(repetitions=2, max_examples=20):
 class TestWorkUnitsAndManifest:
     def test_unit_id_is_filesystem_safe_and_stable(self):
         unit = WorkUnit(
-            benchmark="mm", plan_name="all observations", plan_index=0, repetition=3
+            artifact="table1",
+            key=("mm", "all-observations", "r003"),
+            params={"benchmark": "mm"},
         )
-        assert unit.unit_id == "mm--all-observations--r003"
+        assert unit.unit_id == "table1--mm--all-observations--r003"
         assert "/" not in unit.unit_id and " " not in unit.unit_id
 
+    def test_unit_record_round_trip(self):
+        unit = WorkUnit(
+            artifact="table1",
+            key=("mm", "r0"),
+            params={"benchmark": "mm", "repetition": 0},
+        )
+        assert WorkUnit.from_record(unit.to_record()) == unit
+
     def test_manifest_round_trip(self, tmp_path):
-        config = _small_config()
-        runner = ExperimentRunner(tmp_path / "run", ["mm", "adi"], config=config)
-        manifest = RunManifest.build(runner.benchmarks, runner.plans, config)
+        scale = _small_scale(benchmarks=("mm", "adi"))
+        specs = resolve_artifacts(["table1"])
+        manifest = RunManifest.build(scale, specs)
         path = tmp_path / "manifest.jsonl"
-        manifest.write(path)
+        manifest.write(path, scale, ["table1"])
         loaded = RunManifest.read(path)
         assert loaded == manifest
-        assert len(loaded.units) == 2 * 3 * config.repetitions
+        assert len(loaded.units) == 2 * 3 * scale.repetitions
+
+    def test_manifest_covers_dependency_closure(self, tmp_path):
+        scale = _small_scale()
+        runner = ExperimentRunner(tmp_path / "run", scale, artifacts=["figure5"])
+        manifest = runner.prepare()
+        # figure5 contributes no units but pulls table1's in.
+        assert {unit.artifact for unit in manifest.units} == {"table1"}
 
     def test_prepare_requires_resume_for_existing_run(self, tmp_path):
-        runner = ExperimentRunner(tmp_path, ["mm"], config=_small_config())
+        runner = ExperimentRunner(tmp_path, _small_scale(), artifacts=["table1"])
         runner.prepare()
         with pytest.raises(RunnerError, match="resume"):
             runner.prepare(resume=False)
         assert runner.prepare(resume=True).units
 
     def test_prepare_rejects_mismatched_configuration(self, tmp_path):
-        ExperimentRunner(tmp_path, ["mm"], config=_small_config()).prepare()
+        ExperimentRunner(tmp_path, _small_scale(), artifacts=["table1"]).prepare()
         other = ExperimentRunner(
-            tmp_path, ["mm"], config=_small_config(max_examples=25)
+            tmp_path, _small_scale(max_examples=25), artifacts=["table1"]
         )
         with pytest.raises(RunnerError, match="different experiment"):
             other.prepare(resume=True)
 
+    def test_prepare_rejects_mismatched_artifacts(self, tmp_path):
+        ExperimentRunner(tmp_path, _small_scale(), artifacts=["table1"]).prepare()
+        other = ExperimentRunner(tmp_path, _small_scale(), artifacts=["table2"])
+        with pytest.raises(RunnerError, match="different experiment"):
+            other.prepare(resume=True)
+
     def test_merge_refuses_partial_runs(self, tmp_path):
-        runner = ExperimentRunner(tmp_path, ["mm"], config=_small_config())
+        runner = ExperimentRunner(tmp_path, _small_scale(), artifacts=["table1"])
         runner.prepare()
         with pytest.raises(RunnerError, match="incomplete"):
             runner.merge()
 
-    def test_unknown_benchmark_rejected(self, tmp_path):
+    def test_unknown_benchmark_rejected(self):
         with pytest.raises(KeyError):
-            ExperimentRunner(tmp_path, ["nonexistent"], config=_small_config())
+            _small_scale(benchmarks=("nonexistent",))
 
 
 class TestCheckpointResume:
@@ -104,7 +137,7 @@ class TestCheckpointResume:
         """Resuming from a pickled mid-run checkpoint continues the exact
         trajectory — ``adi`` additionally exercises the frequency-drift
         noise state riding along in the checkpoint."""
-        learner_config = _small_config(max_examples=24).learner
+        learner_config = _small_scale(max_examples=24).learner
 
         def build(seed=2017):
             benchmark = get_benchmark(benchmark_name)
@@ -153,7 +186,7 @@ class TestCheckpointResume:
 
     def test_resume_rejects_wrong_plan(self):
         benchmark = get_benchmark("mm")
-        config = _small_config().learner
+        config = _small_scale().learner
         test_set = build_test_set(
             benchmark, size=20, observations=2, rng=np.random.default_rng(1)
         )
@@ -177,12 +210,14 @@ class TestRunnerEquivalence:
     def test_sharded_run_matches_pool_schedule(self, tmp_path):
         """The merged comparisons equal ``compare_sampling_plans_suite``'s
         pool-mode output bit-for-bit (same per-unit seeding)."""
-        config = _small_config()
+        scale = _small_scale()
         runner = ExperimentRunner(
-            tmp_path / "run", ["mm"], config=config, checkpoint_interval=5
+            tmp_path / "run", scale, artifacts=["table1"], checkpoint_interval=5
         )
-        merged = runner.run(workers=2)
-        suite = compare_sampling_plans_suite(["mm"], config=config, workers=2)
+        merged = runner.run(workers=2)["table1"].comparisons
+        suite = compare_sampling_plans_suite(
+            ["mm"], config=scale.comparison_config(), workers=2
+        )
         for plan_name, curve in merged["mm"].curves.items():
             expected = suite["mm"].curves[plan_name]
             assert np.array_equal(curve.costs(), expected.costs())
@@ -191,13 +226,19 @@ class TestRunnerEquivalence:
         assert merged["mm"].cost_to_reach == suite["mm"].cost_to_reach
 
     def test_completed_run_resumes_to_identical_merge(self, tmp_path):
-        config = _small_config(repetitions=1)
-        runner = ExperimentRunner(tmp_path / "run", ["mm"], config=config)
-        first = runner.run(workers=1)
-        again = ExperimentRunner(tmp_path / "run", ["mm"], config=config).run(
+        scale = _small_scale(repetitions=1)
+        runner = ExperimentRunner(tmp_path / "run", scale, artifacts=["table1"])
+        first = runner.run(workers=1)["table1"]
+        again = ExperimentRunner(tmp_path / "run", scale, artifacts=["table1"]).run(
             workers=1, resume=True
-        )
-        assert first["mm"].cost_to_reach == again["mm"].cost_to_reach
+        )["table1"]
+        assert {
+            name: comparison.cost_to_reach
+            for name, comparison in first.comparisons.items()
+        } == {
+            name: comparison.cost_to_reach
+            for name, comparison in again.comparisons.items()
+        }
 
 
 class TestKillAndResume:
@@ -276,7 +317,6 @@ class TestKillAndResume:
             process.send_signal(signal.SIGKILL)
         finally:
             process.wait(timeout=60)
-        assert not killed_report.exists()
 
         resumed = subprocess.run(
             command(killed_dir, killed_report, resume=True),
@@ -289,7 +329,7 @@ class TestKillAndResume:
         assert killed_report.exists(), resumed.stderr.decode()
 
         def body(path):
-            # Drop the header line, which names the run directory.
-            return path.read_text("utf-8").split("\n", 1)[1]
+            # Drop the header section, which names the run directory.
+            return path.read_text("utf-8").split("\n\n", 1)[1]
 
         assert body(killed_report) == body(full_report)
