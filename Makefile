@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check bench bench-gate lint
+.PHONY: test docs-check bench bench-update bench-gate lint
 
 ## Tier-1 verification: the full test suite plus the benchmark harness.
 test:
@@ -20,6 +20,12 @@ docs-check:
 ## Refresh the tracked model benchmarks (writes BENCH_model.json).
 bench:
 	$(PYTHON) -m pytest benchmarks/test_bench_predict.py benchmarks/test_bench_model_update.py -q
+
+## Refresh only the model-update benchmark group (the SMC update kernel):
+## the quick loop when iterating on the update path.
+bench-update:
+	$(PYTHON) -m pytest benchmarks/test_bench_model_update.py -q \
+		-k "particle_update or dynamic_tree_update"
 
 ## Fail on >20% mean-time regressions in the gated benchmark groups.
 bench-gate:

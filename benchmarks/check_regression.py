@@ -26,7 +26,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_model.json"
-DEFAULT_GROUPS = ("predict-alc", "model-update")
+DEFAULT_GROUPS = ("predict-alc", "model-update", "forest-maintenance")
 DEFAULT_THRESHOLD = 0.20
 
 

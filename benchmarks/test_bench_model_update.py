@@ -12,8 +12,8 @@ particle counts, plus the raw throughput of the simulated substrate
 Together with ``test_bench_predict.py`` the results are exported to
 ``BENCH_model.json`` (pytest-benchmark JSON, see ``conftest.py``) so the
 perf trajectory of the model hot paths is tracked across PRs
-(``benchmarks/check_regression.py`` gates on the ``model-update`` and
-``predict-alc`` groups).
+(``benchmarks/check_regression.py`` gates on the ``model-update``,
+``predict-alc`` and ``forest-maintenance`` groups).
 """
 
 from __future__ import annotations
@@ -62,18 +62,34 @@ def _as_reference(model: DynamicTreeRegressor) -> DynamicTreeRegressor:
 @pytest.mark.benchmark(group="model-update")
 @pytest.mark.parametrize("size", [50, 200, 400])
 def test_bench_dynamic_tree_update(benchmark, size):
+    """One sequential update (absorb + predict) at a fixed training size.
+
+    The untimed setup restores a fresh deep copy of the fitted model every
+    round, so each round measures the same fixed-size workload.  (The
+    previous calibrated-mode version updated one long-lived model in place;
+    its mean depended on how many rounds the calibration chose — the model
+    kept growing — which made the regression gate flaky by construction.)
+    """
     X, y = _training_data(size)
-    model = DynamicTreeRegressor(
+    fitted = DynamicTreeRegressor(
         DynamicTreeConfig(n_particles=20), rng=np.random.default_rng(1)
     )
-    model.fit(X, y)
+    fitted.fit(X, y)
     probe = np.zeros((1, X.shape[1]))
+    holder = {}
+
+    def fresh_state():
+        holder["model"] = copy.deepcopy(fitted)
+        return (), {}
 
     def update_and_predict():
+        model = holder["model"]
         model.update(X[size // 2], float(y[size // 2]))
         model.predict(probe)
 
-    benchmark(update_and_predict)
+    benchmark.pedantic(
+        update_and_predict, setup=fresh_state, rounds=30, iterations=1, warmup_rounds=1
+    )
 
 
 @pytest.fixture(scope="module")
@@ -89,18 +105,22 @@ def paper_scale_model():
 
 
 @pytest.mark.benchmark(group="model-update")
-@pytest.mark.parametrize("kernel", ["batched", "reference"])
+@pytest.mark.parametrize("kernel", ["batched", "compiled", "reference"])
 def test_bench_particle_update_1000(benchmark, paper_scale_model, kernel):
     """Algorithm 1's per-observation model update at 1 000 particles.
 
-    ``batched`` is the production kernel (batched reweight, copy-on-write
-    resample, three-phase propagate); ``reference`` is the pre-batching
-    per-particle Python loop kept as the equivalence oracle.  Both absorb
-    the same held-out observations from identical tree state, so the pair
-    measures the update-kernel speedup directly.
+    ``batched`` is the production kernel on the default NumPy backend
+    (batched reweight, copy-on-write resample, three-phase propagate);
+    ``compiled`` is the same kernel dispatched through
+    ``DynamicTreeConfig(backend="numba")`` — the njit kernels when numba is
+    installed, the automatic NumPy fallback otherwise; ``reference`` is the
+    pre-batching per-particle Python loop kept as the equivalence oracle.
+    All absorb the same held-out observations from identical tree state, so
+    the trio measures the update-kernel speedup directly.  One untimed
+    warm-up round absorbs JIT compilation and allocator warm-up.
     """
     fitted, X, y = paper_scale_model
-    rounds = 5 if kernel == "batched" else 3
+    rounds = 3 if kernel == "reference" else 5
     holder = {}
 
     def run_updates():
@@ -109,17 +129,21 @@ def test_bench_particle_update_1000(benchmark, paper_scale_model, kernel):
             model.update(X[i], float(y[i]))
 
     def fresh_state():
-        holder["model"] = (
-            _as_reference(fitted)
-            if kernel == "reference"
-            else copy.deepcopy(fitted)
-        )
+        if kernel == "reference":
+            model = _as_reference(fitted)
+        else:
+            model = copy.deepcopy(fitted)
+            if kernel == "compiled":
+                model._config = dataclasses.replace(model.config, backend="numba")
+        holder["model"] = model
         return (), {}
 
-    benchmark.pedantic(run_updates, setup=fresh_state, rounds=rounds, iterations=1)
+    benchmark.pedantic(
+        run_updates, setup=fresh_state, rounds=rounds, iterations=1, warmup_rounds=1
+    )
 
 
-@pytest.mark.benchmark(group="predict-alc")
+@pytest.mark.benchmark(group="forest-maintenance")
 @pytest.mark.parametrize("forest", ["incremental", "rebuild"])
 def test_bench_forest_maintenance_1000(benchmark, paper_scale_model, forest):
     """First predict/ALC batch after an update at 1 000 particles.
@@ -152,7 +176,9 @@ def test_bench_forest_maintenance_1000(benchmark, paper_scale_model, forest):
         model.expected_average_variance(candidates, reference)
         model.predict(candidates[:5])
 
-    benchmark.pedantic(score_batch, setup=absorb_one, rounds=40, iterations=1)
+    benchmark.pedantic(
+        score_batch, setup=absorb_one, rounds=40, iterations=1, warmup_rounds=1
+    )
 
 
 @pytest.mark.benchmark(group="model-update")
@@ -174,7 +200,7 @@ def test_bench_particle_update_5000(benchmark, bench_scale_is_laptop):
         for i in range(150, 155):
             model.update(X[i], float(y[i]))
 
-    benchmark.pedantic(run_updates, rounds=3, iterations=1)
+    benchmark.pedantic(run_updates, rounds=3, iterations=1, warmup_rounds=1)
 
 
 @pytest.mark.benchmark(group="model-update")
@@ -220,7 +246,9 @@ def test_bench_gaussian_process_sequential_updates(benchmark, mode):
         holder["model"] = model
         return (), {}
 
-    benchmark.pedantic(sequential_updates, setup=fresh_model, rounds=3, iterations=1)
+    benchmark.pedantic(
+        sequential_updates, setup=fresh_model, rounds=3, iterations=1, warmup_rounds=1
+    )
 
 
 @pytest.mark.benchmark(group="substrate")

@@ -46,6 +46,7 @@ import numpy as np
 
 from ..measurement.profiler import CostLedger, Profiler
 from ..models.base import SurrogateModel
+from ..models.compiled_kernels import BACKENDS
 from ..models.dynamic_tree import DynamicTreeConfig, DynamicTreeRegressor
 from ..spapt.suite import SpaptBenchmark
 from .acquisition import AcquisitionFunction, ALCAcquisition
@@ -78,6 +79,7 @@ class LearnerConfig:
     evaluation_interval: int = 10
     max_cost_seconds: Optional[float] = None
     tree_particles: int = 30
+    tree_backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.n_initial < 1:
@@ -96,6 +98,8 @@ class LearnerConfig:
             raise ValueError("max_cost_seconds must be positive when given")
         if self.tree_particles < 1:
             raise ValueError("tree_particles must be at least 1")
+        if self.tree_backend not in BACKENDS:
+            raise ValueError(f"tree_backend must be one of {BACKENDS}")
 
     @classmethod
     def paper_scale(cls) -> "LearnerConfig":
@@ -197,7 +201,11 @@ class ActiveLearner:
 
     def _default_model_factory(self, rng: np.random.Generator) -> SurrogateModel:
         return DynamicTreeRegressor(
-            DynamicTreeConfig(n_particles=self._config.tree_particles), rng=rng
+            DynamicTreeConfig(
+                n_particles=self._config.tree_particles,
+                backend=self._config.tree_backend,
+            ),
+            rng=rng,
         )
 
     # ------------------------------------------------------------------ run

@@ -36,19 +36,19 @@ __all__ = [
 
 
 def _make_dynamic_tree(
-    rng: Optional[np.random.Generator], tree_particles: int
+    rng: Optional[np.random.Generator], tree_particles: int, tree_backend: str
 ) -> SurrogateModel:
     return DynamicTreeRegressor(
-        DynamicTreeConfig(n_particles=tree_particles),
+        DynamicTreeConfig(n_particles=tree_particles, backend=tree_backend),
         rng=rng if rng is not None else np.random.default_rng(),
     )
 
 
 _MODEL_REGISTRY: dict = {
     "dynamic-tree": _make_dynamic_tree,
-    "gp": lambda rng, tree_particles: GaussianProcessRegressor(),
-    "knn": lambda rng, tree_particles: KNNRegressor(k=5),
-    "constant-mean": lambda rng, tree_particles: ConstantMeanModel(),
+    "gp": lambda rng, tree_particles, tree_backend: GaussianProcessRegressor(),
+    "knn": lambda rng, tree_particles, tree_backend: KNNRegressor(k=5),
+    "constant-mean": lambda rng, tree_particles, tree_backend: ConstantMeanModel(),
 }
 
 
@@ -68,20 +68,21 @@ def make_model(
     name: str,
     rng: Optional[np.random.Generator] = None,
     tree_particles: int = 30,
+    tree_backend: str = "numpy",
 ) -> SurrogateModel:
     """Construct a surrogate model by name.
 
-    ``rng`` and ``tree_particles`` only affect the dynamic tree (the other
-    models are deterministic given their training data); they are accepted
-    for every name so callers can treat the model choice as a pure string
-    axis.
+    ``rng``, ``tree_particles`` and ``tree_backend`` only affect the dynamic
+    tree (the other models are deterministic given their training data and
+    have no compiled kernels); they are accepted for every name so callers
+    can treat the model choice as a pure string axis.
     """
-    return _MODEL_REGISTRY[_resolve_model_name(name)](rng, tree_particles)
+    return _MODEL_REGISTRY[_resolve_model_name(name)](rng, tree_particles, tree_backend)
 
 
 def model_factory(
-    name: str, tree_particles: int = 30
+    name: str, tree_particles: int = 30, tree_backend: str = "numpy"
 ) -> Callable[[np.random.Generator], SurrogateModel]:
     """An :class:`~repro.core.learner.ActiveLearner`-compatible factory for ``name``."""
     key = _resolve_model_name(name)
-    return lambda rng: _MODEL_REGISTRY[key](rng, tree_particles)
+    return lambda rng: _MODEL_REGISTRY[key](rng, tree_particles, tree_backend)

@@ -75,9 +75,11 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 import numpy as np
 
 from .base import Prediction, SurrogateModel
+from .compiled_kernels import BACKENDS, get_kernels, nig_beta_n
 from .flat_tree import FlatForest, FlatTree, IncrementalForest
 from .leaf import (
     GaussianLeafModel,
+    LeafTermTables,
     LMLCache,
     NIGPrior,
     log_marginal_likelihood_from_stats,
@@ -126,6 +128,13 @@ class DynamicTreeConfig:
     update.  Both settings produce bit-identical predictions and ALC
     scores; disabling it restores the always-rebuild path (the oracle the
     incremental maintenance is equivalence-tested against).
+
+    ``backend`` selects the kernel set the batched update dispatches to
+    (see :mod:`repro.models.compiled_kernels`): ``"numpy"`` (the default,
+    bit-exact), ``"numba"`` (jitted when numba is installed, silently
+    falling back to the exact NumPy kernels otherwise) or ``"numba-fast"``
+    (tolerance-tested: may differ from the reference in the last ulp of
+    the transcendentals, which can fork sampled trajectories).
     """
 
     n_particles: int = 40
@@ -138,6 +147,7 @@ class DynamicTreeConfig:
     prior_alpha: float = 3.0
     vectorized: bool = True
     incremental_forest: bool = True
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.n_particles < 1:
@@ -152,6 +162,8 @@ class DynamicTreeConfig:
             raise ValueError("n_split_candidates must be at least 1")
         if not 0.0 < self.resample_threshold <= 1.0:
             raise ValueError("resample_threshold must be in (0, 1]")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}")
 
     def split_probability(self, depth: int) -> float:
         """CGM tree prior: probability that a node at ``depth`` is split."""
@@ -332,6 +344,12 @@ class DynamicTreeRegressor(SurrogateModel):
         # Per-depth tree-prior log terms (split probabilities only depend on
         # the frozen config, and every particle's scores reuse them).
         self._depth_cache: Dict[int, Tuple[float, float, float]] = {}
+        # Count-indexed NIG term tables (see LeafTermTables) and the
+        # depth-indexed tree-prior table the vectorized scoring gathers
+        # from.  Accessed through getattr-guarded helpers so checkpoints
+        # pickled before these attributes existed keep loading.
+        self._term_tables: Optional[LeafTermTables] = None
+        self._depth_arrays: Optional[np.ndarray] = None
         # Scalar-draw frontend for the batched update: a bulk RNG replay
         # when the bit generator supports it, plain Generator calls
         # otherwise.  Either way the stream is bit-identical to the
@@ -465,28 +483,30 @@ class DynamicTreeRegressor(SurrogateModel):
     def _patch_stays(
         self,
         slots: Sequence[int],
-        leaves: Sequence[_Node],
-        local_leaf_ids: Optional[np.ndarray],
+        local_leaf_ids: Optional[Sequence[int]],
         x: np.ndarray,
+        rows: np.ndarray,
     ) -> None:
         """Apply every stay move's leaf-statistics patch in one pass.
 
-        The leaf ids were computed by the batched pre-resample routing
-        (stay moves do not change structure, so they are still valid);
-        compilations shared copy-on-write after a resample are copied here,
-        just before the first patch would otherwise leak into the sibling
-        particle.  The patched values come from each leaf's memoized scalar
-        posterior — numpy transcendentals round differently than ``math``
-        and would fork seeded trajectories (see
-        :class:`~repro.models.leaf.LeafCacheArrays`).
+        ``rows`` holds the already-computed cache rows, one per slot in
+        ``slots`` — produced by the batched term-table arithmetic, bit-
+        identical to what :meth:`~repro.models.leaf.LeafCacheArrays.patch`
+        would recompute from each leaf's memoized scalar posterior.  The
+        leaf ids come from the batched pre-resample routing (stay moves do
+        not change structure, so they are still valid); compilations shared
+        copy-on-write after a resample are copied here, just before the
+        first patch would otherwise leak into the sibling particle.
         """
         flats = self._flat
         shared = self._flat_shared
         # Stale-row records only matter while a live incremental forest
         # exists to repair; before the first predict/ALC sync (and during
-        # fit) there is nothing to patch, so skip the bookkeeping.
+        # fit's first update) there is nothing to patch, so skip the
+        # bookkeeping.
         stale = self._forest_stale if self._forest_cache is not None else None
-        for slot, leaf_node in zip(slots, leaves):
+        row_values = rows.tolist() if stale is not None else None
+        for j, slot in enumerate(slots):
             flat = flats[slot]
             if flat is None:
                 continue
@@ -494,15 +514,14 @@ class DynamicTreeRegressor(SurrogateModel):
                 flat = flat.copy()
                 flats[slot] = flat
                 shared[slot] = False
-            assert leaf_node.leaf is not None
             leaf_id = (
-                int(local_leaf_ids[slot])
+                local_leaf_ids[slot]
                 if local_leaf_ids is not None
                 else flat.route_one(x)
             )
-            row = flat.patch_leaf(leaf_id, leaf_node.leaf)
+            flat.caches.data[leaf_id] = rows[j]
             if stale is not None:
-                stale[(slot, leaf_id)] = row
+                stale[(slot, leaf_id)] = tuple(row_values[j])
 
     def _update_reference(self, x: np.ndarray, y: float) -> None:
         """Per-particle reference implementation of one SMC update.
@@ -713,54 +732,79 @@ class DynamicTreeRegressor(SurrogateModel):
         and the cumulative array's final entry is pinned to exactly 1.0, so
         the array itself states the correct invariant (total mass 1, every
         position < 1 owned) for anything that inspects it.
+
+        The scan itself is one ``searchsorted``: with the final entry
+        pinned, "first index whose cumulative weight reaches the position"
+        is exactly the ``side="left"`` insertion point, and every position
+        is strictly below 1.0, so the result can never exceed the last
+        index.  The entries before the pin are a true non-decreasing
+        cumsum, so the predicate ``cumulative[j] >= position`` is monotone
+        in ``j`` even when drift pushed the penultimate entry above 1.0 —
+        the stateful reference scan and the binary search agree on every
+        input (pinned by the adversarial resampler tests).
         """
         count = len(weights)
         positions = (uniform + np.arange(count)) / count
         cumulative = np.cumsum(weights)
         cumulative[-1] = 1.0
-        chosen: List[int] = []
-        j = 0
-        last = count - 1
-        for position in positions:
-            while j < last and cumulative[j] < position:
-                j += 1
-            chosen.append(j)
-        return chosen
+        return np.searchsorted(cumulative, positions, side="left").tolist()
 
     def _resample(self, x: np.ndarray, y: float) -> np.ndarray:
         """Batched reweight-and-resample; returns per-particle local leaf ids.
 
-        The reweight routes ``x`` through every particle's flat compilation
-        (a scalar descent over plain-list navigation arrays — cheaper than
-        building the concatenated forest, which the update path never
-        needs) and evaluates each predictive log-pdf from the cached
-        per-leaf log-pdf terms (``math.log1p`` stays scalar: the numpy
-        version rounds differently and the resample decision is sampled
+        With the incremental forest (the default) the reweight is three
+        kernel calls over the live concatenated segment arrays: one
+        all-particles routing descent, one fused gather-and-log-pdf pass
+        over the leaf cache rows, and the offset subtraction that localises
+        the global ids (the forest is synced here, at the *top* of the
+        update, which also keeps it incrementally repaired across
+        back-to-back updates instead of being recompiled per predict).
+        Without it the reweight falls back to per-particle scalar descents
+        over the flat compilations.  Either way the arithmetic is the
+        cached-log-pdf-terms evaluation with scalar-rounded ``log1p``
+        (numpy's rounds differently and the resample decision is sampled
         from these weights).  When the effective sample size calls for a
         resample, duplicated particles *share* the original tree and flat
         compilation copy-on-write instead of deep-copying them.
 
         The returned array maps each (post-resample) particle to the local
         leaf id containing ``x`` — a byproduct of the batched routing that
-        the stay-move patch reuses, since stay moves keep structure intact.
+        the stay-move patch and the grow/prune flat-tree derivations reuse.
         """
         particles = self._particles
         flats = self._flat
         count = len(particles)
-        log_weights = np.empty(count)
-        local_ids = np.empty(count, dtype=np.intp)
-        x_list = x.tolist()
-        log1p = math.log1p
-        for i in range(count):
-            flat = flats[i]
-            if flat is None:
-                flat = FlatTree.compile(particles[i])
-                flats[i] = flat
-            leaf_id = flat.route_one(x_list)
-            mean, scale, coef, const = flat.caches.logpdf_row(leaf_id)
-            z_sq = (y - mean) ** 2 / scale
-            log_weights[i] = const - coef * log1p(z_sq)
-            local_ids[i] = leaf_id
+        if self._config.incremental_forest:
+            kernels = get_kernels(getattr(self._config, "backend", "numpy"))
+            forest = self._ensure_forest()
+            global_ids = kernels.route_all(
+                forest.split_dim,
+                forest.split_value,
+                forest.left,
+                forest.right,
+                forest.leaf_slot,
+                forest.roots,
+                x,
+            )
+            log_weights = kernels.reweight_log_weights(
+                forest.caches.data, global_ids, y
+            )
+            local_ids = global_ids - forest.leaf_offsets
+        else:
+            log_weights = np.empty(count)
+            local_ids = np.empty(count, dtype=np.intp)
+            x_list = x.tolist()
+            log1p = math.log1p
+            for i in range(count):
+                flat = flats[i]
+                if flat is None:
+                    flat = FlatTree.compile(particles[i])
+                    flats[i] = flat
+                leaf_id = flat.route_one(x_list)
+                mean, scale, coef, const = flat.caches.logpdf_row(leaf_id)
+                z_sq = (y - mean) ** 2 / scale
+                log_weights[i] = const - coef * log1p(z_sq)
+                local_ids[i] = leaf_id
         log_weights -= log_weights.max()
         weights = np.exp(log_weights)
         total = weights.sum()
@@ -828,6 +872,36 @@ class DynamicTreeRegressor(SurrogateModel):
         self._flat_shared = [False] * len(new_particles)
 
     # ----------------------------------------------------- batched propagate
+
+    def _leaf_term_tables(self) -> LeafTermTables:
+        """The count-indexed NIG term tables for the current prior.
+
+        Rebuilt whenever :meth:`fit` installs a fresh :class:`LMLCache`
+        (identity check), and lazily created on models unpickled from
+        checkpoints that predate the attribute.
+        """
+        assert self._lml is not None
+        tables = getattr(self, "_term_tables", None)
+        if tables is None or tables.lml is not self._lml:
+            tables = LeafTermTables(self._lml)
+            self._term_tables = tables
+        return tables
+
+    def _depth_table(self, max_depth: int) -> np.ndarray:
+        """``(depth, 3)`` array of :meth:`_depth_terms`, grown on demand.
+
+        Column layout matches the scalar tuple: ``log1p(-p)``, the grow
+        head ``log(p) + 2*log1p(-p_child)``, and ``log(p)``.  The values
+        depend only on the frozen config, so the table never goes stale.
+        """
+        table = getattr(self, "_depth_arrays", None)
+        if table is None or table.shape[0] <= max_depth:
+            size = max(16, 2 * (max_depth + 1))
+            table = np.empty((size, 3))
+            for depth in range(size):
+                table[depth] = self._depth_terms(depth)
+            self._depth_arrays = table
+        return table
 
     def _depth_terms(self, depth: int) -> Tuple[float, float, float]:
         """``(log1p(-p), log(p) + 2*log1p(-p_child), log(p))`` at ``depth``.
@@ -907,14 +981,16 @@ class DynamicTreeRegressor(SurrogateModel):
         Three phases, all bit-identical to running :meth:`_propagate` per
         particle:
 
-        1. **score** — read-only descents locate each particle's leaf; the
-           stay/prune scores are scalar sufficient-statistics arithmetic
-           through the :class:`~repro.models.leaf.LMLCache`; the grow
-           proposals' RNG draws run in exactly the reference order (the
-           replayed stream makes the draw *values* independent of when they
-           are interpreted).  Scoring reads only pre-update state, so
-           particles sharing copy-on-write subtrees see identical values to
-           the reference's private copies.
+        1. **score** — read-only descents locate each particle's leaf; a
+           thin gather loop collects per-leaf sufficient statistics and the
+           grow proposals' RNG draws run in exactly the reference order
+           (the replayed stream makes the draw *values* independent of when
+           they are interpreted); the stay/prune scores are then one
+           vectorized pass over :class:`~repro.models.leaf.LeafTermTables`
+           gathers, dispatched through the configured
+           :mod:`~repro.models.compiled_kernels` backend.  Scoring reads
+           only pre-update state, so particles sharing copy-on-write
+           subtrees see identical values to the reference's private copies.
         2. **batch** — every particle's candidate splits are scored
            together: padded ``(n_particles, max_leaf_size, …)`` arrays
            carry one fused masked sequential-cumsum for all partition sums,
@@ -926,8 +1002,10 @@ class DynamicTreeRegressor(SurrogateModel):
            no-ops in the sequential sums), so the batch reproduces each
            particle's reference arithmetic bit-for-bit.
         3. **apply** — moves mutate the trees (cloning shared path nodes
-           first), and the stay moves land on the flat compilations as one
-           batched leaf-statistics patch.
+           first); grow/prune moves splice the particle's flat compilation
+           in place (:meth:`FlatTree.grow_at` / :meth:`FlatTree.prune_at`)
+           instead of invalidating it, and the stay moves land on the flat
+           compilations as one batched leaf-statistics patch.
         """
         assert self._prior is not None and self._lml is not None
         assert self._X is not None and self._y is not None
@@ -939,124 +1017,238 @@ class DynamicTreeRegressor(SurrogateModel):
         dims = x.shape[0]
         neg_inf = -math.inf
 
-        # ---------------------------------------------- phase 1a: locate
+        # ------------------- phase 1a: locate + scalar state gathers
+        # One pass per particle: the read-only descent to the leaf holding
+        # ``x``, plus every scalar the vectorized phases need — leaf sizes
+        # and training-row indices (for the padded tables), leaf and
+        # sibling sufficient statistics and the memoized sibling marginal
+        # likelihood (for the stay/prune score kernels).
+        locate = self._locate
         leaves: List[_Node] = []
         parents: List[Optional[_Node]] = []
         path_shared: List[bool] = []
+        sizes_list: List[int] = []
+        all_rows: List[int] = []
+        extend_rows = all_rows.extend
+        leaf_ns: List[int] = []
+        leaf_totals: List[float] = []
+        leaf_sqs: List[float] = []
+        leaf_depths: List[int] = []
+        prunable_list: List[bool] = []
+        sib_ns: List[int] = []
+        sib_totals: List[float] = []
+        sib_sqs: List[float] = []
+        sib_lmls: List[float] = []
         for i in range(count):
-            leaf, parent, shared = self._locate(particles[i], x)
+            leaf, parent, shared = locate(particles[i], x)
             leaves.append(leaf)
             parents.append(parent)
             path_shared.append(shared)
-
-        # ------------------------- phase 1b: batched grow-proposal tables
-        # Pad every leaf's observations (plus the incoming point in the
-        # last real row) into one (count, n_max, dims) block.  Padding
-        # features are +inf so no threshold ever selects them; padding
-        # targets are 0.0, an exact no-op for the sequential sums.
-        sizes = np.empty(count, dtype=np.intp)
-        all_rows: List[int] = []
-        extend_rows = all_rows.extend
-        for i in range(count):
-            leaf_indices = leaves[i].indices
-            sizes[i] = len(leaf_indices)
+            leaf_indices = leaf.indices
+            sizes_list.append(len(leaf_indices))
             extend_rows(leaf_indices)
-        sizes_list = sizes.tolist()
-        n_points_arr = sizes + 1
-        n_max = int(sizes.max()) + 1
-        padded_features = np.full((count, n_max, dims), np.inf)
-        padded_targets = np.zeros((count, n_max))
-        row_owner = np.repeat(np.arange(count, dtype=np.intp), sizes)
-        starts = np.cumsum(sizes) - sizes
-        col_pos = np.arange(row_owner.shape[0], dtype=np.intp) - np.repeat(starts, sizes)
-        rows_arr = np.asarray(all_rows, dtype=np.intp)
-        padded_features[row_owner, col_pos] = self._X[rows_arr]
-        padded_targets[row_owner, col_pos] = self._y[rows_arr]
-        every = np.arange(count, dtype=np.intp)
-        padded_features[every, sizes] = x
-        padded_targets[every, sizes] = y
-        # Batched unique scan (sort + first-of-run flags, the lean
-        # equivalent of per-candidate np.unique): ``n_unique[p, d]`` bounds
-        # the cut draw, and ``unique_values[p, j, d]`` is the j-th distinct
-        # value, compacted to the front so thresholds are one gather.
-        sorted_columns = np.sort(padded_features, axis=1)
-        keep = np.empty(sorted_columns.shape, dtype=bool)
-        keep[:, 0, :] = True
-        np.not_equal(sorted_columns[:, 1:, :], sorted_columns[:, :-1, :], out=keep[:, 1:, :])
-        keep &= np.arange(n_max)[None, :, None] < n_points_arr[:, None, None]
-        n_unique_list = keep.sum(axis=1).tolist()
-        rank = np.cumsum(keep, axis=1)
-        rank -= 1
-        keep_p, keep_row, keep_dim = np.nonzero(keep)
-        unique_values = np.empty_like(sorted_columns)
-        unique_values[keep_p, rank[keep_p, keep_row, keep_dim], keep_dim] = (
-            sorted_columns[keep_p, keep_row, keep_dim]
-        )
-        del keep, rank, keep_p, keep_row, keep_dim
-
-        # -------------------- phase 1c: scalar scores + sequential draws
-        lml_eval = self._lml.log_marginal_likelihood
-        depth_terms = self._depth_terms
-        draw_candidates = self._draws.draw_candidates
-        draw_uniform = self._draws.random
-        stay_scores: List[float] = [0.0] * count
-        prune_scores: List[float] = [neg_inf] * count
-        grow_heads: List[float] = [0.0] * count
-        commons: List[float] = [0.0] * count
-        uniforms = np.empty(count)
-        cand_count = [0] * count
-        cand_particle: List[int] = []
-        cand_slot: List[int] = []
-        cand_dim: List[int] = []
-        cand_cut: List[int] = []
-        grow_floor = 2 * min_leaf
-        for i in range(count):
-            leaf = leaves[i]
-            parent = parents[i]
             leaf_model = leaf.leaf
             assert leaf_model is not None
             n, total, total_sq = leaf_model.sufficient_stats()
-            n_new = n + 1
-            total_new = total + y
-            total_sq_new = total_sq + y * y
-            log1m_here, grow_head, _ = depth_terms(leaf.depth)
-            stay_score = log1m_here + lml_eval(n_new, total_new, total_sq_new)
-            grow_heads[i] = grow_head
+            leaf_ns.append(n)
+            leaf_totals.append(total)
+            leaf_sqs.append(total_sq)
+            leaf_depths.append(leaf.depth)
+            sibling = None
             if parent is not None:
                 sibling = parent.right if parent.left is leaf else parent.left
-                assert sibling is not None
-                if sibling.leaf is not None:
-                    log1m_parent, _, log_p_parent = depth_terms(parent.depth)
-                    log1m_sibling, _, _ = depth_terms(sibling.depth)
-                    # Common factor shared by the stay and grow alternatives
-                    # when the comparison is lifted to the parent subtree.
-                    common = (
-                        log_p_parent + log1m_sibling
-                    ) + sibling.leaf.log_marginal_likelihood()
-                    ns, sib_total, sib_total_sq = sibling.leaf.sufficient_stats()
-                    prune_scores[i] = log1m_parent + lml_eval(
-                        n_new + ns, total_new + sib_total, total_sq_new + sib_total_sq
+            if sibling is not None and sibling.leaf is not None:
+                ns, sib_total, sib_total_sq = sibling.leaf.sufficient_stats()
+                prunable_list.append(True)
+                sib_ns.append(ns)
+                sib_totals.append(sib_total)
+                sib_sqs.append(sib_total_sq)
+                sib_lmls.append(sibling.leaf.log_marginal_likelihood())
+            else:
+                prunable_list.append(False)
+                sib_ns.append(0)
+                sib_totals.append(0.0)
+                sib_sqs.append(0.0)
+                sib_lmls.append(0.0)
+
+        # ------------------------- phase 1b: batched grow-proposal tables
+        # Pad every leaf's observations (plus the incoming point in the
+        # last real row) into one (bucket, n_max_b, dims) block per leaf-
+        # size bucket.  Sorting the particles by leaf size and padding
+        # each bucket only to its own widest leaf keeps the padded work
+        # proportional to the mean leaf size rather than the max; every
+        # per-particle row is computed exactly as in the single-block
+        # layout, so bit-identity is untouched (padding features are +inf
+        # so no threshold ever selects them; padding targets are 0.0, an
+        # exact no-op for the sequential sums).
+        sizes = np.asarray(sizes_list, dtype=np.intp)
+        n_points_arr = sizes + 1
+        n_max = int(sizes.max()) + 1
+        starts = np.cumsum(sizes) - sizes
+        rows_arr = np.asarray(all_rows, dtype=np.intp)
+        order = np.argsort(sizes, kind="stable")
+        n_buckets = 4 if count >= 256 else 1
+        unique_values = np.empty((count, n_max, dims))
+        n_unique_arr = np.empty((count, dims), dtype=np.int32)
+        buckets = []
+        for bidx in np.array_split(order, n_buckets):
+            nb = bidx.shape[0]
+            if nb == 0:
+                continue
+            sizes_b = sizes[bidx]
+            n_max_b = int(sizes_b.max()) + 1
+            padded_features = np.full((nb, n_max_b, dims), np.inf)
+            padded_targets = np.zeros((nb, n_max_b))
+            row_owner = np.repeat(np.arange(nb, dtype=np.intp), sizes_b)
+            col_pos = (
+                np.arange(row_owner.shape[0], dtype=np.intp)
+                - np.repeat(np.cumsum(sizes_b) - sizes_b, sizes_b)
+            )
+            src = rows_arr[np.repeat(starts[bidx], sizes_b) + col_pos]
+            padded_features[row_owner, col_pos] = self._X[src]
+            padded_targets[row_owner, col_pos] = self._y[src]
+            local = np.arange(nb, dtype=np.intp)
+            padded_features[local, sizes_b] = x
+            padded_targets[local, sizes_b] = y
+            buckets.append((bidx, padded_features, padded_targets, n_max_b))
+            # Batched unique scan (sort + first-of-run flags, the lean
+            # equivalent of per-candidate np.unique): ``n_unique[p, d]``
+            # bounds the cut draw, and ``unique_values[p, j, d]`` is the
+            # j-th distinct value, compacted to the front so thresholds
+            # are one gather.
+            sorted_columns = np.sort(padded_features, axis=1)
+            keep = np.empty(sorted_columns.shape, dtype=bool)
+            keep[:, 0, :] = True
+            np.not_equal(
+                sorted_columns[:, 1:, :], sorted_columns[:, :-1, :], out=keep[:, 1:, :]
+            )
+            keep &= np.arange(n_max_b)[None, :, None] < (sizes_b + 1)[:, None, None]
+            rank = keep.cumsum(axis=1, dtype=np.int32)
+            n_unique_arr[bidx] = rank[:, -1, :]
+            # Compact first-of-run values to the front of each column with
+            # flat indexing: a kept element at flat position ``q`` (row
+            # ``j`` of its column) moves to row ``rank - 1``, i.e. flat
+            # position ``q + dims * (rank - 1 - j)`` — one flatnonzero and
+            # two flat gathers instead of three-array ``np.nonzero``
+            # coordinate math.
+            flat_keep = np.flatnonzero(keep.reshape(-1))
+            rows_of = (flat_keep // dims) % n_max_b
+            dest = flat_keep + dims * (rank.reshape(-1)[flat_keep] - 1 - rows_of)
+            compacted = np.empty_like(sorted_columns)
+            compacted.reshape(-1)[dest] = sorted_columns.reshape(-1)[flat_keep]
+            unique_values[bidx, :n_max_b, :] = compacted
+            del sorted_columns, keep, rank, flat_keep, rows_of, dest, compacted
+
+        # ---------------------- phase 1c: sequential candidate draws
+        # The RNG stream must be consumed in exactly the reference
+        # per-particle order (candidate draws, then the move uniform).
+        # The draw *values* depend only on stream position, so this can
+        # run before the batched scoring that interprets them.  The
+        # replay layer's batched decoder handles the common fixed-layout
+        # case in one vectorized pass (falling back to the scalar loop
+        # from the first particle whose draws violate its layout
+        # assumptions); the loop below covers plain-``Generator`` draw
+        # sources and degenerate shapes.
+        grow_floor = 2 * min_leaf
+        batch_draws = getattr(self._draws, "draw_candidates_batch", None)
+        if batch_draws is not None and dims >= 2:
+            grow_flags = n_points_arr >= grow_floor
+            cand_particle, cand_slot, cand_dim, cand_cut, uniforms = batch_draws(
+                dims, n_unique_arr, grow_flags, n_candidates
+            )
+        else:
+            n_unique_list = n_unique_arr.tolist()
+            draw_candidates = self._draws.draw_candidates
+            draw_uniform = self._draws.random
+            uniforms = np.empty(count)
+            cand_particle: List[int] = []
+            cand_slot: List[int] = []
+            cand_dim: List[int] = []
+            cand_cut: List[int] = []
+            for i in range(count):
+                if sizes_list[i] + 1 >= grow_floor:
+                    drawn_dims, drawn_cuts = draw_candidates(
+                        dims, n_unique_list[i], n_candidates
                     )
-                    stay_score += common
-                    commons[i] = common
-            stay_scores[i] = stay_score
-            slot = 0
-            if sizes_list[i] + 1 >= grow_floor:
-                drawn_dims, drawn_cuts = draw_candidates(
-                    dims, n_unique_list[i], n_candidates
-                )
-                slot = len(drawn_dims)
-                cand_particle.extend([i] * slot)
-                cand_slot.extend(range(slot))
-                cand_dim.extend(drawn_dims)
-                cand_cut.extend(drawn_cuts)
-            cand_count[i] = slot
-            uniforms[i] = draw_uniform()
+                    slot = len(drawn_dims)
+                    cand_particle.extend([i] * slot)
+                    cand_slot.extend(range(slot))
+                    cand_dim.extend(drawn_dims)
+                    cand_cut.extend(drawn_cuts)
+                uniforms[i] = draw_uniform()
+
+        # ------------------- phase 1d: vectorized stay/prune scoring
+        # The hypothetical leaves (stay absorbs the new point, prune also
+        # merges the sibling) are scored by gathering the count-dependent
+        # LML terms from the term tables and evaluating the beta_n
+        # arithmetic elementwise — the expression grouping and the scalar-
+        # rounded log map keep every score bit-identical to the LMLCache
+        # evaluation the reference path performs.
+        kernels = get_kernels(getattr(config, "backend", "numpy"))
+        tables = self._leaf_term_tables()
+        prior = self._prior
+        prior_beta = prior.beta
+        prior_kappa = prior.kappa
+        prior_mean = prior.mean
+        counts_stay = np.asarray(leaf_ns, dtype=np.intp) + 1
+        totals_stay = np.asarray(leaf_totals) + y
+        sqs_stay = np.asarray(leaf_sqs) + y * y
+        depths_arr = np.asarray(leaf_depths, dtype=np.intp)
+        prunable = np.asarray(prunable_list, dtype=bool)
+        pr = np.flatnonzero(prunable)
+        counts_prune = counts_stay[pr] + np.asarray(sib_ns, dtype=np.intp)[pr]
+        max_count = int(counts_stay.max())
+        if pr.size:
+            max_count = max(max_count, int(counts_prune.max()))
+        if len(cand_particle):
+            max_count = max(max_count, n_max)
+        tables.ensure(max_count)
+        depth_table = self._depth_table(int(depths_arr.max()))
+        log1m_here = depth_table[depths_arr, 0]
+        grow_heads = depth_table[depths_arr, 1]
+        kappa_stay = tables.kappa_n[counts_stay]
+        alpha_stay = tables.alpha_n[counts_stay]
+        beta_stay = nig_beta_n(
+            counts_stay, totals_stay, sqs_stay, kappa_stay,
+            prior_beta, prior_kappa, prior_mean,
+        )
+        stay_lml = (
+            (tables.head[counts_stay] - alpha_stay * kernels.log_array(beta_stay))
+            + tables.mid[counts_stay]
+        ) - tables.tail[counts_stay]
+        stay_scores = log1m_here + stay_lml
+        commons = np.zeros(count)
+        prune_scores = np.full(count, neg_inf)
+        if pr.size:
+            parent_rows = depth_table[depths_arr[pr] - 1]
+            log1m_parent = parent_rows[:, 0]
+            log_p_parent = parent_rows[:, 2]
+            # The sibling sits at the leaf's own depth (they share a parent).
+            log1m_sibling = log1m_here[pr]
+            common_vals = (log_p_parent + log1m_sibling) + np.asarray(sib_lmls)[pr]
+            commons[pr] = common_vals
+            kappa_prune = tables.kappa_n[counts_prune]
+            alpha_prune = tables.alpha_n[counts_prune]
+            beta_prune = nig_beta_n(
+                counts_prune,
+                totals_stay[pr] + np.asarray(sib_totals)[pr],
+                sqs_stay[pr] + np.asarray(sib_sqs)[pr],
+                kappa_prune,
+                prior_beta,
+                prior_kappa,
+                prior_mean,
+            )
+            prune_lml = (
+                (tables.head[counts_prune] - alpha_prune * kernels.log_array(beta_prune))
+                + tables.mid[counts_prune]
+            ) - tables.tail[counts_prune]
+            prune_scores[pr] = log1m_parent + prune_lml
+            stay_scores[pr] += common_vals
 
         # ------------------------ phase 2a: batched candidate partitions
         thresholds = np.full((count, n_candidates), neg_inf)
         dim_matrix = np.zeros((count, n_candidates), dtype=np.intp)
-        if cand_particle:
+        if len(cand_particle):
             cp = np.asarray(cand_particle, dtype=np.intp)
             cs = np.asarray(cand_slot, dtype=np.intp)
             cd = np.asarray(cand_dim, dtype=np.intp)
@@ -1065,97 +1257,88 @@ class DynamicTreeRegressor(SurrogateModel):
             high = unique_values[cp, cc + 1, cd]
             thresholds[cp, cs] = 0.5 * (low + high)
             dim_matrix[cp, cs] = cd
-        del unique_values, sorted_columns
+        del unique_values
         two_k = 2 * n_candidates
         masks = np.empty((count, n_max, n_candidates), dtype=bool)
         sums = np.empty((count, 2, two_k))
-        # The fused masked cumsum materialises (chunk, n_max, 2, 2k)
-        # doubles; chunking bounds that scratch at ~32 MB however many
-        # particles are in flight.
-        chunk = max(1, 4_000_000 // (n_max * two_k))
-        for start in range(0, count, chunk):
-            stop = min(start + chunk, count)
-            window = slice(start, stop)
-            columns = np.take_along_axis(
-                padded_features[window], dim_matrix[window][:, None, :], axis=2
-            )
-            np.less_equal(columns, thresholds[window][:, None, :], out=masks[window])
-            block = masks[window]
-            targets_block = padded_targets[window]
-            moments = np.empty((stop - start, n_max, 2, 1))
-            moments[:, :, 0, 0] = targets_block
-            np.multiply(targets_block, targets_block, out=moments[:, :, 1, 0])
-            sides = np.concatenate([block, ~block], axis=2)
-            # np.add.reduce over a non-final axis accumulates slice-by-slice
-            # in index order whenever the trailing contiguous block has >= 2
-            # elements (pairwise reordering only applies to the degenerate
-            # contiguous-1-D case), so this is bit-identical to
-            # ``cumsum(axis=1)[:, -1]`` at half the memory traffic — pinned
-            # by the equivalence suite.
-            sums[window] = np.add.reduce(moments * sides[:, :, None, :], axis=1)
-        n_left_matrix = masks.sum(axis=1).tolist()
-        sums_list = sums.tolist()
+        n_left_matrix = np.empty((count, n_candidates), dtype=np.intp)
+        for bidx, padded_features, padded_targets, n_max_b in buckets:
+            nb = bidx.shape[0]
+            targets_sq = padded_targets * padded_targets
+            thresholds_b = thresholds[bidx]
+            dims_b = dim_matrix[bidx]
+            masks_b = np.empty((nb, n_max_b, n_candidates), dtype=bool)
+            sums_b = np.empty((nb, 2, two_k))
+            # The masked sums materialise one (chunk, n_max_b, 2k) product
+            # at a time (reused for both moments); chunking bounds that
+            # scratch at ~32 MB however many particles are in flight.
+            chunk = max(1, 4_000_000 // (n_max_b * two_k))
+            flat_features = padded_features.reshape(-1)
+            row_offsets = (np.arange(n_max_b, dtype=np.intp) * dims)[None, :, None]
+            for start in range(0, nb, chunk):
+                stop = min(start + chunk, nb)
+                window = slice(start, stop)
+                # One flat gather for the candidate columns (notably faster
+                # than take_along_axis's generic inner loop at this shape).
+                flat_idx = (
+                    np.arange(start, stop, dtype=np.intp)[:, None, None]
+                    * (n_max_b * dims)
+                    + row_offsets
+                    + dims_b[window][:, None, :]
+                )
+                columns = flat_features[flat_idx]
+                np.less_equal(
+                    columns, thresholds_b[window][:, None, :], out=masks_b[window]
+                )
+                block = masks_b[window]
+                sides = np.concatenate([block, ~block], axis=2)
+                prod = np.empty(sides.shape)
+                # np.add.reduce over a non-final axis accumulates slice-by-
+                # slice in index order whenever the trailing contiguous
+                # block has >= 2 elements (pairwise reordering only applies
+                # to the degenerate contiguous-1-D case), so this is bit-
+                # identical to ``cumsum(axis=1)[:, -1]`` over each
+                # compressed side (padding contributes exact ``0.0``
+                # no-ops).
+                np.multiply(padded_targets[window][:, :, None], sides, out=prod)
+                np.add.reduce(prod, axis=1, out=sums_b[window, 0])
+                np.multiply(targets_sq[window][:, :, None], sides, out=prod)
+                np.add.reduce(prod, axis=1, out=sums_b[window, 1])
+            masks[bidx, :n_max_b, :] = masks_b
+            sums[bidx] = sums_b
+            n_left_matrix[bidx] = masks_b.sum(axis=1)
+        del buckets
 
-        # -------------------------------- phase 2b: grow scores (scalar)
-        # The marginal-likelihood arithmetic is inlined (it runs up to
-        # twice per candidate); the count-dependent lgamma/log terms come
-        # from the per-prior LMLCache and the expression groups exactly
-        # like log_marginal_likelihood_from_stats, so scores stay
-        # bit-identical.
-        terms_by_count = self._lml._terms_by_count
-        make_terms = self._lml._terms
-        prior = self._prior
-        prior_beta = prior.beta
-        prior_kappa = prior.kappa
-        prior_mean = prior.mean
-        log = math.log
-        grow_scores: List[float] = [neg_inf] * count
-        grow_chosen: List[Optional[Tuple[int, float, float]]] = [None] * count
-        for i in range(count):
-            k = cand_count[i]
-            if not k:
-                continue
-            n_points = sizes_list[i] + 1
-            n_left_row = n_left_matrix[i]
-            sum_row, sum_sq_row = sums_list[i]
-            best: Optional[Tuple[float, int, float, float]] = None
-            for c in range(k):
-                count_left = n_left_row[c]
-                count_right = n_points - count_left
-                if count_left < min_leaf or count_right < min_leaf:
-                    continue
-                terms = terms_by_count.get(count_left) or make_terms(count_left)
-                kappa_n, alpha_n, head, mid, tail = terms
-                mean = sum_row[c] / count_left
-                sum_sq_dev = max(sum_sq_row[c] - count_left * mean * mean, 0.0)
-                beta_n = (
-                    prior_beta
-                    + 0.5 * sum_sq_dev
-                    + 0.5 * (prior_kappa * count_left * (mean - prior_mean) ** 2) / kappa_n
-                )
-                left_lml = ((head - alpha_n * log(beta_n)) + mid) - tail
-                terms = terms_by_count.get(count_right) or make_terms(count_right)
-                kappa_n, alpha_n, head, mid, tail = terms
-                right_slot = n_candidates + c
-                mean = sum_row[right_slot] / count_right
-                sum_sq_dev = max(sum_sq_row[right_slot] - count_right * mean * mean, 0.0)
-                beta_n = (
-                    prior_beta
-                    + 0.5 * sum_sq_dev
-                    + 0.5 * (prior_kappa * count_right * (mean - prior_mean) ** 2) / kappa_n
-                )
-                right_lml = ((head - alpha_n * log(beta_n)) + mid) - tail
-                score = left_lml + right_lml
-                if best is None or score > best[0]:
-                    best = (score, c, left_lml, right_lml)
-            if best is None:
-                continue
-            _, c, left_lml, right_lml = best
-            grow = (grow_heads[i] + left_lml) + right_lml
-            if prune_scores[i] != neg_inf:
-                grow = grow + commons[i]
-            grow_scores[i] = grow
-            grow_chosen[i] = (c, left_lml, right_lml)
+        # -------------------------------- phase 2b: grow scores (kernel)
+        # One fused pass over the padded candidate grid: the kernel
+        # evaluates the left/right marginal likelihoods from the same
+        # count-term tables (one log pass over the concatenated beta_n
+        # values on the NumPy backend) and returns each particle's argmax
+        # candidate.  Padded slots carry ``-inf`` thresholds, so their
+        # left counts are 0 and min_leaf filtering rejects them exactly
+        # like the reference's per-candidate guard.
+        best_slot, best_left, best_right = kernels.grow_scores(
+            n_left_matrix,
+            n_points_arr,
+            sums,
+            min_leaf,
+            n_candidates,
+            tables.kappa_n,
+            tables.alpha_n,
+            tables.head,
+            tables.mid,
+            tables.tail,
+            prior_beta,
+            prior_kappa,
+            prior_mean,
+        )
+        grow_scores = np.full(count, neg_inf)
+        has_best = best_slot >= 0
+        if has_best.any():
+            g = (grow_heads[has_best] + best_left[has_best]) + best_right[has_best]
+            grow_scores[has_best] = np.where(
+                prunable[has_best], g + commons[has_best], g
+            )
 
         # ------------------------------ phase 2c: batched move ceremony
         # ``exp(-inf - max) == 0.0`` exactly, so exponentiating the full
@@ -1177,10 +1360,18 @@ class DynamicTreeRegressor(SurrogateModel):
         moves = (cdf <= uniforms[:, None]).sum(axis=1).tolist()
 
         # ---------------------------------------------- phase 3: apply
+        # Grow/prune moves additionally *derive* the particle's updated
+        # flat compilation from the old one (one splice per structural
+        # move) instead of invalidating it, so steady-state updates never
+        # re-enter FlatTree.compile.
         stay_slots: List[int] = []
-        stay_leaves: List[_Node] = []
         flats = self._flat
         flat_shared = self._flat_shared
+        best_slot_list = best_slot.tolist()
+        best_left_list = best_left.tolist()
+        best_right_list = best_right.tolist()
+        has_ids = local_leaf_ids is not None
+        ids_list = local_leaf_ids.tolist() if has_ids else None
         for i in range(count):
             move = moves[i]
             if path_shared[i]:
@@ -1190,46 +1381,78 @@ class DynamicTreeRegressor(SurrogateModel):
                 leaf = leaves[i]
                 parent = parents[i]
                 root = particles[i]
-            chosen = grow_chosen[i]
-            if move == 1 and chosen is not None:
-                c, left_lml, right_lml = chosen
+            c = best_slot_list[i]
+            if move == 1 and c >= 0:
                 n_points = sizes_list[i] + 1
-                count_left = n_left_matrix[i][c]
-                sum_row, sum_sq_row = sums_list[i]
+                count_left = int(n_left_matrix[i, c])
                 right_slot = n_candidates + c
+                old_flat = flats[i]
                 self._apply_grow_batched(
                     leaf,
                     _GrowProposal(
                         dim=int(dim_matrix[i, c]),
                         threshold=float(thresholds[i, c]),
                         n_left=count_left,
-                        sum_left=sum_row[c],
-                        sum_sq_left=sum_sq_row[c],
-                        left_lml=left_lml,
+                        sum_left=float(sums[i, 0, c]),
+                        sum_sq_left=float(sums[i, 1, c]),
+                        left_lml=best_left_list[i],
                         n_right=n_points - count_left,
-                        sum_right=sum_row[right_slot],
-                        sum_sq_right=sum_sq_row[right_slot],
-                        right_lml=right_lml,
+                        sum_right=float(sums[i, 0, right_slot]),
+                        sum_sq_right=float(sums[i, 1, right_slot]),
+                        right_lml=best_right_list[i],
                         mask=masks[i, :n_points, c],
                     ),
                     index,
                 )
-                flats[i] = None
+                if old_flat is not None and has_ids:
+                    flats[i] = old_flat.grow_at(ids_list[i], leaf)
+                else:
+                    flats[i] = None
                 flat_shared[i] = False
-            elif move == 2 and prune_scores[i] != neg_inf:
+            elif move == 2 and prunable_list[i]:
                 assert parent is not None
-                sibling = parent.right if parent.left is leaf else parent.left
+                is_left = parent.left is leaf
+                sibling = parent.right if is_left else parent.left
                 assert sibling is not None
+                old_flat = flats[i]
                 self._apply_prune(root, parent, leaf, sibling, x, y, index)
-                flats[i] = None
+                if old_flat is not None and has_ids:
+                    lid = ids_list[i]
+                    flats[i] = old_flat.prune_at(
+                        lid if is_left else lid - 1, parent.leaf
+                    )
+                else:
+                    flats[i] = None
                 flat_shared[i] = False
             else:
                 assert leaf.leaf is not None
                 leaf.leaf.add(y)
                 leaf.indices.append(index)
                 stay_slots.append(i)
-                stay_leaves.append(leaf)
-        self._patch_stays(stay_slots, stay_leaves, local_leaf_ids, x)
+        if stay_slots:
+            # Batched leaf-cache rows for every stay move: the posterior
+            # row entries are the same table gathers + elementwise
+            # arithmetic (same grouping, scalar-rounded logs) as
+            # GaussianLeafModel.predictive_logpdf_terms.
+            stays = np.asarray(stay_slots, dtype=np.intp)
+            counts_s = counts_stay[stays]
+            kappa_s = kappa_stay[stays]
+            alpha_s = alpha_stay[stays]
+            beta_s = beta_stay[stays]
+            pk_pm = prior_kappa * prior_mean
+            mean_s = (pk_pm + totals_stay[stays]) / kappa_s
+            scale_s = (beta_s * (kappa_s + 1.0)) / (alpha_s * kappa_s)
+            dof_s = tables.dof[counts_s]
+            rows = np.empty((stays.size, 6))
+            rows[:, 0] = mean_s
+            rows[:, 1] = (scale_s * dof_s) / (dof_s - 2.0)
+            rows[:, 2] = counts_s
+            rows[:, 3] = dof_s * scale_s
+            rows[:, 4] = tables.coef[counts_s]
+            rows[:, 5] = tables.lgamma_part[counts_s] - 0.5 * kernels.log_array(
+                tables.dof_pi[counts_s] * scale_s
+            )
+            self._patch_stays(stay_slots, ids_list, x, rows)
 
     def _apply_grow_batched(
         self, leaf: _Node, proposal: _GrowProposal, index: int

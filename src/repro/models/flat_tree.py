@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .compiled_kernels import route_all_numpy
 from .leaf import GaussianLeafModel, LeafCacheArrays
 
 __all__ = ["FlatTree", "FlatForest", "IncrementalForest"]
@@ -91,17 +92,13 @@ class FlatTree:
         self.n_nodes = int(split_dim.shape[0])
         self.n_leaves = len(caches)
         # Plain-list mirror of the structure arrays for scalar descents:
-        # the batched reweight routes one point through every particle via
-        # route_one, and Python-list indexing beats numpy scalar extraction
-        # several-fold at that grain.  The structure never mutates after
-        # compilation (grow/prune recompile), so copies share the mirror.
-        self._nav = nav if nav is not None else (
-            split_dim.tolist(),
-            split_value.tolist(),
-            left.tolist(),
-            right.tolist(),
-            leaf_slot.tolist(),
-        )
+        # Python-list indexing beats numpy scalar extraction several-fold
+        # at route_one's grain.  Built lazily — the batched update path
+        # derives thousands of FlatTrees per update (grow_at/prune_at) and
+        # routes through the forest arrays instead, so most compilations
+        # never take a scalar descent.  The structure never mutates after
+        # compilation, so copies share the mirror.
+        self._nav = nav
 
     @property
     def leaf_mean(self) -> np.ndarray:
@@ -201,10 +198,19 @@ class FlatTree:
         """Leaf id of a single feature vector (scalar descent, no row setup).
 
         ``x`` may be an array or a plain sequence; callers descending many
-        trees (the batched reweight) pass ``x.tolist()`` once so every
-        comparison is float-against-float.
+        trees pass ``x.tolist()`` once so every comparison is
+        float-against-float.
         """
-        split_dim, split_value, left, right, leaf_slot = self._nav
+        nav = self._nav
+        if nav is None:
+            nav = self._nav = (
+                self.split_dim.tolist(),
+                self.split_value.tolist(),
+                self.left.tolist(),
+                self.right.tolist(),
+                self.leaf_slot.tolist(),
+            )
+        split_dim, split_value, left, right, leaf_slot = nav
         index = 0
         dim = split_dim[0]
         while dim >= 0:
@@ -226,6 +232,138 @@ class FlatTree:
         :meth:`~repro.models.leaf.LeafCacheArrays.patch`).
         """
         return self.caches.patch(leaf_id, leaf)
+
+    # ---------------------------------------------------------- derivations
+
+    def grow_at(self, leaf_id: int, node) -> "FlatTree":
+        """The compilation of this tree after growing leaf ``leaf_id``.
+
+        ``node`` is the just-split ``_Node`` (its ``split_dim``/``split_value``
+        are set and both children are leaves).  Pre-order numbering makes the
+        incremental derivation a pair of array splices: the leaf's node index
+        ``v`` becomes the internal node, its children land at ``v+1``/``v+2``,
+        node indices after ``v`` shift by ``+2`` and leaf ids after ``leaf_id``
+        by ``+1``.  The result is bit-identical to ``FlatTree.compile`` on the
+        mutated particle — structure arrays and cache rows alike (the new
+        leaf rows come from the same memoized ``patch`` path) — at O(n) array
+        copies instead of an O(n) *Python recursion* with per-node appends.
+        """
+        v = int(np.flatnonzero(self.leaf_slot == leaf_id)[0])
+        n = self.n_nodes
+        split_dim = np.empty(n + 2, dtype=np.intp)
+        split_value = np.empty(n + 2)
+        left = np.empty(n + 2, dtype=np.intp)
+        right = np.empty(n + 2, dtype=np.intp)
+        leaf_slot = np.empty(n + 2, dtype=np.intp)
+
+        split_dim[:v] = self.split_dim[:v]
+        split_dim[v] = int(node.split_dim)
+        split_dim[v + 1] = -1
+        split_dim[v + 2] = -1
+        split_dim[v + 3 :] = self.split_dim[v + 1 :]
+
+        split_value[:v] = self.split_value[:v]
+        split_value[v] = float(node.split_value)
+        split_value[v + 1] = 0.0
+        split_value[v + 2] = 0.0
+        split_value[v + 3 :] = self.split_value[v + 1 :]
+
+        # Only the parent of ``v`` points *at* ``v`` (index unchanged);
+        # every pointer beyond ``v`` moves with its target.
+        shifted_left = np.where(self.left > v, self.left + 2, self.left)
+        shifted_right = np.where(self.right > v, self.right + 2, self.right)
+        left[:v] = shifted_left[:v]
+        left[v] = v + 1
+        left[v + 1] = -1
+        left[v + 2] = -1
+        left[v + 3 :] = shifted_left[v + 1 :]
+        right[:v] = shifted_right[:v]
+        right[v] = v + 2
+        right[v + 1] = -1
+        right[v + 2] = -1
+        right[v + 3 :] = shifted_right[v + 1 :]
+
+        shifted_slot = np.where(self.leaf_slot > leaf_id, self.leaf_slot + 1, self.leaf_slot)
+        leaf_slot[:v] = shifted_slot[:v]
+        leaf_slot[v] = -1
+        leaf_slot[v + 1] = leaf_id
+        leaf_slot[v + 2] = leaf_id + 1
+        leaf_slot[v + 3 :] = shifted_slot[v + 1 :]
+
+        data = np.empty((self.n_leaves + 1, 6))
+        data[:leaf_id] = self.caches.data[:leaf_id]
+        data[leaf_id + 2 :] = self.caches.data[leaf_id + 1 :]
+        caches = LeafCacheArrays(data)
+        caches.patch(leaf_id, node.left.leaf)
+        caches.patch(leaf_id + 1, node.right.leaf)
+        return FlatTree(
+            split_dim=split_dim,
+            split_value=split_value,
+            left=left,
+            right=right,
+            leaf_slot=leaf_slot,
+            caches=caches,
+        )
+
+    def prune_at(self, left_leaf_id: int, merged_leaf: GaussianLeafModel) -> "FlatTree":
+        """The compilation of this tree after pruning a leaf pair.
+
+        ``left_leaf_id`` is the *left* child's leaf id (its sibling is
+        ``left_leaf_id + 1``); ``merged_leaf`` the parent's new leaf model.
+        In pre-order the left child immediately follows its parent, so the
+        parent sits at ``index(left child) - 1``: the two child rows are cut
+        out, node indices beyond them shift ``-2`` and leaf ids beyond the
+        pair shift ``-1``.  Bit-identical to recompiling the pruned particle.
+        """
+        v_left = int(np.flatnonzero(self.leaf_slot == left_leaf_id)[0])
+        parent = v_left - 1
+        n = self.n_nodes
+        split_dim = np.empty(n - 2, dtype=np.intp)
+        split_value = np.empty(n - 2)
+        left = np.empty(n - 2, dtype=np.intp)
+        right = np.empty(n - 2, dtype=np.intp)
+        leaf_slot = np.empty(n - 2, dtype=np.intp)
+
+        split_dim[:parent] = self.split_dim[:parent]
+        split_dim[parent] = -1
+        split_dim[parent + 1 :] = self.split_dim[parent + 3 :]
+
+        split_value[:parent] = self.split_value[:parent]
+        split_value[parent] = 0.0
+        split_value[parent + 1 :] = self.split_value[parent + 3 :]
+
+        # No surviving pointer targets the removed pair (only ``parent``
+        # pointed there, and it becomes a leaf), so a single ``> parent+2``
+        # shift repairs every remaining pointer.
+        shifted_left = np.where(self.left > parent + 2, self.left - 2, self.left)
+        shifted_right = np.where(self.right > parent + 2, self.right - 2, self.right)
+        left[:parent] = shifted_left[:parent]
+        left[parent] = -1
+        left[parent + 1 :] = shifted_left[parent + 3 :]
+        right[:parent] = shifted_right[:parent]
+        right[parent] = -1
+        right[parent + 1 :] = shifted_right[parent + 3 :]
+
+        shifted_slot = np.where(
+            self.leaf_slot > left_leaf_id + 1, self.leaf_slot - 1, self.leaf_slot
+        )
+        leaf_slot[:parent] = shifted_slot[:parent]
+        leaf_slot[parent] = left_leaf_id
+        leaf_slot[parent + 1 :] = shifted_slot[parent + 3 :]
+
+        data = np.empty((self.n_leaves - 1, 6))
+        data[:left_leaf_id] = self.caches.data[:left_leaf_id]
+        data[left_leaf_id + 1 :] = self.caches.data[left_leaf_id + 2 :]
+        caches = LeafCacheArrays(data)
+        caches.patch(left_leaf_id, merged_leaf)
+        return FlatTree(
+            split_dim=split_dim,
+            split_value=split_value,
+            left=left,
+            right=right,
+            leaf_slot=leaf_slot,
+            caches=caches,
+        )
 
 
 class FlatForest:
@@ -350,20 +488,21 @@ class FlatForest:
 
         This is the one-row-many-trees kernel behind the batched SMC update:
         reweighting and the propagate front-end both need "which leaf holds
-        ``x``" for every particle, and this descends all particles together
-        in depth-many vectorized steps instead of ``n_particles`` Python
+        ``x``" for every particle.  The descent lives in
+        :func:`repro.models.compiled_kernels.route_all_numpy` (shared with
+        the jitted backends), which advances all particles together in
+        depth-many vectorized steps instead of ``n_particles`` Python
         descents.
         """
-        nodes = self.roots.copy()
-        active = np.flatnonzero(self.split_dim[nodes] >= 0)
-        while active.size:
-            current = nodes[active]
-            dims = self.split_dim[current]
-            go_left = x[dims] <= self.split_value[current]
-            nodes[active] = np.where(go_left, self.left[current], self.right[current])
-            still_internal = self.split_dim[nodes[active]] >= 0
-            active = active[still_internal]
-        return self.leaf_slot[nodes]
+        return route_all_numpy(
+            self.split_dim,
+            self.split_value,
+            self.left,
+            self.right,
+            self.leaf_slot,
+            self.roots,
+            x,
+        )
 
     def predict_components(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Per-particle predictive ``(mean, variance)``, each ``(n_particles, n_rows)``."""

@@ -30,6 +30,7 @@ __all__ = [
     "NIGPrior",
     "GaussianLeafModel",
     "LeafCacheArrays",
+    "LeafTermTables",
     "LMLCache",
     "log_marginal_likelihood_from_stats",
 ]
@@ -265,17 +266,7 @@ class GaussianLeafModel:
         if self._logpdf_terms_cache is not None:
             return self._logpdf_terms_cache
         mean_n, kappa_n, alpha_n, beta_n = self.posterior()
-        count_terms = self.prior._logpdf_count_terms.get(self._count)
-        if count_terms is None:
-            dof = 2.0 * alpha_n
-            coef = (dof + 1.0) / 2.0
-            count_terms = (
-                dof,
-                coef,
-                math.lgamma((dof + 1.0) / 2.0) - math.lgamma(dof / 2.0),
-            )
-            self.prior._logpdf_count_terms[self._count] = count_terms
-        dof, coef, lgamma_part = count_terms
+        dof, coef, lgamma_part = _predictive_count_terms(self.prior, self._count)
         scale_sq = beta_n * (kappa_n + 1.0) / (alpha_n * kappa_n)
         const = lgamma_part - 0.5 * math.log(dof * math.pi * scale_sq)
         result = (mean_n, dof * scale_sq, coef, const)
@@ -313,6 +304,30 @@ class GaussianLeafModel:
             )
         self._lml_cache = result
         return result
+
+
+def _predictive_count_terms(prior: NIGPrior, count: int) -> Tuple[float, float, float]:
+    """``(dof, coef, lgamma(coef) - lgamma(dof / 2))`` of the predictive log-pdf.
+
+    These depend only on the prior's ``alpha`` and the observation count, so
+    they are memoized on the prior (see ``NIGPrior._logpdf_count_terms``) and
+    shared by every leaf and by the vectorized term tables
+    (:class:`LeafTermTables`).  ``alpha_n`` is recomputed here exactly as
+    :meth:`GaussianLeafModel.posterior` groups it, keeping the cached values
+    bit-identical to the inline computation they replaced.
+    """
+    count_terms = prior._logpdf_count_terms.get(count)
+    if count_terms is None:
+        alpha_n = prior.alpha if count == 0 else prior.alpha + count / 2.0
+        dof = 2.0 * alpha_n
+        coef = (dof + 1.0) / 2.0
+        count_terms = (
+            dof,
+            coef,
+            math.lgamma((dof + 1.0) / 2.0) - math.lgamma(dof / 2.0),
+        )
+        prior._logpdf_count_terms[count] = count_terms
+    return count_terms
 
 
 def log_marginal_likelihood_from_stats(
@@ -406,6 +421,87 @@ class LMLCache:
             + 0.5 * (prior.kappa * n * (mean - prior.mean) ** 2) / kappa_n
         )
         return ((head - alpha_n * math.log(beta_n)) + mid) - tail
+
+
+class LeafTermTables:
+    """Count-indexed arrays of the NIG terms the vectorized kernels gather.
+
+    The batched stay/prune/grow scoring replaces thousands of scalar
+    :class:`LMLCache` / :func:`_predictive_count_terms` lookups per update
+    with array gathers ``table[counts]``.  Each table entry ``n`` holds the
+    exact values the scalar caches produce for count ``n`` — the entries are
+    *filled from* those caches, so every gathered term is bit-identical to
+    the per-leaf path by construction.
+
+    ``ensure(max_count)`` grows the tables geometrically; the model calls it
+    once per update with the largest count any hypothetical leaf can reach,
+    so amortised table maintenance is O(1) per update.
+    """
+
+    __slots__ = (
+        "lml",
+        "prior",
+        "size",
+        "kappa_n",
+        "alpha_n",
+        "head",
+        "mid",
+        "tail",
+        "dof",
+        "coef",
+        "lgamma_part",
+        "dof_pi",
+    )
+
+    def __init__(self, lml: "LMLCache") -> None:
+        self.lml = lml
+        self.prior = lml.prior
+        self.size = 0
+        self.kappa_n = np.empty(0)
+        self.alpha_n = np.empty(0)
+        self.head = np.empty(0)
+        self.mid = np.empty(0)
+        self.tail = np.empty(0)
+        self.dof = np.empty(0)
+        self.coef = np.empty(0)
+        self.lgamma_part = np.empty(0)
+        self.dof_pi = np.empty(0)
+
+    def ensure(self, max_count: int) -> None:
+        """Make every count in ``0..max_count`` gatherable."""
+        if max_count < self.size:
+            return
+        new_size = max(2 * self.size, max_count + 1, 64)
+        names = (
+            "kappa_n",
+            "alpha_n",
+            "head",
+            "mid",
+            "tail",
+            "dof",
+            "coef",
+            "lgamma_part",
+            "dof_pi",
+        )
+        grown = {name: np.empty(new_size) for name in names}
+        for name in names:
+            grown[name][: self.size] = getattr(self, name)
+        prior = self.prior
+        for n in range(self.size, new_size):
+            kappa_n, alpha_n, head, mid, tail = self.lml._terms(n)
+            dof, coef, lgamma_part = _predictive_count_terms(prior, n)
+            grown["kappa_n"][n] = kappa_n
+            grown["alpha_n"][n] = alpha_n
+            grown["head"][n] = head
+            grown["mid"][n] = mid
+            grown["tail"][n] = tail
+            grown["dof"][n] = dof
+            grown["coef"][n] = coef
+            grown["lgamma_part"][n] = lgamma_part
+            grown["dof_pi"][n] = dof * math.pi
+        for name in names:
+            setattr(self, name, grown[name])
+        self.size = new_size
 
 
 class LeafCacheArrays:

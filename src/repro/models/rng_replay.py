@@ -261,6 +261,135 @@ class ReplayDraws:
         self._has_buffer = has_buffer
         return out_dims, out_cuts
 
+    def draw_candidates_batch(
+        self,
+        dims: int,
+        n_unique: np.ndarray,
+        grow: np.ndarray,
+        count: int,
+    ):
+        """Vectorized phase-1c draw stream: per particle, ``count``
+        grow-proposal draws when ``grow`` is set, then the move uniform.
+
+        The scalar stream has a fixed raw-draw layout whenever three
+        assumptions hold: no Lemire rejection fires, no drawn dimension is
+        skipped (``n_unique < 2``), and no cut draw hits the ``bound == 1``
+        shortcut — then every growing particle consumes exactly ``count``
+        raws (two 32-bit halves per draw, so the spare-half parity returns
+        to its starting value at every particle boundary) plus one full raw
+        for the uniform, and non-growing particles consume one raw.  This
+        method *optimistically* decodes the whole stream under that layout
+        and then checks the assumptions draw-by-draw: the conservative
+        no-rejection test is ``leftover >= bound`` (the true threshold is
+        ``< bound``), and the skip/shortcut tests require ``n_unique >= 3``
+        on every drawn dimension.  Particles from the first violating one
+        onward are replayed through the scalar loop from a correctly
+        restored cursor/buffer, so the result is always bit-identical to
+        per-particle :meth:`draw_candidates` / :meth:`random` calls.
+
+        ``n_unique`` is an ``(n_particles, dims)`` integer array; ``grow``
+        is a boolean vector.  Returns ``(cand_particle, cand_slot,
+        cand_dim, cand_cut, uniforms)`` as arrays matching the flat-list
+        layout the scalar loop produces.
+        """
+        n_particles = int(grow.shape[0])
+        k = count
+        need = np.where(grow, k + 1, 1).astype(np.intp)
+        offs = np.cumsum(need) - need
+        total = int(offs[-1] + need[-1]) if n_particles else 0
+        cursor = self._cursor
+        raws_list = self._raws
+        required = cursor + total
+        while len(raws_list) < required:
+            raws_list.extend(
+                self._bitgen.random_raw(
+                    max(len(raws_list), required - len(raws_list))
+                ).tolist()
+            )
+        raws = np.asarray(raws_list[cursor:required], dtype=np.uint64)
+        growers = np.flatnonzero(grow)
+        n_grow = int(growers.shape[0])
+        mask32 = np.uint64(_MASK32)
+        thirty_two = np.uint64(32)
+        g = raws[offs[growers][:, None] + np.arange(k, dtype=np.intp)[None, :]]
+        if self._has_buffer:
+            # Halves per grower: [carry, low(r0), high(r0), ..., low(r_last)]
+            # — dims take the even slots, cuts the odd ones; the carry chains
+            # from the previous grower's final high half (uniform draws in
+            # between consume full raws and never touch the buffer).
+            high = g >> thirty_two
+            if n_grow:
+                carries = np.empty(n_grow, dtype=np.uint64)
+                carries[0] = self._buffer
+                carries[1:] = high[:-1, k - 1]
+                dim_halves = np.concatenate([carries[:, None], high[:, :-1]], axis=1)
+            else:
+                dim_halves = g
+            cut_halves = g & mask32
+        else:
+            dim_halves = g & mask32
+            cut_halves = g >> thirty_two
+        dims64 = np.uint64(dims)
+        m_dim = dim_halves * dims64
+        dim_drawn = (m_dim >> thirty_two).astype(np.intp)
+        ok = (m_dim & mask32) >= dims64
+        n_vals = n_unique[growers[:, None], dim_drawn].astype(np.int64)
+        ok &= n_vals >= 3
+        bounds = (n_vals - 1).astype(np.uint64)
+        m_cut = cut_halves * bounds
+        cuts = (m_cut >> thirty_two).astype(np.intp)
+        ok &= (m_cut & mask32) >= bounds
+        good = ok.all(axis=1)
+        bad = np.flatnonzero(~good)
+        if bad.size:
+            j_stop = int(bad[0])
+            p_stop = int(growers[j_stop])
+        else:
+            j_stop = n_grow
+            p_stop = n_particles
+        uniforms = np.empty(n_particles)
+        if p_stop:
+            upos = offs[:p_stop] + np.where(grow[:p_stop], k, 0)
+            uniforms[:p_stop] = (raws[upos] >> np.uint64(11)) * (
+                1.0 / 9007199254740992.0
+            )
+        consumed = total if p_stop == n_particles else int(offs[p_stop])
+        self._cursor = cursor + consumed
+        if self._has_buffer and j_stop:
+            self._buffer = int(g[j_stop - 1, k - 1] >> thirty_two)
+        cand_particle = np.repeat(growers[:j_stop], k)
+        cand_slot = np.tile(np.arange(k, dtype=np.intp), j_stop)
+        cand_dim = dim_drawn[:j_stop].reshape(-1)
+        cand_cut = cuts[:j_stop].reshape(-1)
+        if p_stop < n_particles:
+            tail_p: List[int] = []
+            tail_s: List[int] = []
+            tail_d: List[int] = []
+            tail_c: List[int] = []
+            grow_list = grow.tolist()
+            for i in range(p_stop, n_particles):
+                if grow_list[i]:
+                    d_i, c_i = self.draw_candidates(dims, n_unique[i].tolist(), k)
+                    slot = len(d_i)
+                    tail_p.extend([i] * slot)
+                    tail_s.extend(range(slot))
+                    tail_d.extend(d_i)
+                    tail_c.extend(c_i)
+                uniforms[i] = self.random()
+            cand_particle = np.concatenate(
+                [cand_particle, np.asarray(tail_p, dtype=np.intp)]
+            )
+            cand_slot = np.concatenate(
+                [cand_slot, np.asarray(tail_s, dtype=np.intp)]
+            )
+            cand_dim = np.concatenate(
+                [cand_dim, np.asarray(tail_d, dtype=np.intp)]
+            )
+            cand_cut = np.concatenate(
+                [cand_cut, np.asarray(tail_c, dtype=np.intp)]
+            )
+        return cand_particle, cand_slot, cand_dim, cand_cut, uniforms
+
     def end(self) -> None:
         """Rewind to the snapshot, advance by the consumed raws, restore the buffer."""
         bitgen = self._bitgen

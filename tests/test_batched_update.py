@@ -42,13 +42,14 @@ def _piecewise_data(n, dims, seed, noise=0.3):
     return X, y
 
 
-def _paired_models(seed, particles=20, resample_threshold=0.9):
+def _paired_models(seed, particles=20, resample_threshold=0.9, backend="numpy"):
     """The same seeded model in batched and reference configuration."""
     batched = DynamicTreeRegressor(
         DynamicTreeConfig(
             n_particles=particles,
             resample_threshold=resample_threshold,
             vectorized=True,
+            backend=backend,
         ),
         rng=np.random.default_rng(seed),
     )
@@ -64,17 +65,21 @@ def _paired_models(seed, particles=20, resample_threshold=0.9):
 
 
 class TestTrajectoryBitIdentity:
+    @pytest.mark.parametrize("backend", ["numpy", "numba"])
     @pytest.mark.parametrize("seed", [0, 7, 42])
-    def test_update_trajectory_matches_reference_bitwise(self, seed):
+    def test_update_trajectory_matches_reference_bitwise(self, seed, backend):
         """Seeded fit + update trajectories agree to the last bit.
 
         Predictions, ALC scores and tree shapes are compared after every
         observation; the workload is chosen so that stay, grow, prune and
         resample events all occur (asserted below — a trajectory that never
-        prunes or resamples would not prove much).
+        prunes or resamples would not prove much).  ``backend="numba"`` runs
+        the compiled dispatch path — the njit kernels where numba is
+        installed, the NumPy fallback otherwise; both are contractually
+        bit-identical to the ``vectorized=False`` reference.
         """
         X, y = _piecewise_data(130, 4, seed)
-        batched, reference = _paired_models(seed + 1)
+        batched, reference = _paired_models(seed + 1, backend=backend)
 
         prunes = 0
         original_prune = DynamicTreeRegressor._apply_prune
@@ -371,6 +376,63 @@ class TestReplayDraws:
         rng = np.random.Generator(np.random.MT19937(0))
         replay = ReplayDraws(rng)
         assert not replay.begin(16)
+
+    @pytest.mark.parametrize("seed_base", [0, 1])
+    def test_batched_candidate_stream_matches_generator(self, seed_base):
+        """``draw_candidates_batch`` equals per-particle Generator draws.
+
+        The trials are randomised over dims / particle counts / candidate
+        counts, include ``n_unique`` values of 1 and 2 (forcing the skip and
+        ``bound == 1`` shortcut paths that bail the vectorized layout into
+        the scalar tail), and vary the spare-half parity through warm-up
+        draws.  The post-call stream position must also match exactly.
+        """
+        for trial in range(60):
+            script = np.random.default_rng(1000 * seed_base + trial)
+            dims = int(script.integers(2, 8))
+            n_particles = int(script.integers(1, 50))
+            count = int(script.integers(1, 14))
+            n_unique = script.integers(1, 12, size=(n_particles, dims)).astype(
+                np.int32
+            )
+            grow = script.random(n_particles) < 0.7
+            seed = int(script.integers(0, 2**31))
+            burn = int(script.integers(0, 3))
+
+            reference = np.random.default_rng(seed)
+            for _ in range(burn):
+                reference.integers(1000)
+            ref = GeneratorDraws(reference)
+            want = ([], [], [], [], [])
+            for i in range(n_particles):
+                if grow[i]:
+                    drawn_dims, drawn_cuts = ref.draw_candidates(
+                        dims, n_unique[i].tolist(), count
+                    )
+                    want[0].extend([i] * len(drawn_dims))
+                    want[1].extend(range(len(drawn_dims)))
+                    want[2].extend(drawn_dims)
+                    want[3].extend(drawn_cuts)
+                want[4].append(ref.random())
+
+            replayed = np.random.default_rng(seed)
+            for _ in range(burn):
+                replayed.integers(1000)
+            replay = ReplayDraws(replayed)
+            assert replay.begin(16)
+            cp, cs, cd, cc, uniforms = replay.draw_candidates_batch(
+                dims, n_unique, grow, count
+            )
+            replay.end()
+            assert cp.tolist() == want[0], trial
+            assert cs.tolist() == want[1], trial
+            assert cd.tolist() == want[2], trial
+            assert cc.tolist() == want[3], trial
+            assert uniforms.tolist() == want[4], trial
+            assert int(reference.integers(2**32)) == int(
+                replayed.integers(2**32)
+            ), trial
+            assert reference.random() == replayed.random(), trial
 
 
 class TestLeafCacheEquivalence:
