@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check bench bench-update bench-gate lint
+.PHONY: test docs-check bench bench-update bench-session bench-gate lint
 
 ## Tier-1 verification: the full test suite plus the benchmark harness.
 test:
@@ -26,6 +26,11 @@ bench:
 bench-update:
 	$(PYTHON) -m pytest benchmarks/test_bench_model_update.py -q \
 		-k "particle_update or dynamic_tree_update"
+
+## Refresh the ask/tell session dispatch-overhead group (session-driven
+## run vs the frozen inline loop; also asserts < 5% dispatch overhead).
+bench-session:
+	$(PYTHON) -m pytest benchmarks/test_bench_session_overhead.py -q
 
 ## Fail on >20% mean-time regressions in the gated benchmark groups.
 bench-gate:

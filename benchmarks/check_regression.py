@@ -26,7 +26,12 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_model.json"
-DEFAULT_GROUPS = ("predict-alc", "model-update", "forest-maintenance")
+DEFAULT_GROUPS = (
+    "predict-alc",
+    "model-update",
+    "forest-maintenance",
+    "session-overhead",
+)
 DEFAULT_THRESHOLD = 0.20
 
 

@@ -37,6 +37,7 @@ from .plans import (
     sequential_plan,
     standard_plans,
 )
+from .session import DONE, LEARNING, SEEDING, TuningSession
 
 __all__ = [
     "AcquisitionFunction",
@@ -73,4 +74,8 @@ __all__ = [
     "plan_names",
     "sequential_plan",
     "standard_plans",
+    "TuningSession",
+    "SEEDING",
+    "LEARNING",
+    "DONE",
 ]

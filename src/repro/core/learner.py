@@ -1,7 +1,7 @@
 """Algorithm 1: active learning with sequential analysis.
 
 This module is the paper's primary contribution.  :class:`ActiveLearner`
-implements the learning loop of Algorithm 1 generalised over a
+drives the learning loop of Algorithm 1 generalised over a
 :class:`~repro.core.plans.SamplingPlan`, so the same code runs the baseline
 fixed-35 plan, the single-observation plan and the paper's variable
 (sequential-analysis) plan:
@@ -24,40 +24,58 @@ fixed-35 plan, the single-observation plan and the paper's variable
    set; the resulting :class:`~repro.core.curves.LearningCurve` is the raw
    material of Table 1 and Figures 5-6.
 
-The loop is *checkpointable*: :meth:`ActiveLearner.run` can emit a
-picklable :class:`LearnerCheckpoint` every few examples and resume from one
-later, reproducing the uninterrupted trajectory bit-for-bit.  The sharded
-experiment backend (:mod:`repro.experiments.runner`) uses this to survive
-killed paper-scale runs: a checkpoint captures everything the loop state
-depends on — the model (with its own generator), the learner/profiler
-generator they share, the profiler's ledger and per-configuration
-statistics, the candidate pool and the curve — while the benchmark itself
-is reattached on resume (its memoised cost caches are pure functions; the
-one piece of *stateful* benchmark state, the noise model's frequency-drift
-walk, rides along in the checkpoint for the owner to restore).
+The loop itself lives in :class:`~repro.core.session.TuningSession`, an
+inverted-control ask/tell state machine: the session proposes
+:class:`~repro.measurement.broker.MeasurementRequest`\\ s and a
+:class:`~repro.measurement.broker.MeasurementBroker` satisfies them.
+:meth:`ActiveLearner.run` is the thin driver wiring the two together with
+a live profiler (or, through ``broker_factory``, a replaying broker), and
+its trajectory — curve, ledger, RNG stream — is bit-identical to the
+pre-refactor inline loop.
+
+The loop is *checkpointable*: a mid-run pickle of the session captures
+everything the loop state depends on — the model (with its own generator),
+the shared session generator, the cost ledger and per-configuration
+statistics, the candidate pool, the curve, the held-out test set — while
+the benchmark itself is reattached on resume (its memoised cost caches are
+pure functions; the one piece of *stateful* benchmark state, the noise
+model's frequency-drift walk, rides along in the session for
+:meth:`~repro.core.session.TuningSession.attach_benchmark` to restore).
+The sharded experiment backend (:mod:`repro.experiments.runner`) uses this
+to survive killed paper-scale runs.  ``LearnerCheckpoint`` is a
+compatibility alias for the session class.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..measurement.broker import MeasurementBroker, ProfilerBroker
 from ..measurement.profiler import CostLedger, Profiler
 from ..models.base import SurrogateModel
 from ..models.compiled_kernels import BACKENDS
 from ..models.dynamic_tree import DynamicTreeConfig, DynamicTreeRegressor
 from ..spapt.suite import SpaptBenchmark
 from .acquisition import AcquisitionFunction, ALCAcquisition
-from .candidates import CandidatePool
-from .curves import CurvePoint, LearningCurve
-from .evaluation import TestSet, evaluate_rmse
+from .curves import LearningCurve
+from .evaluation import TestSet
 from .plans import SamplingPlan, sequential_plan
+from .session import TuningSession
 
 __all__ = ["LearnerConfig", "LearningResult", "LearnerCheckpoint", "ActiveLearner"]
 
 ModelFactory = Callable[[np.random.Generator], SurrogateModel]
+
+#: A hook replacing the live broker: called with the default
+#: :class:`ProfilerBroker` and the session's generator, it returns the
+#: broker the run should use (e.g. a ReplayBroker recording into a trace).
+BrokerFactory = Callable[
+    [ProfilerBroker, np.random.Generator], MeasurementBroker
+]
 
 
 @dataclass(frozen=True)
@@ -102,9 +120,16 @@ class LearnerConfig:
             raise ValueError(f"tree_backend must be one of {BACKENDS}")
 
     @classmethod
-    def paper_scale(cls) -> "LearnerConfig":
-        """The configuration used by the paper's experiments (Section 4.4)."""
-        return cls(
+    def paper_scale(cls, **overrides) -> "LearnerConfig":
+        """The configuration used by the paper's experiments (Section 4.4).
+
+        Keyword overrides are forwarded to the constructor, so callers can
+        keep the paper's loop parameters while adjusting orthogonal knobs
+        (``tree_backend``, ``max_cost_seconds``, ...)::
+
+            LearnerConfig.paper_scale(tree_backend="numba")
+        """
+        params = dict(
             n_initial=5,
             seed_observations=35,
             n_candidates=500,
@@ -113,6 +138,8 @@ class LearnerConfig:
             evaluation_interval=25,
             tree_particles=5000,
         )
+        params.update(overrides)
+        return cls(**params)
 
 
 @dataclass
@@ -139,35 +166,12 @@ class LearningResult:
         return sum(self.observation_counts.values())
 
 
-@dataclass
-class LearnerCheckpoint:
-    """Mid-run snapshot of the learning loop, sufficient for bit-exact resume.
-
-    Produced by :meth:`ActiveLearner.run` via its ``checkpoint_sink`` and
-    consumed by a later ``run(..., resume=checkpoint)``.  The snapshot
-    references the *live* loop objects — a sink must serialise it (pickle)
-    before the loop continues, which is how the experiment runner uses it.
-    Pickling the whole checkpoint in one pass preserves the identity
-    sharing the loop depends on (the profiler and the candidate draws use
-    the same :class:`numpy.random.Generator`).
-
-    ``noise_model`` carries the benchmark's noise model, whose stateful
-    components (frequency drift) are the only benchmark-side state a resume
-    must restore; the checkpoint owner reattaches it to a freshly rebuilt
-    benchmark (``SpaptBenchmark.restore_noise_model``) because benchmarks
-    themselves hold unpicklable memoisation caches.
-    """
-
-    plan_name: str
-    n_seed: int
-    training_examples: int
-    next_iteration: int
-    rng: np.random.Generator
-    model: SurrogateModel
-    profiler: Profiler
-    pool: CandidatePool
-    curve: LearningCurve
-    noise_model: object = None
+#: Compatibility alias: a checkpoint *is* a pickled
+#: :class:`~repro.core.session.TuningSession` now.  Code that type-checks
+#: or unpickles old-style ``LearnerCheckpoint`` dataclasses must restart
+#: the affected unit (the sharded runner already treats an unreadable
+#: checkpoint as "start fresh").
+LearnerCheckpoint = TuningSession
 
 
 class ActiveLearner:
@@ -187,9 +191,7 @@ class ActiveLearner:
         self._acquisition = acquisition if acquisition is not None else ALCAcquisition()
         self._config = config if config is not None else LearnerConfig()
         self._rng = rng if rng is not None else np.random.default_rng()
-        self._model_factory = (
-            model_factory if model_factory is not None else self._default_model_factory
-        )
+        self._model_factory = model_factory
 
     @property
     def plan(self) -> SamplingPlan:
@@ -210,201 +212,74 @@ class ActiveLearner:
 
     # ------------------------------------------------------------------ run
 
+    def start_session(self, test_set: TestSet) -> TuningSession:
+        """A fresh :class:`TuningSession` for this learner's configuration.
+
+        The session receives a *copy* of the learner's generator, so the
+        learner instance stays stateless across runs: calling :meth:`run`
+        (or driving a started session) twice produces identical
+        trajectories instead of mutating the learner's own stream.
+        """
+        return TuningSession(
+            self._benchmark,
+            plan=self._plan,
+            acquisition=self._acquisition,
+            config=self._config,
+            model_factory=self._model_factory,
+            rng=copy.deepcopy(self._rng),
+            test_set=test_set,
+        )
+
     def run(
         self,
         test_set: TestSet,
-        resume: Optional[LearnerCheckpoint] = None,
+        resume: Optional[TuningSession] = None,
         checkpoint_interval: Optional[int] = None,
-        checkpoint_sink: Optional[Callable[[LearnerCheckpoint], None]] = None,
+        checkpoint_sink: Optional[Callable[[TuningSession], None]] = None,
+        broker_factory: Optional[BrokerFactory] = None,
     ) -> LearningResult:
         """Execute the learning loop and return its learning curve and costs.
 
-        ``checkpoint_sink`` (with a positive ``checkpoint_interval``) is
-        called with a :class:`LearnerCheckpoint` every ``checkpoint_interval``
-        training examples; the sink must serialise the snapshot before
-        returning.  ``resume`` restarts the loop from such a checkpoint —
-        the continued trajectory (curve, costs, model state, RNG stream) is
-        bit-identical to the uninterrupted run, provided ``test_set`` and
-        the benchmark are rebuilt the same way (the checkpoint owner is
-        responsible for restoring the benchmark's noise-model state from
-        ``resume.noise_model`` before calling this).
+        The loop is the ask/tell drive of a :class:`TuningSession` against
+        a live :class:`~repro.measurement.broker.ProfilerBroker` (or
+        whatever ``broker_factory`` wraps around it — e.g. a
+        :class:`~repro.measurement.broker.ReplayBroker` serving a recorded
+        trace).  ``checkpoint_sink`` (with a positive
+        ``checkpoint_interval``) is called with the session every
+        ``checkpoint_interval`` training examples; the sink must serialise
+        the snapshot before returning.  ``resume`` restarts from such a
+        pickled session — the continued trajectory (curve, costs, model
+        state, RNG stream) is bit-identical to the uninterrupted run; the
+        session carries its own plan, configuration and test set, and the
+        benchmark (rebuilt by the caller) is reattached with its noise
+        state restored.
         """
-        config = self._config
-        plan = self._plan
-        benchmark = self._benchmark
-        space = benchmark.search_space
         if checkpoint_interval is not None and checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be positive when given")
-
         if resume is not None:
-            if resume.plan_name != plan.name:
+            if resume.plan_name != self._plan.name:
                 raise ValueError(
                     f"checkpoint is for plan {resume.plan_name!r}, "
-                    f"not {plan.name!r}"
+                    f"not {self._plan.name!r}"
                 )
-            rng = resume.rng
-            self._rng = rng
-            profiler = resume.profiler
-            profiler.attach_program(benchmark)
-            pool = resume.pool
-            model = resume.model
-            curve = resume.curve
-            n_seed = resume.n_seed
-            training_examples = resume.training_examples
-            start_iteration = resume.next_iteration
+            session = resume
+            session.attach_benchmark(self._benchmark)
         else:
-            rng = self._rng
-            profiler = Profiler(benchmark, rng=rng)
-            pool = CandidatePool(
-                space,
-                max_observations=plan.max_observations_per_example,
-                revisit=plan.revisit,
-            )
-            model = self._model_factory(np.random.default_rng(rng.integers(2 ** 63)))
-            curve = LearningCurve(plan.name)
-
-            # ---- seeding (Algorithm 1, lines 2-4) -----------------------
-            n_seed = min(config.n_initial, space.size)
-            seed_configurations = space.sample_distinct(n_seed, rng)
-            seed_features = benchmark.features_many(seed_configurations)
-            seed_targets = []
-            for configuration in seed_configurations:
-                profiler.measure(configuration, repetitions=config.seed_observations)
-                pool.record(configuration, config.seed_observations)
-                seed_targets.append(profiler.mean_runtime(configuration))
-            model.fit(seed_features, np.asarray(seed_targets))
-            self._record_point(curve, model, test_set, profiler, pool, n_seed)
-            training_examples = n_seed
-            start_iteration = n_seed
-
-        def snapshot(next_iteration: int) -> LearnerCheckpoint:
-            return LearnerCheckpoint(
-                plan_name=plan.name,
-                n_seed=n_seed,
-                training_examples=training_examples,
-                next_iteration=next_iteration,
-                rng=rng,
-                model=model,
-                profiler=profiler,
-                pool=pool,
-                curve=curve,
-                noise_model=benchmark.noise_model,
-            )
-
-        # ---- learning loop (Algorithm 1, lines 6-29) --------------------
-        for iteration in range(start_iteration, config.max_training_examples):
-            if self._budget_exhausted(profiler):
+            session = self.start_session(test_set)
+        broker: MeasurementBroker = ProfilerBroker(
+            Profiler(self._benchmark, rng=session.rng)
+        )
+        if broker_factory is not None:
+            broker = broker_factory(broker, session.rng)
+        while True:
+            request = session.ask()
+            if request is None:
                 break
-            if pool.exhausted():
-                break
-            candidates = pool.draw(config.n_candidates, rng)
-            if not candidates:
-                break
-            candidate_features = benchmark.features_many(candidates)
-            reference_features = self._reference_features(candidate_features, rng)
-            index = self._acquisition.select(
-                model, candidate_features, reference_features, rng
-            )
-            chosen = candidates[index]
-
-            observations = self._collect_observations(profiler, chosen, plan)
-            pool.record(chosen, len(observations))
-            chosen_features = benchmark.features(chosen)
-            if plan.aggregate_mean:
-                model.update(chosen_features, float(np.mean(observations)))
-            else:
-                for observation in observations:
-                    model.update(chosen_features, float(observation))
-            training_examples = iteration + 1
-
-            evaluate_now = (
-                (training_examples - n_seed) % config.evaluation_interval == 0
-                or training_examples == config.max_training_examples
-            )
-            if evaluate_now:
-                self._record_point(
-                    curve, model, test_set, profiler, pool, training_examples
-                )
-            checkpoint_now = (
+            session.tell(broker.measure(request))
+            if (
                 checkpoint_sink is not None
                 and checkpoint_interval is not None
-                and (training_examples - n_seed) % checkpoint_interval == 0
-            )
-            if checkpoint_now:
-                checkpoint_sink(snapshot(iteration + 1))
-
-        if not curve.points or curve.points[-1].training_examples != training_examples:
-            self._record_point(curve, model, test_set, profiler, pool, training_examples)
-
-        return LearningResult(
-            plan_name=plan.name,
-            curve=curve,
-            ledger=profiler.ledger.snapshot(),
-            observation_counts=pool.observation_counts,
-            training_examples=training_examples,
-            model=model,
-        )
-
-    # ------------------------------------------------------------ internals
-
-    def _collect_observations(
-        self, profiler: Profiler, configuration: Tuple[int, ...], plan: SamplingPlan
-    ) -> np.ndarray:
-        """Profile ``configuration`` according to the plan's per-selection rule.
-
-        Fixed and sequential plans take exactly
-        ``observations_per_selection`` runs.  Plans with a ``ci_threshold``
-        (the raced-profiles-style stopping rule) keep adding runs, one at a
-        time, until the 95% CI/mean ratio of the runs taken so far falls
-        below the threshold or the per-example cap is reached.
-        """
-        observations = list(
-            profiler.measure(configuration, repetitions=plan.observations_per_selection)
-        )
-        if plan.ci_threshold is None:
-            return np.asarray(observations)
-        already = profiler.observation_count(configuration)
-        while (
-            already < plan.max_observations_per_example
-            and not profiler.summary(configuration).passes_ci_validation(plan.ci_threshold)
-        ):
-            observations.extend(profiler.measure(configuration, repetitions=1))
-            already += 1
-        return np.asarray(observations)
-
-    def _budget_exhausted(self, profiler: Profiler) -> bool:
-        budget = self._config.max_cost_seconds
-        return budget is not None and profiler.ledger.total_seconds >= budget
-
-    def _reference_features(
-        self, candidate_features: np.ndarray, rng: np.random.Generator
-    ) -> np.ndarray:
-        """Reference locations over which the ALC score averages the variance.
-
-        Following dynaTree practice the reference set is a random subset of
-        the current candidate set, so the score concentrates on the part of
-        the space the learner is actually choosing between.
-        """
-        n = candidate_features.shape[0]
-        size = min(self._config.reference_size, n)
-        indices = rng.choice(n, size=size, replace=False)
-        return candidate_features[indices]
-
-    def _record_point(
-        self,
-        curve: LearningCurve,
-        model: SurrogateModel,
-        test_set: TestSet,
-        profiler: Profiler,
-        pool: CandidatePool,
-        training_examples: int,
-    ) -> None:
-        rmse = evaluate_rmse(model, test_set)
-        curve.add(
-            CurvePoint(
-                cost_seconds=profiler.ledger.total_seconds,
-                rmse=rmse,
-                training_examples=training_examples,
-                observations=profiler.ledger.executions,
-            )
-        )
+                and session.should_checkpoint(checkpoint_interval)
+            ):
+                checkpoint_sink(session)
+        return session.result()

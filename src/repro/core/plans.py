@@ -18,7 +18,10 @@ fixed a priori.  Three plans are compared in the evaluation (Section 4.3):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
+
+from ..measurement.broker import MeasurementRequest
+from ..measurement.stats import RunningStats
 
 __all__ = [
     "SamplingPlan",
@@ -82,6 +85,30 @@ class SamplingPlan:
     def is_sequential(self) -> bool:
         """True when the plan lets the learner decide the per-example sample size."""
         return self.revisit and self.observations_per_selection < self.max_observations_per_example
+
+    def measurement_request(
+        self,
+        benchmark: str,
+        configuration: Sequence[int],
+        prior_stats: Optional[RunningStats] = None,
+    ) -> MeasurementRequest:
+        """The measurement order one selection under this plan places.
+
+        This is where the plan's per-selection rule becomes part of the
+        request protocol: the request carries the initial repetition count
+        and — for plans with a ``ci_threshold`` — the stopping rule and the
+        per-example cap, plus a snapshot of the configuration's prior
+        observation statistics so any broker can evaluate the rule without
+        holding state of its own.
+        """
+        return MeasurementRequest(
+            benchmark=benchmark,
+            configuration=tuple(configuration),
+            repetitions=self.observations_per_selection,
+            ci_threshold=self.ci_threshold,
+            max_observations=self.max_observations_per_example,
+            prior_stats=prior_stats.copy() if prior_stats is not None else None,
+        )
 
 
 def fixed_plan(observations: int, name: str | None = None) -> SamplingPlan:

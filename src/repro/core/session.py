@@ -1,0 +1,449 @@
+"""The inverted-control core of Algorithm 1: an ask/tell tuning session.
+
+:class:`TuningSession` is the learning loop of the paper turned inside
+out.  Instead of a closed batch loop that owns both candidate selection
+*and* profiling, the session is a state machine that *proposes* — every
+:meth:`TuningSession.ask` returns a
+:class:`~repro.measurement.broker.MeasurementRequest` naming the next
+configuration to profile together with the sampling plan's repetition
+count and CI stopping rule — and *consumes* — :meth:`TuningSession.tell`
+feeds the resulting observations back into the model, the candidate pool,
+the cost ledger and the learning curve.  Who satisfies a request is the
+caller's business: a live :class:`~repro.measurement.broker.ProfilerBroker`,
+a trace-backed :class:`~repro.measurement.broker.ReplayBroker`, or any
+future measurement service.
+
+The session covers the full lifecycle of Algorithm 1 — ``seeding`` (the
+``n_initial`` bootstrap configurations), ``learning`` (acquisition-driven
+selection) and ``done`` — and is fully picklable mid-run: a pickled
+session *is* the checkpoint (``LearnerCheckpoint`` is now a thin alias),
+carrying the model, the generator, the per-configuration statistics, the
+cost ledger, the candidate pool, the curve, the held-out test set and the
+benchmark's stateful noise components.  Only the benchmark itself is
+dropped (it holds unpicklable memoisation caches) and reattached on resume
+through :meth:`TuningSession.attach_benchmark`.
+
+Determinism contract: a session driven ask/tell against a live profiler
+sharing :attr:`TuningSession.rng` reproduces the pre-refactor inline loop
+bit for bit — same candidate draws, same acquisition tie-breaks, same
+noise stream, same float accumulation in the ledger, same curve.  The
+tests in ``tests/test_session.py`` pin this against a frozen copy of the
+inline loop.
+
+``ask(k)`` accepts a batch size so batch acquisition for N parallel
+workers can land as a session feature later; only ``k=1`` is implemented
+today and larger values raise :class:`NotImplementedError`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..measurement.broker import MeasurementRequest, MeasurementResult
+from ..measurement.profiler import CostLedger
+from ..measurement.stats import RunningStats
+from ..models.base import SurrogateModel
+from ..models.dynamic_tree import DynamicTreeConfig, DynamicTreeRegressor
+from .acquisition import AcquisitionFunction, ALCAcquisition
+from .candidates import CandidatePool
+from .curves import CurvePoint, LearningCurve
+from .evaluation import TestSet, evaluate_rmse
+from .plans import SamplingPlan, sequential_plan
+
+__all__ = ["TuningSession", "SEEDING", "LEARNING", "DONE"]
+
+ModelFactory = Callable[[np.random.Generator], SurrogateModel]
+
+#: Lifecycle phases of a session.
+SEEDING = "seeding"
+LEARNING = "learning"
+DONE = "done"
+
+
+class TuningSession:
+    """Ask/tell state machine for one benchmark × plan × acquisition run.
+
+    Construct it with a benchmark and drive it to completion::
+
+        session = TuningSession(benchmark, plan=plan, config=config,
+                                rng=rng, test_set=test_set)
+        broker = ProfilerBroker(Profiler(benchmark, rng=session.rng))
+        while (request := session.ask()) is not None:
+            session.tell(broker.measure(request))
+        result = session.result()
+
+    The session owns the random generator (candidate draws, acquisition
+    tie-breaks and — through the profiler constructed over
+    :attr:`rng` — the noise stream all consume from it), the cost ledger
+    and the per-configuration observation statistics; brokers are
+    stateless with respect to the adaptive sampling rule, which is what
+    makes a mid-run pickle of the session a complete checkpoint.
+    """
+
+    def __init__(
+        self,
+        benchmark,
+        plan: Optional[SamplingPlan] = None,
+        acquisition: Optional[AcquisitionFunction] = None,
+        config=None,
+        model_factory: Optional[ModelFactory] = None,
+        rng: Optional[np.random.Generator] = None,
+        test_set: Optional[TestSet] = None,
+    ) -> None:
+        from .learner import LearnerConfig  # late: learner imports this module
+
+        if test_set is None:
+            raise ValueError("a TuningSession needs a held-out test_set")
+        self._benchmark = benchmark
+        self._benchmark_name = benchmark.name
+        self._plan = plan if plan is not None else sequential_plan()
+        self._acquisition = acquisition if acquisition is not None else ALCAcquisition()
+        self._config = config if config is not None else LearnerConfig()
+        self._model_factory = model_factory
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._test_set = test_set
+        self._pool = CandidatePool(
+            benchmark.search_space,
+            max_observations=self._plan.max_observations_per_example,
+            revisit=self._plan.revisit,
+        )
+        self._ledger = CostLedger()
+        self._stats: Dict[Tuple[int, ...], RunningStats] = {}
+        self._phase = SEEDING
+        self._model: Optional[SurrogateModel] = None
+        self._curve: Optional[LearningCurve] = None
+        self._n_seed = 0
+        self._seed_configurations: List[Tuple[int, ...]] = []
+        self._seed_targets: List[float] = []
+        self._seed_index = 0
+        self._training_examples = 0
+        self._iteration = 0
+        self._pending: Optional[MeasurementRequest] = None
+        self._noise_model = None
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def phase(self) -> str:
+        """``"seeding"``, ``"learning"`` or ``"done"``."""
+        return self._phase
+
+    @property
+    def done(self) -> bool:
+        return self._phase == DONE
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The session's generator — build the live profiler over this, so
+        candidate draws and measurement noise share one stream exactly as
+        the inline loop did."""
+        return self._rng
+
+    @property
+    def plan(self) -> SamplingPlan:
+        return self._plan
+
+    @property
+    def plan_name(self) -> str:
+        return self._plan.name
+
+    @property
+    def benchmark_name(self) -> str:
+        return self._benchmark_name
+
+    @property
+    def n_seed(self) -> int:
+        return self._n_seed
+
+    @property
+    def training_examples(self) -> int:
+        return self._training_examples
+
+    @property
+    def next_iteration(self) -> int:
+        """The next Algorithm-1 iteration index (compat with the old
+        ``LearnerCheckpoint.next_iteration`` field)."""
+        return self._iteration
+
+    @property
+    def model(self) -> Optional[SurrogateModel]:
+        return self._model
+
+    @property
+    def pool(self) -> CandidatePool:
+        return self._pool
+
+    @property
+    def curve(self) -> Optional[LearningCurve]:
+        return self._curve
+
+    @property
+    def ledger(self) -> CostLedger:
+        return self._ledger
+
+    @property
+    def test_set(self) -> TestSet:
+        return self._test_set
+
+    @property
+    def noise_model(self):
+        """The benchmark's (stateful) noise model, for checkpoint owners
+        that restore it explicitly; on a live session this reads through to
+        the attached benchmark."""
+        if self._benchmark is not None:
+            return self._benchmark.noise_model
+        return self._noise_model
+
+    # -------------------------------------------------------- (un)pickling
+
+    def __getstate__(self) -> dict:
+        """Drop the benchmark (unpicklable memoisation caches) and the model
+        factory (often a closure); capture the benchmark's stateful noise
+        components so :meth:`attach_benchmark` can restore them.  The model
+        factory is only consulted on the first :meth:`ask`, which always
+        precedes the first checkpoint, so dropping it loses nothing."""
+        state = self.__dict__.copy()
+        if self._benchmark is not None:
+            state["_noise_model"] = self._benchmark.noise_model
+        state["_benchmark"] = None
+        state["_model_factory"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        if "_plan" not in state or "_rng" not in state:
+            # An old-style LearnerCheckpoint blob (the dataclass this class
+            # replaced) unpickles into the aliased class with foreign
+            # fields; surface it as the error the checkpoint loaders treat
+            # as "corrupt/stale: restart the unit".
+            raise AttributeError(
+                "incompatible checkpoint: not a pickled TuningSession"
+            )
+        self.__dict__.update(state)
+
+    def attach_benchmark(self, benchmark) -> None:
+        """Reattach a (freshly rebuilt) benchmark to an unpickled session.
+
+        Restores the checkpointed noise-model state into the benchmark, so
+        the resumed measurement stream continues the recorded random walk
+        bit for bit.  The benchmark must be the one the session was created
+        for.
+        """
+        if benchmark.name != self._benchmark_name:
+            raise ValueError(
+                f"session is for benchmark {self._benchmark_name!r}, "
+                f"not {benchmark.name!r}"
+            )
+        self._benchmark = benchmark
+        if self._noise_model is not None:
+            benchmark.restore_noise_model(self._noise_model)
+
+    # -------------------------------------------------------------- ask/tell
+
+    def ask(self, k: int = 1) -> Optional[MeasurementRequest]:
+        """The next measurement request, or ``None`` when the run is done.
+
+        ``k`` is the batch size; batch acquisition (``k > 1``) is reserved
+        for a future session feature and raises ``NotImplementedError``.
+        """
+        if k != 1:
+            raise NotImplementedError(
+                "batch acquisition (k > 1) is not implemented yet; "
+                "ask one configuration at a time"
+            )
+        if self._pending is not None:
+            raise RuntimeError(
+                "ask() called while a request is outstanding; "
+                "tell() the previous result first"
+            )
+        if self._phase == DONE:
+            return None
+        self._require_benchmark()
+        if self._phase == SEEDING:
+            return self._ask_seeding()
+        return self._ask_learning()
+
+    def tell(self, result: MeasurementResult) -> None:
+        """Feed the observations answering the outstanding request back in."""
+        if self._pending is None:
+            raise RuntimeError("tell() called without an outstanding ask()")
+        request = self._pending
+        if tuple(result.configuration) != request.configuration:
+            raise ValueError(
+                f"result is for configuration {tuple(result.configuration)}, "
+                f"but the outstanding request asked for {request.configuration}"
+            )
+        self._require_benchmark()
+        self._pending = None
+        key = request.configuration
+        # Replay the charges into the session ledger in measurement order;
+        # compile and runtime accumulate separately, so the totals match an
+        # inline profiler's ledger bit for bit.
+        for seconds in result.compile_seconds:
+            self._ledger.charge_compile(seconds)
+        stats = self._stats.setdefault(key, RunningStats())
+        for runtime in result.runtimes:
+            self._ledger.charge_run(runtime)
+            stats.add(runtime)
+        self._pool.record(key, len(result.runtimes))
+        if self._phase == SEEDING:
+            self._tell_seeding(key, stats)
+        else:
+            self._tell_learning(key, result)
+
+    def result(self):
+        """The finished run's :class:`~repro.core.learner.LearningResult`."""
+        from .learner import LearningResult  # late: learner imports this module
+
+        if not self.done:
+            raise RuntimeError(
+                "result() is only available once the session is done; "
+                "keep asking until ask() returns None"
+            )
+        return LearningResult(
+            plan_name=self._plan.name,
+            curve=self._curve,
+            ledger=self._ledger.snapshot(),
+            observation_counts=self._pool.observation_counts,
+            training_examples=self._training_examples,
+            model=self._model,
+        )
+
+    def should_checkpoint(self, interval: int) -> bool:
+        """True when the inline loop's checkpoint cadence fires: every
+        ``interval`` training examples past seeding (never during or right
+        after the seeding phase itself)."""
+        if interval < 1:
+            raise ValueError("interval must be positive")
+        return (
+            self._training_examples > self._n_seed
+            and (self._training_examples - self._n_seed) % interval == 0
+        )
+
+    # ------------------------------------------------------------- internals
+
+    def _require_benchmark(self) -> None:
+        if self._benchmark is None:
+            raise RuntimeError(
+                "session has no benchmark attached; call attach_benchmark() "
+                "after unpickling"
+            )
+
+    def _ask_seeding(self) -> MeasurementRequest:
+        config = self._config
+        if self._model is None:
+            # First ask of the run: the generator draws happen in exactly
+            # the inline loop's order — model seed first, then the seed
+            # configurations.
+            space = self._benchmark.search_space
+            self._model = self._make_model(
+                np.random.default_rng(self._rng.integers(2 ** 63))
+            )
+            self._curve = LearningCurve(self._plan.name)
+            self._n_seed = min(config.n_initial, space.size)
+            self._seed_configurations = space.sample_distinct(
+                self._n_seed, self._rng
+            )
+        configuration = self._seed_configurations[self._seed_index]
+        self._pending = MeasurementRequest(
+            benchmark=self._benchmark_name,
+            configuration=configuration,
+            repetitions=config.seed_observations,
+        )
+        return self._pending
+
+    def _tell_seeding(self, key: Tuple[int, ...], stats: RunningStats) -> None:
+        self._seed_targets.append(stats.mean)
+        self._seed_index += 1
+        if self._seed_index < self._n_seed:
+            return
+        seed_features = self._benchmark.features_many(self._seed_configurations)
+        self._model.fit(seed_features, np.asarray(self._seed_targets))
+        self._record_point(self._n_seed)
+        self._training_examples = self._n_seed
+        self._iteration = self._n_seed
+        self._phase = LEARNING
+
+    def _ask_learning(self) -> Optional[MeasurementRequest]:
+        config = self._config
+        if self._iteration >= config.max_training_examples:
+            return self._finish()
+        if self._budget_exhausted():
+            return self._finish()
+        if self._pool.exhausted():
+            return self._finish()
+        candidates = self._pool.draw(config.n_candidates, self._rng)
+        if not candidates:
+            return self._finish()
+        candidate_features = self._benchmark.features_many(candidates)
+        reference_features = self._reference_features(candidate_features)
+        index = self._acquisition.select(
+            self._model, candidate_features, reference_features, self._rng
+        )
+        chosen = candidates[index]
+        self._pending = self._plan.measurement_request(
+            self._benchmark_name, chosen, prior_stats=self._stats.get(tuple(chosen))
+        )
+        return self._pending
+
+    def _tell_learning(
+        self, key: Tuple[int, ...], result: MeasurementResult
+    ) -> None:
+        observations = np.asarray(result.runtimes)
+        chosen_features = self._benchmark.features(key)
+        if self._plan.aggregate_mean:
+            self._model.update(chosen_features, float(np.mean(observations)))
+        else:
+            for observation in observations:
+                self._model.update(chosen_features, float(observation))
+        self._training_examples = self._iteration + 1
+        evaluate_now = (
+            (self._training_examples - self._n_seed) % self._config.evaluation_interval
+            == 0
+            or self._training_examples == self._config.max_training_examples
+        )
+        if evaluate_now:
+            self._record_point(self._training_examples)
+        self._iteration += 1
+
+    def _finish(self) -> None:
+        if (
+            not self._curve.points
+            or self._curve.points[-1].training_examples != self._training_examples
+        ):
+            self._record_point(self._training_examples)
+        self._phase = DONE
+        return None
+
+    def _make_model(self, rng: np.random.Generator) -> SurrogateModel:
+        if self._model_factory is not None:
+            return self._model_factory(rng)
+        return DynamicTreeRegressor(
+            DynamicTreeConfig(
+                n_particles=self._config.tree_particles,
+                backend=self._config.tree_backend,
+            ),
+            rng=rng,
+        )
+
+    def _budget_exhausted(self) -> bool:
+        budget = self._config.max_cost_seconds
+        return budget is not None and self._ledger.total_seconds >= budget
+
+    def _reference_features(self, candidate_features: np.ndarray) -> np.ndarray:
+        n = candidate_features.shape[0]
+        size = min(self._config.reference_size, n)
+        indices = self._rng.choice(n, size=size, replace=False)
+        return candidate_features[indices]
+
+    def _record_point(self, training_examples: int) -> None:
+        rmse = evaluate_rmse(self._model, self._test_set)
+        self._curve.add(
+            CurvePoint(
+                cost_seconds=self._ledger.total_seconds,
+                rmse=rmse,
+                training_examples=training_examples,
+                observations=self._ledger.executions,
+            )
+        )

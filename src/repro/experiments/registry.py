@@ -53,8 +53,10 @@ import numpy as np
 
 from ..core.comparison import ComparisonConfig, resolve_acquisition
 from ..core.evaluation import build_test_set
-from ..core.learner import ActiveLearner, LearnerCheckpoint, LearningResult
+from ..core.learner import ActiveLearner, LearningResult
 from ..core.plans import SamplingPlan
+from ..core.session import TuningSession
+from ..measurement.broker import ReplayBroker, ReplayTrace
 from ..spapt.suite import get_benchmark
 from .config import ExperimentScale
 
@@ -150,6 +152,14 @@ class UnitContext:
 
     #: Training examples between checkpoints; 0 disables checkpointing.
     checkpoint_interval: int = 0
+
+    #: Directory of a measurement trace (see
+    #: :class:`~repro.measurement.broker.ReplayTrace`); when set, learner
+    #: units measure through a :class:`~repro.measurement.broker.ReplayBroker`
+    #: over this trace — recorded requests replay without profiling, misses
+    #: fall back to the live profiler and are recorded.  ``None`` measures
+    #: live (the default).
+    replay_trace: Optional[str] = None
 
     def load_checkpoint(self) -> Optional[Any]:
         """The unit's most recent checkpoint, or None to start fresh."""
@@ -283,28 +293,43 @@ def resolve_artifacts(
 # --------------------------------------------------------------- execution
 
 
-def _execute_unit_job(args: Tuple[str, ExperimentScale, dict]) -> Any:
+def _memory_context(replay_trace: Optional[str]) -> UnitContext:
+    context = UnitContext()
+    context.replay_trace = replay_trace
+    return context
+
+
+def _execute_unit_job(
+    args: Tuple[str, ExperimentScale, dict, Optional[str]]
+) -> Any:
     """Worker-process entry point for the in-memory pool path."""
-    spec_name, scale, record = args
+    spec_name, scale, record, replay_trace = args
     spec = get_spec(spec_name)
-    return spec.execute_unit(WorkUnit.from_record(record), scale, UnitContext())
+    return spec.execute_unit(
+        WorkUnit.from_record(record), scale, _memory_context(replay_trace)
+    )
 
 
 def execute_artifact_units(
-    spec: ExperimentSpec, scale: ExperimentScale, workers: int = 1
+    spec: ExperimentSpec,
+    scale: ExperimentScale,
+    workers: int = 1,
+    replay_trace: Optional[str] = None,
 ) -> List[Tuple[WorkUnit, Any]]:
     """Execute every unit of ``spec`` and return (unit, payload) pairs.
 
     ``workers == 1`` runs in-process; larger values fan the units out over
     a process pool.  Units are seeded independently of execution order, so
-    the pairs are identical either way.
+    the pairs are identical either way.  ``replay_trace`` routes learner
+    units through a recorded measurement trace (see :class:`UnitContext`).
     """
     units = spec.work_units(scale)
     if workers <= 1 or len(units) <= 1:
         return [
-            (unit, spec.execute_unit(unit, scale, UnitContext())) for unit in units
+            (unit, spec.execute_unit(unit, scale, _memory_context(replay_trace)))
+            for unit in units
         ]
-    jobs = [(spec.name, scale, unit.to_record()) for unit in units]
+    jobs = [(spec.name, scale, unit.to_record(), replay_trace) for unit in units]
     with ProcessPoolExecutor(max_workers=min(workers, len(units))) as pool:
         payloads = list(pool.map(_execute_unit_job, jobs))
     return list(zip(units, payloads))
@@ -315,6 +340,7 @@ def run_artifacts(
     artifacts: Optional[Sequence[str]] = None,
     workers: int = 1,
     on_result: Optional[Callable[[ExperimentSpec, Any], None]] = None,
+    replay_trace: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Execute and fold artifacts in dependency order, in memory.
 
@@ -322,11 +348,17 @@ def run_artifacts(
     same units, the same seeding, the same folds — just without the
     on-disk queue, claims and checkpoints.  ``on_result`` fires after each
     artifact folds (dependency-closure artifacts included), which is what
-    lets the report stream section by section.
+    lets the report stream section by section.  ``replay_trace`` names a
+    measurement-trace directory: learner runs replay recorded measurements
+    and record whatever they had to measure live, so a second run (or a
+    re-scoring of different acquisition arms) profiles only what the trace
+    does not already hold.
     """
     results: Dict[str, Any] = {}
     for spec in resolve_artifacts(artifacts):
-        pairs = execute_artifact_units(spec, scale, workers=workers)
+        pairs = execute_artifact_units(
+            spec, scale, workers=workers, replay_trace=replay_trace
+        )
         deps = {name: results[name] for name in spec.depends_on}
         results[spec.name] = spec.fold(scale, pairs, deps)
         if on_result is not None:
@@ -379,13 +411,18 @@ def execute_learner_run(
     their deterministic seeds (matching the pool schedule of
     ``compare_sampling_plans_suite`` exactly: the test seed depends only
     on the repetition, the run seed on repetition × ``plan_index``),
-    resumes from the context's checkpoint when one exists — restoring the
-    benchmark's stateful noise components only *after* the test set is
-    rebuilt, since building it advances the drift walk — and returns the
-    result with the surrogate model stripped (payloads must stay small
-    and picklable).  ``plan_index`` is whatever position the run occupies
-    on its comparison axis: the sampling-plan index for Table 1, the
-    variant index for the ablation specs.
+    resumes from the context's checkpoint when one exists — a pickled
+    :class:`~repro.core.session.TuningSession`, whose
+    ``attach_benchmark`` restores the benchmark's stateful noise
+    components only *after* the test set is rebuilt here, since building
+    it advances the drift walk — and returns the result with the
+    surrogate model stripped (payloads must stay small and picklable).
+    ``plan_index`` is whatever position the run occupies on its
+    comparison axis: the sampling-plan index for Table 1, the variant
+    index for the ablation specs.  When the context carries a
+    ``replay_trace`` directory, measurements go through a
+    :class:`~repro.measurement.broker.ReplayBroker` over that trace
+    (replay recorded requests, record live-measured misses).
     """
     context = context if context is not None else UnitContext()
     benchmark = get_benchmark(benchmark_name)
@@ -396,9 +433,7 @@ def execute_learner_run(
         observations=config.test_observations,
         rng=test_rng,
     )
-    resume: Optional[LearnerCheckpoint] = context.load_checkpoint()
-    if resume is not None:
-        benchmark.restore_noise_model(resume.noise_model)
+    resume: Optional[TuningSession] = context.load_checkpoint()
     run_rng = np.random.default_rng(
         config.seed + 104729 * repetition + 1299709 * plan_index + 1
     )
@@ -411,11 +446,18 @@ def execute_learner_run(
         rng=run_rng,
     )
 
-    def sink(checkpoint: LearnerCheckpoint) -> None:
-        context.save_checkpoint(checkpoint)
+    def sink(session: TuningSession) -> None:
+        context.save_checkpoint(session)
         context.progress(
-            checkpoint.training_examples, config.learner.max_training_examples
+            session.training_examples, config.learner.max_training_examples
         )
+
+    broker_factory = None
+    if context.replay_trace is not None:
+        trace = ReplayTrace(context.replay_trace)
+
+        def broker_factory(base, rng):
+            return ReplayBroker(trace, fallback=base, rng=rng)
 
     interval = context.checkpoint_interval
     result = learner.run(
@@ -423,5 +465,6 @@ def execute_learner_run(
         resume=resume,
         checkpoint_interval=interval if interval > 0 else None,
         checkpoint_sink=sink if interval > 0 else None,
+        broker_factory=broker_factory,
     )
     return dataclasses.replace(result, model=None)

@@ -2,7 +2,8 @@
 
 ``python -m repro.experiments.run_all [--scale smoke|laptop|paper]
 [--only table2,figure1,...] [--output FILE] [--workers N]
-[--paper-scale-smoke] [--paper-run --run-dir DIR [--resume]]``
+[--replay-trace DIR] [--paper-scale-smoke]
+[--paper-run --run-dir DIR [--resume]]``
 
 Every artifact — table1, table2, figure1, figure2, figure5, figure6,
 noise_robustness, acquisition-ablation, model-ablation — is declared in
@@ -68,6 +69,16 @@ paper-run workflow:
   --run-dir holds the task queue (manifest.jsonl), one result file per
   completed work unit, in-flight checkpoints, claim files and an events
   journal; see docs/reproduction.md for runtimes and output layout.
+
+replay-trace workflow:
+  # record every measurement of a table1 run into a trace directory:
+  python -m repro.experiments.run_all --only table1 --replay-trace traces/t1
+
+  # re-score the acquisition ablation arms (ALC/ALM/random) against the
+  # recorded measurements — shared (benchmark, configuration) pairs are
+  # served from disk, nothing already in the trace is re-profiled:
+  python -m repro.experiments.run_all --only acquisition-ablation \\
+      --replay-trace traces/t1
 """ % {
     "default_artifacts": ",".join(DEFAULT_ARTIFACTS),
     "all_artifacts": ",".join(spec_names()),
@@ -104,6 +115,7 @@ def run_all(
     workers: int = 1,
     artifacts: Optional[Sequence[str]] = None,
     section_sink: Optional[Callable[[str, str], None]] = None,
+    replay_trace: Optional[str] = None,
 ) -> str:
     """Run the selected artifacts in memory and return the text report.
 
@@ -111,7 +123,11 @@ def run_all(
     pool; results are deterministic and worker-count invariant (every unit
     is seeded independently of execution order).  ``section_sink`` receives
     ``(artifact_name, rendered_section)`` as each artifact completes —
-    the streaming hook the CLI uses for ``--output``.
+    the streaming hook the CLI uses for ``--output``.  ``replay_trace``
+    serves measurements from a recorded
+    :class:`~repro.measurement.broker.ReplayTrace` directory instead of
+    live profiling — the re-scoring path for, e.g., running the
+    acquisition ablation over a recorded Table 1 trace.
     """
     scale = scale if scale is not None else ExperimentScale.laptop()
     selected = list(artifacts) if artifacts is not None else list(DEFAULT_ARTIFACTS)
@@ -133,7 +149,13 @@ def run_all(
         if section_sink is not None:
             section_sink(spec.name, text)
 
-    run_artifacts(scale, selected, workers=workers, on_result=on_result)
+    run_artifacts(
+        scale,
+        selected,
+        workers=workers,
+        on_result=on_result,
+        replay_trace=replay_trace,
+    )
     footer = f"wall time {time.time() - started:.0f}s"
     sections.append(footer)
     if section_sink is not None:
@@ -236,6 +258,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "(default: 25)"
         ),
     )
+    parser.add_argument(
+        "--replay-trace",
+        default=None,
+        metavar="DIR",
+        help=(
+            "serve measurements from a recorded trace directory instead of "
+            "live profiling; measurements missing from the trace are "
+            "profiled live and appended to it (e.g. re-score the "
+            "acquisition ablation from a table1 trace)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be at least 1")
@@ -248,6 +281,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.paper_scale_smoke and args.only is not None:
         # Refuse rather than silently drop the artifact selection.
         parser.error("--only does not apply to --paper-scale-smoke")
+    if args.paper_scale_smoke and args.replay_trace is not None:
+        parser.error("--replay-trace does not apply to --paper-scale-smoke")
     if not args.paper_run:
         # Refuse rather than silently ignore: a user resuming a killed
         # paper run who forgets --paper-run would otherwise get a fresh
@@ -293,6 +328,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             repetitions=args.repetitions,
             checkpoint_interval=args.checkpoint_interval,
             section_sink=section_sink,
+            replay_trace=args.replay_trace,
         )
     elif args.paper_scale_smoke:
         report = run_paper_scale_smoke(
@@ -310,6 +346,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             workers=args.workers,
             artifacts=artifacts,
             section_sink=section_sink,
+            replay_trace=args.replay_trace,
         )
     return 0
 

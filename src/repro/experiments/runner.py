@@ -13,8 +13,8 @@ from a persistent on-disk queue:
 * ``<run_dir>/results/<unit>.pkl`` — one atomically written payload per
   completed unit; a unit with a result file is never re-run;
 * ``<run_dir>/checkpoints/<unit>.pkl`` — the in-flight unit's most recent
-  checkpoint (for learner units: a
-  :class:`~repro.core.learner.LearnerCheckpoint`), refreshed atomically
+  checkpoint (for learner units: a pickled
+  :class:`~repro.core.session.TuningSession`), refreshed atomically
   every ``checkpoint_interval`` training examples and deleted when the
   unit completes.  A killed run resumes from the last checkpoint, and the
   resumed trajectory is bit-identical to the uninterrupted one;
@@ -42,6 +42,7 @@ import json
 import os
 import pathlib
 import pickle
+import random
 import socket
 import sys
 import threading
@@ -312,8 +313,10 @@ class _FileUnitContext(UnitContext):
         unit: WorkUnit,
         checkpoint_interval: int,
         lease_seconds: float,
+        replay_trace: Optional[str] = None,
     ) -> None:
         self.checkpoint_interval = checkpoint_interval
+        self.replay_trace = replay_trace
         self._checkpoint_path = run_dir / "checkpoints" / f"{unit.unit_id}.pkl"
         self._progress_path = run_dir / "progress" / f"{unit.unit_id}.json"
         self._claim_path = run_dir / "claims" / f"{unit.unit_id}.claim"
@@ -385,6 +388,7 @@ def _execute_unit(
     record: dict,
     checkpoint_interval: int,
     lease_seconds: float,
+    replay_trace: Optional[str] = None,
 ) -> Tuple[str, str]:
     """Claim and run one work unit (worker-process entry point).
 
@@ -400,7 +404,9 @@ def _execute_unit(
     claim_path = base / "claims" / f"{unit.unit_id}.claim"
     if not _try_claim(claim_path, lease_seconds):
         return unit.unit_id, "claimed"
-    context = _FileUnitContext(base, unit, checkpoint_interval, lease_seconds)
+    context = _FileUnitContext(
+        base, unit, checkpoint_interval, lease_seconds, replay_trace
+    )
     try:
         if result_path.exists():
             # The previous owner published between our staleness check and
@@ -453,6 +459,7 @@ class ExperimentRunner:
         checkpoint_interval: int = 25,
         claim_lease_seconds: float = 900.0,
         claim_poll_seconds: float = 2.0,
+        replay_trace: Optional[str] = None,
     ) -> None:
         self.run_dir = pathlib.Path(run_dir)
         self.scale = scale
@@ -467,6 +474,13 @@ class ExperimentRunner:
         self.checkpoint_interval = checkpoint_interval
         self.claim_lease_seconds = claim_lease_seconds
         self.claim_poll_seconds = claim_poll_seconds
+        self.replay_trace = replay_trace
+        # Each host walks the open units in its own deterministic
+        # permutation, so peers sharing a run directory spread across the
+        # manifest instead of racing claim-by-claim at a common frontier.
+        self._claim_order_seed = int.from_bytes(
+            sha256(_host_tag().encode("utf-8")).digest()[:8], "big"
+        )
 
     # ------------------------------------------------------------ queue state
 
@@ -598,7 +612,9 @@ class ExperimentRunner:
             # (The check races benignly: the claim itself is arbitrated by
             # the atomic create inside _execute_unit.)
             executed = 0
-            claimable = [u for u in pending if self._unit_is_open(u)]
+            claimable = self._claim_order(
+                [u for u in pending if self._unit_is_open(u)]
+            )
             if claimable:
                 executed = self._execute_round(
                     claimable, workers, say, state, progress_interval
@@ -606,11 +622,14 @@ class ExperimentRunner:
             if executed:
                 waiting_logged = False
                 continue
-            ahead = [
-                u
-                for u in later_units
-                if not self._result_path(u).exists() and self._unit_is_open(u)
-            ]
+            ahead = self._claim_order(
+                [
+                    u
+                    for u in later_units
+                    if not self._result_path(u).exists()
+                    and self._unit_is_open(u)
+                ]
+            )
             if ahead and self._execute_round(
                 ahead, workers, say, state, progress_interval
             ):
@@ -627,6 +646,23 @@ class ExperimentRunner:
         """True when the unit has no live claim (free, or stale takeover)."""
         claim = self.run_dir / "claims" / f"{unit.unit_id}.claim"
         return not claim.exists() or _claim_is_stale(claim, self.claim_lease_seconds)
+
+    def _claim_order(self, units: List[WorkUnit]) -> List[WorkUnit]:
+        """Permute ``units`` into this host's deterministic claim order.
+
+        Every host sees the same open units but attempts them in a
+        host-specific shuffle (seeded from :func:`_host_tag`), so two
+        runners sharing a directory mostly claim disjoint units instead
+        of colliding on the O_EXCL create one unit at a time.  The
+        permutation is a pure reordering — completion of every unit is
+        unaffected, and a single-host run stays deterministic because
+        results are keyed by unit, not by execution order.
+        """
+        if len(units) < 2:
+            return units
+        shuffled = list(units)
+        random.Random(self._claim_order_seed).shuffle(shuffled)
+        return shuffled
 
     def _execute_round(
         self,
@@ -650,6 +686,7 @@ class ExperimentRunner:
                     unit.to_record(),
                     self.checkpoint_interval,
                     self.claim_lease_seconds,
+                    self.replay_trace,
                 )
                 if status in ("done", "already"):
                     say(self._status_line(state))
@@ -665,6 +702,7 @@ class ExperimentRunner:
                     unit.to_record(),
                     self.checkpoint_interval,
                     self.claim_lease_seconds,
+                    self.replay_trace,
                 ): unit
                 for unit in pending
             }
@@ -788,6 +826,7 @@ def run_paper_run(
     checkpoint_interval: int = 25,
     progress: Optional[Callable[[str], None]] = None,
     section_sink: Optional[Callable[[str, str], None]] = None,
+    replay_trace: Optional[str] = None,
 ) -> str:
     """Drive registry artifacts through the sharded backend; return the report.
 
@@ -796,7 +835,10 @@ def run_paper_run(
     artifact name — including the ablation specs — is accepted.  Each
     artifact's rendered section goes to ``section_sink`` as soon as it
     folds (dependency-only artifacts are computed but not rendered), and
-    the full report is returned at the end.
+    the full report is returned at the end.  ``replay_trace`` points every
+    unit's measurement broker at a recorded
+    :class:`~repro.measurement.broker.ReplayTrace` directory, so matching
+    measurements are served from disk instead of re-profiled.
     """
     if repetitions is not None:
         if repetitions < 1:
@@ -808,6 +850,7 @@ def run_paper_run(
         scale,
         artifacts=selected,
         checkpoint_interval=checkpoint_interval,
+        replay_trace=replay_trace,
     )
     say = progress if progress is not None else (
         lambda line: print(line, file=sys.stderr, flush=True)

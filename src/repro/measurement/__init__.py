@@ -8,6 +8,15 @@ that charges compilation and execution cost exactly as the paper accounts
 it.
 """
 
+from .broker import (
+    MeasurementBroker,
+    MeasurementRequest,
+    MeasurementResult,
+    ProfilerBroker,
+    ReplayBroker,
+    ReplayMissError,
+    ReplayTrace,
+)
 from .noise import (
     FrequencyDrift,
     GaussianJitter,
@@ -33,6 +42,13 @@ from .stats import (
 )
 
 __all__ = [
+    "MeasurementBroker",
+    "MeasurementRequest",
+    "MeasurementResult",
+    "ProfilerBroker",
+    "ReplayBroker",
+    "ReplayMissError",
+    "ReplayTrace",
     "FrequencyDrift",
     "GaussianJitter",
     "HeavyTailedSpikes",

@@ -1,0 +1,396 @@
+"""Measurement brokers: the execution side of the ask/tell learning loop.
+
+The inverted-control core (:class:`repro.core.session.TuningSession`) never
+calls a profiler itself — it emits :class:`MeasurementRequest`\\ s and
+consumes :class:`MeasurementResult`\\ s, and *how* a request is satisfied is
+a :class:`MeasurementBroker`'s business:
+
+* :class:`ProfilerBroker` is the live broker: it wraps a
+  :class:`~repro.measurement.profiler.Profiler` and compiles-and-runs the
+  requested configuration, applying the request's CI stopping rule;
+* :class:`ReplayBroker` memoises ``(benchmark, configuration, prior
+  observation count) -> observations`` to an on-disk trace: a request whose
+  answer was recorded before is served from the trace without touching a
+  profiler, and a miss is delegated to a fallback broker (typically a
+  :class:`ProfilerBroker`) and recorded for next time.  Re-running a
+  recorded experiment therefore profiles nothing, and re-*scoring* a
+  different acquisition strategy against the same trace only profiles the
+  configurations the recorded strategy never visited.
+
+A request is self-contained: it carries the configuration, the initial
+repetition count, the CI stopping rule (threshold and per-example cap) and
+a snapshot of the statistics of every observation the configuration has
+received so far.  Brokers therefore hold no adaptive state of their own,
+which is what keeps them trivially replaceable mid-run (checkpoint/resume
+reconstructs a fresh broker and loses nothing).
+
+This module deliberately does not import anything from :mod:`repro.core`:
+the session layer depends on the measurement layer, never the reverse.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from .profiler import Profiler
+from .stats import RunningStats
+
+__all__ = [
+    "MeasurementRequest",
+    "MeasurementResult",
+    "MeasurementBroker",
+    "ProfilerBroker",
+    "ReplayBroker",
+    "ReplayTrace",
+    "ReplayMissError",
+]
+
+
+@dataclass(frozen=True)
+class MeasurementRequest:
+    """One self-contained "compile and run this configuration" order.
+
+    Attributes
+    ----------
+    benchmark:
+        Name of the benchmark the configuration belongs to (the broker may
+        serve several sessions from one trace).
+    configuration:
+        The configuration to profile.
+    repetitions:
+        How many runs to take unconditionally (the plan's
+        ``observations_per_selection``, or ``seed_observations`` while
+        seeding).
+    ci_threshold:
+        When set, keep profiling one run at a time after the initial
+        ``repetitions`` until the 95% CI/mean ratio over *all* of the
+        configuration's observations falls below this value or the
+        configuration reaches ``max_observations`` total — the sampling
+        plan's stopping rule, carried in the request so the broker needs no
+        knowledge of plans.
+    max_observations:
+        Total per-configuration observation cap for the stopping rule
+        (prior observations included).
+    prior_stats:
+        Snapshot of the running statistics of every observation the
+        configuration received in earlier selections (``None`` when it was
+        never measured).  The broker evaluates the CI rule against prior
+        plus new observations, exactly as an inline loop reading the
+        profiler's own statistics would, and a configuration with prior
+        observations is never charged its compile time again.
+    """
+
+    benchmark: str
+    configuration: Tuple[int, ...]
+    repetitions: int
+    ci_threshold: Optional[float] = None
+    max_observations: Optional[int] = None
+    prior_stats: Optional[RunningStats] = None
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be at least 1")
+        object.__setattr__(
+            self, "configuration", tuple(int(v) for v in self.configuration)
+        )
+        if self.ci_threshold is not None and self.max_observations is None:
+            raise ValueError("a ci_threshold request needs max_observations")
+
+    @property
+    def prior_observations(self) -> int:
+        """How many times the configuration was measured before this request."""
+        return self.prior_stats.count if self.prior_stats is not None else 0
+
+
+@dataclass(frozen=True)
+class MeasurementResult:
+    """A broker's answer: the observed runtimes plus the cost charged.
+
+    ``compile_seconds`` lists the compile charges the request incurred (one
+    entry on the configuration's first build, empty afterwards — binaries
+    are cached); ``runtimes`` charges one execution each.  The session
+    replays these into its own cost ledger in order, which reproduces the
+    inline loop's float accumulation bit for bit.
+    """
+
+    configuration: Tuple[int, ...]
+    runtimes: Tuple[float, ...]
+    compile_seconds: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "configuration", tuple(int(v) for v in self.configuration)
+        )
+        object.__setattr__(
+            self, "runtimes", tuple(float(v) for v in self.runtimes)
+        )
+        object.__setattr__(
+            self, "compile_seconds", tuple(float(v) for v in self.compile_seconds)
+        )
+        if not self.runtimes:
+            raise ValueError("a measurement result needs at least one runtime")
+
+
+class MeasurementBroker(Protocol):
+    """Anything that can satisfy a :class:`MeasurementRequest`."""
+
+    def measure(self, request: MeasurementRequest) -> MeasurementResult:
+        """Satisfy ``request`` and return the observations and charges."""
+        ...
+
+
+def _stats_after(request: MeasurementRequest) -> RunningStats:
+    """A private working copy of the request's prior statistics."""
+    if request.prior_stats is None:
+        return RunningStats()
+    return request.prior_stats.copy()
+
+
+class ProfilerBroker:
+    """The live broker: compile-and-run through a :class:`Profiler`.
+
+    The profiler supplies the noise stream (it shares the session's
+    generator) and the benchmark's cost model; the CI stopping rule is
+    evaluated against the request's ``prior_stats`` plus the runs taken
+    here, so the broker behaves identically whether the profiler is the
+    original one or a fresh instance reconstructed after a resume.
+    """
+
+    def __init__(self, profiler: Profiler) -> None:
+        self._profiler = profiler
+
+    @property
+    def profiler(self) -> Profiler:
+        return self._profiler
+
+    def measure(self, request: MeasurementRequest) -> MeasurementResult:
+        key = request.configuration
+        compile_seconds: Tuple[float, ...] = ()
+        if request.prior_observations == 0:
+            # First build of this configuration anywhere in the session —
+            # the (memoised, deterministic) compile time is charged once.
+            compile_seconds = (float(self._profiler.program.compile_time(key)),)
+        stats = _stats_after(request)
+        observations = list(
+            self._profiler.measure(key, repetitions=request.repetitions)
+        )
+        stats.extend(observations)
+        if request.ci_threshold is not None:
+            while (
+                stats.count < request.max_observations
+                and not stats.summary().passes_ci_validation(request.ci_threshold)
+            ):
+                more = self._profiler.measure(key, repetitions=1)
+                observations.extend(more)
+                stats.extend(more)
+        return MeasurementResult(
+            configuration=key,
+            runtimes=tuple(observations),
+            compile_seconds=compile_seconds,
+        )
+
+
+class ReplayMissError(KeyError):
+    """A replay-only broker was asked for a request its trace cannot serve."""
+
+
+class ReplayTrace:
+    """On-disk memo of measurement results, one JSONL file per benchmark.
+
+    Records are keyed by ``(configuration, prior observation count)`` — the
+    same configuration revisited later in a run has a different key, so a
+    sequential-analysis trajectory replays observation-for-observation.
+    Files are append-only and written with single ``O_APPEND`` writes, so
+    several worker processes can record into one trace directory; on
+    conflicting duplicates the first record wins (matching chronological
+    replay of the run that recorded it).
+
+    Each record also stores the measuring generator's state *after* the
+    request was satisfied.  Live measurements consume noise draws from the
+    session's generator and replayed ones do not, so on a full replay hit
+    the broker restores the recorded state into the generator — a re-run of
+    the recorded session then follows the recorded trajectory exactly and
+    never falls back to live profiling.
+    """
+
+    def __init__(self, directory: os.PathLike) -> None:
+        self._directory = pathlib.Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._records: Dict[str, Dict[Tuple[Tuple[int, ...], int], dict]] = {}
+
+    @property
+    def directory(self) -> pathlib.Path:
+        return self._directory
+
+    def _path(self, benchmark: str) -> pathlib.Path:
+        safe = "".join(ch if ch.isalnum() or ch in "-_." else "-" for ch in benchmark)
+        return self._directory / f"{safe}.jsonl"
+
+    def _load(self, benchmark: str) -> Dict[Tuple[Tuple[int, ...], int], dict]:
+        if benchmark in self._records:
+            return self._records[benchmark]
+        records: Dict[Tuple[Tuple[int, ...], int], dict] = {}
+        path = self._path(benchmark)
+        if path.exists():
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue  # torn tail line of a killed recorder
+                    key = (
+                        tuple(int(v) for v in record["configuration"]),
+                        int(record["prior"]),
+                    )
+                    records.setdefault(key, record)
+        self._records[benchmark] = records
+        return records
+
+    def lookup(
+        self, benchmark: str, configuration: Sequence[int], prior: int
+    ) -> Optional[dict]:
+        """The recorded result for ``(configuration, prior)``, or ``None``."""
+        key = (tuple(int(v) for v in configuration), int(prior))
+        return self._load(benchmark).get(key)
+
+    def record(
+        self,
+        benchmark: str,
+        configuration: Sequence[int],
+        prior: int,
+        result: MeasurementResult,
+        rng_state: Optional[dict] = None,
+    ) -> None:
+        """Append one result to the trace (and the in-memory index)."""
+        key = (tuple(int(v) for v in configuration), int(prior))
+        record = {
+            "configuration": list(key[0]),
+            "prior": int(prior),
+            "runtimes": list(result.runtimes),
+            "compile": list(result.compile_seconds),
+            "rng_state": rng_state,
+        }
+        line = (json.dumps(record) + "\n").encode("utf-8")
+        fd = os.open(
+            self._path(benchmark), os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+        self._load(benchmark).setdefault(key, record)
+
+    def __len__(self) -> int:
+        """Recorded entries across every benchmark file in the directory."""
+        total = 0
+        for path in self._directory.glob("*.jsonl"):
+            with open(path, "r", encoding="utf-8") as handle:
+                total += sum(1 for line in handle if line.strip())
+        return total
+
+
+def _replay_length(request: MeasurementRequest, runtimes: List[float]) -> Optional[int]:
+    """How many recorded runtimes the request's stopping rule consumes.
+
+    Returns ``None`` when the record cannot satisfy the request (too few
+    runtimes for the rule to terminate) — the broker treats that as a miss.
+    """
+    if len(runtimes) < request.repetitions:
+        return None
+    taken = request.repetitions
+    if request.ci_threshold is None:
+        return taken
+    stats = _stats_after(request)
+    stats.extend(runtimes[:taken])
+    while (
+        stats.count < request.max_observations
+        and not stats.summary().passes_ci_validation(request.ci_threshold)
+    ):
+        if taken >= len(runtimes):
+            return None
+        stats.add(runtimes[taken])
+        taken += 1
+    return taken
+
+
+class ReplayBroker:
+    """Serve measurement requests from a recorded trace; record on miss.
+
+    ``fallback`` (typically a :class:`ProfilerBroker`) satisfies and
+    records requests the trace cannot answer; without one a miss raises
+    :class:`ReplayMissError`.  ``rng`` is the session's generator: its
+    state is recorded after every live measurement and restored on every
+    full replay hit, which keeps a replayed session on the recorded
+    trajectory without consuming noise draws (see :class:`ReplayTrace`).
+
+    ``hits``/``misses`` count served-from-trace versus fell-back requests.
+    """
+
+    def __init__(
+        self,
+        trace: "ReplayTrace | os.PathLike",
+        fallback: Optional[MeasurementBroker] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._trace = trace if isinstance(trace, ReplayTrace) else ReplayTrace(trace)
+        self._fallback = fallback
+        self._rng = rng
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def trace(self) -> ReplayTrace:
+        return self._trace
+
+    def measure(self, request: MeasurementRequest) -> MeasurementResult:
+        record = self._trace.lookup(
+            request.benchmark, request.configuration, request.prior_observations
+        )
+        if record is not None:
+            runtimes = [float(v) for v in record["runtimes"]]
+            taken = _replay_length(request, runtimes)
+            if taken is not None:
+                self.hits += 1
+                if (
+                    self._rng is not None
+                    and taken == len(runtimes)
+                    and record.get("rng_state") is not None
+                ):
+                    self._rng.bit_generator.state = record["rng_state"]
+                return MeasurementResult(
+                    configuration=request.configuration,
+                    runtimes=tuple(runtimes[:taken]),
+                    compile_seconds=tuple(
+                        float(v) for v in record.get("compile", ())
+                    ),
+                )
+        if self._fallback is None:
+            raise ReplayMissError(
+                f"trace at {self._trace.directory} has no record for "
+                f"benchmark {request.benchmark!r}, configuration "
+                f"{request.configuration} at prior count "
+                f"{request.prior_observations}, and no fallback broker was given"
+            )
+        self.misses += 1
+        result = self._fallback.measure(request)
+        rng_state = None
+        if self._rng is not None:
+            state = self._rng.bit_generator.state
+            rng_state = json.loads(json.dumps(state))  # plain-JSON deep copy
+        self._trace.record(
+            request.benchmark,
+            request.configuration,
+            request.prior_observations,
+            result,
+            rng_state=rng_state,
+        )
+        return result

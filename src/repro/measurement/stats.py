@@ -223,6 +223,22 @@ class RunningStats:
         for value in values:
             self.add(value)
 
+    def copy(self) -> "RunningStats":
+        """An independent snapshot carrying the exact accumulator state.
+
+        The copy reproduces the original's Welford state bit for bit, so a
+        stopping rule evaluated against ``copy + new observations`` matches
+        one evaluated against a single stats object that saw the whole
+        stream (the measurement brokers rely on this).
+        """
+        clone = RunningStats()
+        clone._count = self._count
+        clone._mean = self._mean
+        clone._m2 = self._m2
+        clone._min = self._min
+        clone._max = self._max
+        return clone
+
     @property
     def count(self) -> int:
         return self._count

@@ -53,6 +53,25 @@ class TestLearnerConfig:
         assert config.max_training_examples == 2500
         assert config.tree_particles == 5000
 
+    def test_paper_scale_forwards_overrides(self):
+        config = LearnerConfig.paper_scale(
+            tree_backend="numba", max_cost_seconds=3600.0, tree_particles=100
+        )
+        # Overrides land on the constructor; the untouched fields keep
+        # the paper's Section 4.4 values.
+        assert config.tree_backend == "numba"
+        assert config.max_cost_seconds == 3600.0
+        assert config.tree_particles == 100
+        assert config.n_initial == 5
+        assert config.seed_observations == 35
+        assert config.max_training_examples == 2500
+
+    def test_paper_scale_overrides_are_validated(self):
+        with pytest.raises(ValueError):
+            LearnerConfig.paper_scale(n_initial=0)
+        with pytest.raises(TypeError):
+            LearnerConfig.paper_scale(not_a_field=1)
+
 
 class TestEvaluation:
     def test_build_test_set_shapes(self, mm):
