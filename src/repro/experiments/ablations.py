@@ -123,6 +123,11 @@ class _LearnerAblationSpec(ExperimentSpec):
     variants: Tuple[str, ...] = ()
     #: Axis label used in the rendered table ("acquisition", "model").
     axis: str = "variant"
+    #: Running with ``--replay-trace`` over a recorded table1 trace
+    #: re-scores the ablation arms against table1's measurements
+    #: (common-random-numbers observation sharing; configurations table1
+    #: never visited are profiled live and recorded).
+    replay_rescore_from: Tuple[str, ...] = ("table1",)
 
     def learner_kwargs(self, variant: str, scale: ExperimentScale) -> dict:
         """Extra ``execute_learner_run`` arguments selecting ``variant``."""

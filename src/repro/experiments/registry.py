@@ -156,10 +156,26 @@ class UnitContext:
     #: Directory of a measurement trace (see
     #: :class:`~repro.measurement.broker.ReplayTrace`); when set, learner
     #: units measure through a :class:`~repro.measurement.broker.ReplayBroker`
-    #: over this trace — recorded requests replay without profiling, misses
-    #: fall back to the live profiler and are recorded.  ``None`` measures
-    #: live (the default).
+    #: over this trace — requests this unit recorded before replay without
+    #: profiling, misses fall back to the live profiler and are recorded.
+    #: ``None`` measures live (the default).
     replay_trace: Optional[str] = None
+
+    #: Identity of the executing work unit (:attr:`WorkUnit.unit_id`) and
+    #: its artifact name.  Trace records are namespaced by the unit id, so
+    #: the many units of a recording run stay statistically independent of
+    #: each other; both executors (in-memory and sharded) set these.
+    #: Direct API callers that leave them ``None`` get a per-run namespace
+    #: derived from the run's identity by :func:`execute_learner_run`.
+    unit_id: Optional[str] = None
+    artifact: Optional[str] = None
+
+    #: Artifacts whose recorded trace entries this unit may *re-score*
+    #: from: a request missing from the unit's own namespace is served
+    #: from a record one of these artifacts wrote (observations only —
+    #: never the foreign RNG/noise state).  Copied from the executing
+    #: spec's :attr:`ExperimentSpec.replay_rescore_from`.
+    replay_rescore_from: Tuple[str, ...] = ()
 
     def load_checkpoint(self) -> Optional[Any]:
         """The unit's most recent checkpoint, or None to start fresh."""
@@ -184,6 +200,15 @@ class ExperimentSpec(ABC):
     name: str = "abstract"
     title: str = "abstract"
     depends_on: Tuple[str, ...] = ()
+
+    #: Artifacts whose recorded measurement traces this artifact's learner
+    #: units may re-score from when running with a replay trace (see
+    #: :attr:`UnitContext.replay_rescore_from`).  Empty (the default)
+    #: means units only ever replay records they wrote themselves — the
+    #: safe record/replay mode.  The ablation specs set ``("table1",)`` to
+    #: enable the record-table1-then-re-score workflow; re-score against a
+    #: *completed* trace, not one still being recorded.
+    replay_rescore_from: Tuple[str, ...] = ()
 
     @abstractmethod
     def work_units(self, scale: ExperimentScale) -> List[WorkUnit]:
@@ -293,9 +318,18 @@ def resolve_artifacts(
 # --------------------------------------------------------------- execution
 
 
-def _memory_context(replay_trace: Optional[str]) -> UnitContext:
+def _memory_context(
+    replay_trace: Optional[str],
+    unit: Optional[WorkUnit] = None,
+    spec: Optional[ExperimentSpec] = None,
+) -> UnitContext:
     context = UnitContext()
     context.replay_trace = replay_trace
+    if unit is not None:
+        context.unit_id = unit.unit_id
+        context.artifact = unit.artifact
+    if spec is not None:
+        context.replay_rescore_from = tuple(spec.replay_rescore_from)
     return context
 
 
@@ -305,9 +339,8 @@ def _execute_unit_job(
     """Worker-process entry point for the in-memory pool path."""
     spec_name, scale, record, replay_trace = args
     spec = get_spec(spec_name)
-    return spec.execute_unit(
-        WorkUnit.from_record(record), scale, _memory_context(replay_trace)
-    )
+    unit = WorkUnit.from_record(record)
+    return spec.execute_unit(unit, scale, _memory_context(replay_trace, unit, spec))
 
 
 def execute_artifact_units(
@@ -326,7 +359,12 @@ def execute_artifact_units(
     units = spec.work_units(scale)
     if workers <= 1 or len(units) <= 1:
         return [
-            (unit, spec.execute_unit(unit, scale, _memory_context(replay_trace)))
+            (
+                unit,
+                spec.execute_unit(
+                    unit, scale, _memory_context(replay_trace, unit, spec)
+                ),
+            )
             for unit in units
         ]
     jobs = [(spec.name, scale, unit.to_record(), replay_trace) for unit in units]
@@ -455,9 +493,33 @@ def execute_learner_run(
     broker_factory = None
     if context.replay_trace is not None:
         trace = ReplayTrace(context.replay_trace)
+        # Trace records are namespaced by the unit identity, so parallel or
+        # sequential units recording into one directory never replay each
+        # other's measurements.  Direct API callers without a registry unit
+        # id get a namespace derived from the run's identity coordinates.
+        unit_id = context.unit_id
+        if unit_id is None:
+            unit_id = "--".join(
+                (
+                    slugify(benchmark_name),
+                    slugify(plan.name),
+                    f"p{plan_index:02d}",
+                    f"r{repetition:03d}",
+                )
+            )
 
         def broker_factory(base, rng):
-            return ReplayBroker(trace, fallback=base, rng=rng)
+            # Called after ``attach_benchmark`` on resume, so the noise
+            # model read here is the (restored) one measurements go through.
+            return ReplayBroker(
+                trace,
+                fallback=base,
+                rng=rng,
+                noise_model=benchmark.noise_model,
+                unit=unit_id,
+                artifact=context.artifact,
+                rescore_from=context.replay_rescore_from,
+            )
 
     interval = context.checkpoint_interval
     result = learner.run(

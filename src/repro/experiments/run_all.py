@@ -75,8 +75,9 @@ replay-trace workflow:
   python -m repro.experiments.run_all --only table1 --replay-trace traces/t1
 
   # re-score the acquisition ablation arms (ALC/ALM/random) against the
-  # recorded measurements — shared (benchmark, configuration) pairs are
-  # served from disk, nothing already in the trace is re-profiled:
+  # completed table1 trace — configurations table1 measured are served
+  # from disk (observation sharing only; RNG state never crosses units),
+  # the rest are profiled live and appended:
   python -m repro.experiments.run_all --only acquisition-ablation \\
       --replay-trace traces/t1
 """ % {

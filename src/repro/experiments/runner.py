@@ -314,9 +314,13 @@ class _FileUnitContext(UnitContext):
         checkpoint_interval: int,
         lease_seconds: float,
         replay_trace: Optional[str] = None,
+        replay_rescore_from: Tuple[str, ...] = (),
     ) -> None:
         self.checkpoint_interval = checkpoint_interval
         self.replay_trace = replay_trace
+        self.unit_id = unit.unit_id
+        self.artifact = unit.artifact
+        self.replay_rescore_from = tuple(replay_rescore_from)
         self._checkpoint_path = run_dir / "checkpoints" / f"{unit.unit_id}.pkl"
         self._progress_path = run_dir / "progress" / f"{unit.unit_id}.json"
         self._claim_path = run_dir / "claims" / f"{unit.unit_id}.claim"
@@ -404,9 +408,6 @@ def _execute_unit(
     claim_path = base / "claims" / f"{unit.unit_id}.claim"
     if not _try_claim(claim_path, lease_seconds):
         return unit.unit_id, "claimed"
-    context = _FileUnitContext(
-        base, unit, checkpoint_interval, lease_seconds, replay_trace
-    )
     try:
         if result_path.exists():
             # The previous owner published between our staleness check and
@@ -414,6 +415,14 @@ def _execute_unit(
             return unit.unit_id, "already"
         _append_event(base, "execute", unit.unit_id)
         spec = get_spec(spec_name)
+        context = _FileUnitContext(
+            base,
+            unit,
+            checkpoint_interval,
+            lease_seconds,
+            replay_trace,
+            replay_rescore_from=spec.replay_rescore_from,
+        )
         with _ClaimHeartbeat(claim_path, lease_seconds):
             payload = spec.execute_unit(unit, scale, context)
         _atomic_write_bytes(

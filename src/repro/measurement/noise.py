@@ -285,6 +285,38 @@ class NoiseModel:
             dtype=float,
         )
 
+    def drift_state(self) -> list[float]:
+        """The random-walk state of every stateful (frequency-drift)
+        component, in component order — empty for drift-free models.
+
+        Together with :meth:`restore_drift_state` this is the
+        JSON-serialisable counterpart of checkpointing the whole model:
+        the measurement-replay trace records it after every live
+        measurement so a partially replayed run can resume the drift walk
+        exactly where the recording left it.
+        """
+        return [
+            component._state
+            for component in self._components
+            if isinstance(component, FrequencyDrift)
+        ]
+
+    def restore_drift_state(self, state: Sequence[float]) -> None:
+        """Install drift-walk state captured by :meth:`drift_state`."""
+        values = [float(v) for v in state]
+        drifts = [
+            component
+            for component in self._components
+            if isinstance(component, FrequencyDrift)
+        ]
+        if len(values) != len(drifts):
+            raise ValueError(
+                f"drift state has {len(values)} entries, but the model has "
+                f"{len(drifts)} frequency-drift components"
+            )
+        for component, value in zip(drifts, values):
+            component._state = value
+
     @classmethod
     def noiseless(cls) -> "NoiseModel":
         """A model with no components — observations equal the true runtime."""

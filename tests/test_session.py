@@ -11,7 +11,13 @@ The load-bearing guarantees:
 * **replay** — a :class:`ReplayBroker` over a recorded trace serves a
   repeated run without a single live ``Profiler.measure`` call, and the
   registry's ``replay_trace`` plumbing re-scores ablation arms from a
-  recorded table1 trace.
+  recorded table1 trace;
+* **unit isolation** — trace records are namespaced by the recording
+  unit's identity: units sharing a trace directory never replay each
+  other's observations implicitly, and a session's RNG / drift-noise
+  state is only ever restored from records that same unit wrote.
+  Cross-unit serving happens solely through the explicit re-scoring mode
+  (``rescore_from``), which shares observations but never state.
 """
 
 from __future__ import annotations
@@ -549,6 +555,188 @@ class TestReplay:
         assert replayer.hits == recorder.misses
 
 
+class _CannedBroker:
+    """Deterministic fallback broker: fixed runtimes, counts calls."""
+
+    def __init__(self, runtimes=(0.5, 0.6)):
+        self.calls = 0
+        self._runtimes = tuple(runtimes)
+
+    def measure(self, request):
+        self.calls += 1
+        repeats = -(-request.repetitions // len(self._runtimes))
+        runtimes = (self._runtimes * repeats)[: request.repetitions]
+        return MeasurementResult(
+            configuration=request.configuration, runtimes=runtimes
+        )
+
+
+class TestReplayUnitIsolation:
+    """The REVIEW fixes: units sharing one trace directory stay
+    statistically independent, and no unit ever receives another unit's
+    recorded RNG or noise state."""
+
+    REQUEST = dict(benchmark="mm", configuration=(1, 2), repetitions=2)
+
+    def test_units_never_share_records_while_recording(self, tmp_path):
+        trace = ReplayTrace(tmp_path)
+        first = ReplayBroker(
+            trace, fallback=_CannedBroker((0.5, 0.6)),
+            unit="table1--u1", artifact="table1",
+        )
+        first.measure(MeasurementRequest(**self.REQUEST))
+        assert first.misses == 1
+
+        # A sibling unit asking for the same (configuration, prior) must
+        # measure live — cross-unit reuse would make a recording run
+        # statistically different from a live run.
+        live = _CannedBroker((0.7, 0.8))
+        second = ReplayBroker(
+            trace, fallback=live, unit="table1--u2", artifact="table1"
+        )
+        result = second.measure(MeasurementRequest(**self.REQUEST))
+        assert live.calls == 1
+        assert (second.hits, second.shared_hits, second.misses) == (0, 0, 1)
+        assert result.runtimes == (0.7, 0.8)
+
+        # Each unit replays its own record afterwards.
+        for unit, expected in (("table1--u1", (0.5, 0.6)),
+                               ("table1--u2", (0.7, 0.8))):
+            replayer = ReplayBroker(ReplayTrace(tmp_path), unit=unit)
+            replayed = replayer.measure(MeasurementRequest(**self.REQUEST))
+            assert replayed.runtimes == expected
+            assert replayer.hits == 1
+
+    def test_without_rescore_mode_foreign_records_are_invisible(self, tmp_path):
+        trace = ReplayTrace(tmp_path)
+        ReplayBroker(
+            trace, fallback=_CannedBroker(), unit="table1--u1",
+            artifact="table1",
+        ).measure(MeasurementRequest(**self.REQUEST))
+        lone = ReplayBroker(ReplayTrace(tmp_path), unit="ablation--u1")
+        with pytest.raises(ReplayMissError):
+            lone.measure(MeasurementRequest(**self.REQUEST))
+
+    def test_rescore_serves_foreign_observations_but_never_state(self, tmp_path):
+        trace = ReplayTrace(tmp_path)
+        recorder_rng = np.random.default_rng(1)
+        recorder_rng.random(5)  # a distinctive mid-run state
+        recorder = ReplayBroker(
+            trace, fallback=_CannedBroker((0.5, 0.6)), rng=recorder_rng,
+            unit="table1--u1", artifact="table1",
+        )
+        recorder.measure(MeasurementRequest(**self.REQUEST))
+
+        rescorer_rng = np.random.default_rng(2)
+        before = rescorer_rng.bit_generator.state
+        rescorer = ReplayBroker(
+            ReplayTrace(tmp_path), rng=rescorer_rng,
+            unit="acquisition-ablation--u1", artifact="acquisition-ablation",
+            rescore_from=("table1",),
+        )
+        result = rescorer.measure(MeasurementRequest(**self.REQUEST))
+        assert result.runtimes == (0.5, 0.6)
+        assert (rescorer.hits, rescorer.shared_hits, rescorer.misses) == (0, 1, 0)
+        # The foreign unit's recorded generator state was NOT injected.
+        assert rescorer_rng.bit_generator.state == before
+        # Artifacts outside rescore_from stay invisible.
+        other = ReplayBroker(
+            ReplayTrace(tmp_path), unit="x--u1", artifact="x",
+            rescore_from=("figure1",),
+        )
+        with pytest.raises(ReplayMissError):
+            other.measure(MeasurementRequest(**self.REQUEST))
+
+    def test_identical_sibling_unit_measures_live(self, mm, tmp_path, monkeypatch):
+        """Two units with bit-identical trajectories recording into one
+        trace: the second must re-measure everything (fresh noise draws),
+        while a replay under the first unit's own id profiles nothing."""
+        test_set = _test_set(mm)
+        counts = []
+
+        def run(unit_id):
+            count = {"n": 0}
+            original = Profiler.measure
+
+            def counting(self, *args, **kwargs):
+                count["n"] += 1
+                return original(self, *args, **kwargs)
+
+            learner = ActiveLearner(
+                mm, plan=sequential_plan(5), config=SMALL,
+                rng=np.random.default_rng(777),
+            )
+            monkeypatch.setattr(Profiler, "measure", counting)
+            try:
+                result = learner.run(
+                    test_set,
+                    broker_factory=lambda base, rng: ReplayBroker(
+                        ReplayTrace(tmp_path), fallback=base, rng=rng,
+                        unit=unit_id, artifact="t",
+                    ),
+                )
+            finally:
+                monkeypatch.setattr(Profiler, "measure", original)
+            counts.append(count["n"])
+            return _fingerprint(result)
+
+        first = run("t--u1")
+        second = run("t--u2")
+        again = run("t--u1")
+        assert first == second == again  # same seed: same trajectory
+        assert counts[0] > 0
+        assert counts[1] == counts[0], "sibling unit reused recorded data"
+        assert counts[2] == 0, "same-unit replay touched the profiler"
+
+    def test_drift_state_recorded_and_restored_same_unit_only(self, tmp_path):
+        from repro.measurement.noise import FrequencyDrift, NoiseModel
+
+        model = NoiseModel([FrequencyDrift(step_sigma=0.01)])
+        model.restore_drift_state([0.02])
+        recorder = ReplayBroker(
+            ReplayTrace(tmp_path), fallback=_CannedBroker(),
+            rng=np.random.default_rng(3), noise_model=model,
+            unit="t--u1", artifact="t",
+        )
+        recorder.measure(MeasurementRequest(**self.REQUEST))
+
+        # Same unit replaying: the drift walk snaps back to the recorded
+        # position, so a live fallback after the hit continues exactly.
+        model.restore_drift_state([-0.01])
+        replayer = ReplayBroker(
+            ReplayTrace(tmp_path), rng=np.random.default_rng(3),
+            noise_model=model, unit="t--u1",
+        )
+        replayer.measure(MeasurementRequest(**self.REQUEST))
+        assert model.drift_state() == [0.02]
+
+        # A re-scoring unit serving the same record leaves its own noise
+        # model untouched.
+        model.restore_drift_state([-0.01])
+        foreign = ReplayBroker(
+            ReplayTrace(tmp_path), noise_model=model, unit="a--u1",
+            artifact="a", rescore_from=("t",),
+        )
+        foreign.measure(MeasurementRequest(**self.REQUEST))
+        assert foreign.shared_hits == 1
+        assert model.drift_state() == [-0.01]
+
+    def test_lookup_sees_concurrent_appends(self, tmp_path):
+        """A trace instance whose first read found nothing still sees
+        records another process appended afterwards (re-read on miss)."""
+        first = ReplayTrace(tmp_path)
+        assert first.lookup("mm", (1,), 0) is None  # loads (and caches) the file
+        second = ReplayTrace(tmp_path)  # a concurrent recorder
+        second.record(
+            "mm", (1,), 0,
+            MeasurementResult(configuration=(1,), runtimes=(0.25,)),
+            unit="t--u1", artifact="t",
+        )
+        found = first.lookup("mm", (1,), 0, unit="t--u1")
+        assert found is not None and found["runtimes"] == [0.25]
+        assert [r["runtimes"] for r in first.lookup_shared("mm", (1,), 0)] == [[0.25]]
+
+
 class TestReplayThroughRegistry:
     def test_rescore_ablation_from_table1_trace(self, tmp_path, monkeypatch):
         from repro.core.learner import LearnerConfig as LC
@@ -591,15 +779,37 @@ class TestReplayThroughRegistry:
         assert replayed["table1"].render() == plain
         monkeypatch.undo()
 
-        # The ablation arms re-score against the same trace: the shared
-        # (ALC, variable-plan) trajectory is served from disk, the other
-        # arms fall back to live profiling and extend the trace.
+        # The ablation arms re-score against the same trace: requests that
+        # coincide with recorded table1 measurements (e.g. the alc arm's
+        # seeding phase, which shares its run seed with a table1 unit) are
+        # served from disk in re-scoring mode, the rest falls back to live
+        # profiling and extends the trace under the ablation units' own
+        # namespaces.
+        import repro.experiments.registry as registry_mod
+
+        created = []
+
+        class SpyBroker(broker_mod.ReplayBroker):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
+
+        monkeypatch.setattr(registry_mod, "ReplayBroker", SpyBroker)
         before = len(ReplayTrace(trace_dir))
         ablation = run_artifacts(
             scale, ["acquisition-ablation"], replay_trace=trace_dir
         )
+        monkeypatch.undo()
         assert "alc" in ablation["acquisition-ablation"].render()
-        assert len(ReplayTrace(trace_dir)) >= before
+        assert len(ReplayTrace(trace_dir)) > before
+        assert created, "learner units did not build replay brokers"
+        assert all(b.unit is not None for b in created)
+        assert sum(b.shared_hits for b in created) > 0, (
+            "re-scoring mode never served a recorded table1 measurement"
+        )
+        # Re-scored arms never replay table1 records *exactly* (that would
+        # inject the recorded RNG stream into a different strategy's run).
+        assert sum(b.misses for b in created) > 0
 
 
 class TestRunAllFlag:
