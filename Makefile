@@ -1,7 +1,11 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check bench bench-update bench-session bench-gate lint
+.PHONY: test docs-check bench bench-update bench-session bench-batch bench-gate lint coverage
+
+## Coverage ratchet for the CI coverage job: fail below this line rate.
+## Raise it when coverage grows; never lower it to make a PR pass.
+COV_MIN ?= 75
 
 ## Tier-1 verification: the full test suite plus the benchmark harness.
 test:
@@ -32,6 +36,17 @@ bench-update:
 bench-session:
 	$(PYTHON) -m pytest benchmarks/test_bench_session_overhead.py -q
 
+## Refresh the batch-acquisition group: one ask(5) batch cycle vs five
+## ask(1) cycles from the same primed session.
+bench-batch:
+	$(PYTHON) -m pytest benchmarks/test_bench_batch_ask.py -q
+
 ## Fail on >20% mean-time regressions in the gated benchmark groups.
 bench-gate:
 	$(PYTHON) benchmarks/check_regression.py
+
+## Test-suite line coverage with the ratchet threshold (needs pytest-cov,
+## installed by the CI coverage job; locally: pip install pytest-cov).
+coverage:
+	$(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing \
+		--cov-fail-under=$(COV_MIN)

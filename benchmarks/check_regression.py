@@ -31,6 +31,7 @@ DEFAULT_GROUPS = (
     "model-update",
     "forest-maintenance",
     "session-overhead",
+    "batch-acquisition",
 )
 DEFAULT_THRESHOLD = 0.20
 

@@ -54,7 +54,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from ..measurement.broker import MeasurementBroker, ProfilerBroker
+from ..measurement.broker import MeasurementBroker, ProfilerBroker, measure_batch
 from ..measurement.profiler import CostLedger, Profiler
 from ..models.base import SurrogateModel
 from ..models.compiled_kernels import BACKENDS
@@ -237,6 +237,7 @@ class ActiveLearner:
         checkpoint_interval: Optional[int] = None,
         checkpoint_sink: Optional[Callable[[TuningSession], None]] = None,
         broker_factory: Optional[BrokerFactory] = None,
+        batch_size: int = 1,
     ) -> LearningResult:
         """Execute the learning loop and return its learning curve and costs.
 
@@ -252,10 +253,19 @@ class ActiveLearner:
         state, RNG stream) is bit-identical to the uninterrupted run; the
         session carries its own plan, configuration and test set, and the
         benchmark (rebuilt by the caller) is reattached with its noise
-        state restored.
+        state restored.  A session pickled mid-batch resumes by measuring
+        its still-pending requests before asking again.
+
+        ``batch_size > 1`` drives batch acquisition: every round asks the
+        session for up to ``batch_size`` requests at once, measures them
+        through :func:`~repro.measurement.broker.measure_batch`, and tells
+        the results back.  ``batch_size=1`` is the sequential path,
+        bit-identical to the pre-batch loop.
         """
         if checkpoint_interval is not None and checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be positive when given")
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         if resume is not None:
             if resume.plan_name != self._plan.name:
                 raise ValueError(
@@ -271,11 +281,24 @@ class ActiveLearner:
         )
         if broker_factory is not None:
             broker = broker_factory(broker, session.rng)
+        # A session checkpointed mid-batch still owes measurements for the
+        # requests it had already handed out; serve those before asking.
+        pending = list(session.pending_requests)
         while True:
-            request = session.ask()
-            if request is None:
-                break
-            session.tell(broker.measure(request))
+            if pending:
+                requests = pending
+                pending = []
+            elif batch_size == 1:
+                request = session.ask()
+                if request is None:
+                    break
+                requests = [request]
+            else:
+                requests = session.ask(batch_size)
+                if not requests:
+                    break
+            for result in measure_batch(broker, requests):
+                session.tell(result)
             if (
                 checkpoint_sink is not None
                 and checkpoint_interval is not None

@@ -30,9 +30,17 @@ noise stream, same float accumulation in the ledger, same curve.  The
 tests in ``tests/test_session.py`` pin this against a frozen copy of the
 inline loop.
 
-``ask(k)`` accepts a batch size so batch acquisition for N parallel
-workers can land as a session feature later; only ``k=1`` is implemented
-today and larger values raise :class:`NotImplementedError`.
+``ask(k)`` with ``k > 1`` returns a *batch* of up to ``k`` requests for N
+parallel workers: the acquisition function's ``select_batch`` picks ``k``
+distinct candidates in one round (greedy-ALC with fantasized updates,
+a diversity penalty, or plain top-``k``), and the resulting ``tell()``\\ s
+may arrive in any order — the session stores them and folds the whole
+batch in *ask order* once the last one lands, so the trajectory is a
+deterministic function of the requests alone, not of measurement-arrival
+races.  A session pickled mid-batch checkpoints its outstanding requests;
+:attr:`TuningSession.pending_requests` lists what is still owed after a
+resume.  ``ask(1)`` is bit-identical to the pre-batch sequential path
+(same candidate draws, tie-breaks, ledger accumulation and curve).
 """
 
 from __future__ import annotations
@@ -121,6 +129,14 @@ class TuningSession:
         self._training_examples = 0
         self._iteration = 0
         self._pending: Optional[MeasurementRequest] = None
+        # Batch bookkeeping (ask(k > 1)): outstanding requests in ask
+        # order, and the results that have arrived so far keyed by
+        # configuration.  The batch folds only once complete, in ask order.
+        self._batch_requests: List[MeasurementRequest] = []
+        self._batch_results: Dict[Tuple[int, ...], MeasurementResult] = {}
+        # Training-example count when the last fold began — the anchor for
+        # the batch-aware checkpoint cadence.
+        self._fold_start = 0
         self._noise_model = None
 
     # ------------------------------------------------------------ properties
@@ -188,6 +204,22 @@ class TuningSession:
         return self._test_set
 
     @property
+    def pending_requests(self) -> List[MeasurementRequest]:
+        """Outstanding requests still awaiting :meth:`tell`, in ask order.
+
+        Empty between rounds.  After unpickling a session that was saved
+        mid-batch, this is exactly the work still owed — a resuming driver
+        measures these before calling :meth:`ask` again.
+        """
+        if self._pending is not None:
+            return [self._pending]
+        return [
+            request
+            for request in self._batch_requests
+            if request.configuration not in self._batch_results
+        ]
+
+    @property
     def noise_model(self):
         """The benchmark's (stateful) noise model, for checkpoint owners
         that restore it explicitly; on a live session this reads through to
@@ -220,6 +252,11 @@ class TuningSession:
             raise AttributeError(
                 "incompatible checkpoint: not a pickled TuningSession"
             )
+        # Sessions pickled before batch acquisition landed lack the batch
+        # bookkeeping; default it so they resume on the sequential path.
+        state.setdefault("_batch_requests", [])
+        state.setdefault("_batch_results", {})
+        state.setdefault("_fold_start", 0)
         self.__dict__.update(state)
 
     def attach_benchmark(self, benchmark) -> None:
@@ -241,31 +278,48 @@ class TuningSession:
 
     # -------------------------------------------------------------- ask/tell
 
-    def ask(self, k: int = 1) -> Optional[MeasurementRequest]:
-        """The next measurement request, or ``None`` when the run is done.
+    def ask(self, k: int = 1):
+        """The next measurement order(s), or nothing when the run is done.
 
-        ``k`` is the batch size; batch acquisition (``k > 1``) is reserved
-        for a future session feature and raises ``NotImplementedError``.
+        ``k == 1`` (the default) returns a single
+        :class:`~repro.measurement.broker.MeasurementRequest` or ``None``
+        when the run is complete — the sequential path, bit-identical to
+        the pre-batch inline loop.  ``k > 1`` returns a *list* of up to
+        ``k`` requests (an empty list when done): one acquisition round
+        selects ``k`` distinct candidates through the acquisition
+        function's ``select_batch``, and the batch never crosses a phase
+        boundary or the ``max_training_examples`` budget, so fewer than
+        ``k`` requests come back near either edge.  The matching
+        :meth:`tell`\\ s may arrive in any order.
         """
-        if k != 1:
-            raise NotImplementedError(
-                "batch acquisition (k > 1) is not implemented yet; "
-                "ask one configuration at a time"
-            )
-        if self._pending is not None:
+        if k < 1:
+            raise ValueError("batch size k must be at least 1")
+        if self._pending is not None or self._batch_requests:
             raise RuntimeError(
                 "ask() called while a request is outstanding; "
-                "tell() the previous result first"
+                "tell() the previous result(s) first"
             )
         if self._phase == DONE:
-            return None
+            return None if k == 1 else []
         self._require_benchmark()
-        if self._phase == SEEDING:
-            return self._ask_seeding()
-        return self._ask_learning()
+        if k == 1:
+            if self._phase == SEEDING:
+                return self._ask_seeding()
+            return self._ask_learning()
+        return self._ask_batch(k)
 
     def tell(self, result: MeasurementResult) -> None:
-        """Feed the observations answering the outstanding request back in."""
+        """Feed the observations answering an outstanding request back in.
+
+        With a batch outstanding (``ask(k > 1)``), results may arrive in
+        any order: each is held until the batch is complete, then the
+        whole batch folds in *ask order* — the model updates, ledger
+        charges, statistics and curve points are a deterministic function
+        of the requests, independent of measurement-arrival interleaving.
+        """
+        if self._batch_requests:
+            self._tell_batch(result)
+            return
         if self._pending is None:
             raise RuntimeError("tell() called without an outstanding ask()")
         request = self._pending
@@ -276,6 +330,38 @@ class TuningSession:
             )
         self._require_benchmark()
         self._pending = None
+        self._fold_start = self._training_examples
+        self._fold_one(request, result)
+
+    def _tell_batch(self, result: MeasurementResult) -> None:
+        self._require_benchmark()
+        key = tuple(result.configuration)
+        outstanding = {request.configuration for request in self._batch_requests}
+        if key not in outstanding:
+            raise ValueError(
+                f"result is for configuration {key}, which is not part of "
+                f"the outstanding batch {sorted(outstanding)}"
+            )
+        if key in self._batch_results:
+            raise ValueError(
+                f"duplicate tell() for configuration {key} in this batch"
+            )
+        self._batch_results[key] = result
+        if len(self._batch_results) < len(self._batch_requests):
+            return
+        requests = self._batch_requests
+        results = self._batch_results
+        self._batch_requests = []
+        self._batch_results = {}
+        self._fold_start = self._training_examples
+        # Fold in ask order, not arrival order: this is the determinism
+        # contract for out-of-order tells.
+        for request in requests:
+            self._fold_one(request, results[request.configuration])
+
+    def _fold_one(
+        self, request: MeasurementRequest, result: MeasurementResult
+    ) -> None:
         key = request.configuration
         # Replay the charges into the session ledger in measurement order;
         # compile and runtime accumulate separately, so the totals match an
@@ -313,12 +399,22 @@ class TuningSession:
     def should_checkpoint(self, interval: int) -> bool:
         """True when the inline loop's checkpoint cadence fires: every
         ``interval`` training examples past seeding (never during or right
-        after the seeding phase itself)."""
+        after the seeding phase itself).
+
+        Batch-aware: a single batch fold can advance the example count by
+        more than one, so the cadence fires when the count *crossed* a
+        multiple of ``interval`` since the fold began.  With ``k=1`` each
+        fold advances by exactly one example and the crossing rule reduces
+        to the original modulo test.
+        """
         if interval < 1:
             raise ValueError("interval must be positive")
-        return (
-            self._training_examples > self._n_seed
-            and (self._training_examples - self._n_seed) % interval == 0
+        if self._training_examples <= self._n_seed:
+            return False
+        since_fold = max(self._fold_start, self._n_seed) - self._n_seed
+        since_now = self._training_examples - self._n_seed
+        return since_now // interval > since_fold // interval or (
+            since_now % interval == 0 and since_now == since_fold
         )
 
     # ------------------------------------------------------------- internals
@@ -330,28 +426,100 @@ class TuningSession:
                 "after unpickling"
             )
 
+    def _ensure_seeding_initialised(self) -> None:
+        if self._model is not None:
+            return
+        # First ask of the run: the generator draws happen in exactly
+        # the inline loop's order — model seed first, then the seed
+        # configurations.
+        space = self._benchmark.search_space
+        self._model = self._make_model(
+            np.random.default_rng(self._rng.integers(2 ** 63))
+        )
+        self._curve = LearningCurve(self._plan.name)
+        self._n_seed = min(self._config.n_initial, space.size)
+        self._seed_configurations = space.sample_distinct(
+            self._n_seed, self._rng
+        )
+
     def _ask_seeding(self) -> MeasurementRequest:
-        config = self._config
-        if self._model is None:
-            # First ask of the run: the generator draws happen in exactly
-            # the inline loop's order — model seed first, then the seed
-            # configurations.
-            space = self._benchmark.search_space
-            self._model = self._make_model(
-                np.random.default_rng(self._rng.integers(2 ** 63))
-            )
-            self._curve = LearningCurve(self._plan.name)
-            self._n_seed = min(config.n_initial, space.size)
-            self._seed_configurations = space.sample_distinct(
-                self._n_seed, self._rng
-            )
+        self._ensure_seeding_initialised()
         configuration = self._seed_configurations[self._seed_index]
         self._pending = MeasurementRequest(
             benchmark=self._benchmark_name,
             configuration=configuration,
-            repetitions=config.seed_observations,
+            repetitions=self._config.seed_observations,
         )
         return self._pending
+
+    def _ask_batch(self, k: int) -> List[MeasurementRequest]:
+        if self._phase == SEEDING:
+            requests = self._ask_seeding_batch(k)
+        else:
+            requests = self._ask_learning_batch(k)
+        if requests:
+            self._batch_requests = list(requests)
+            self._batch_results = {}
+        return list(requests)
+
+    def _ask_seeding_batch(self, k: int) -> List[MeasurementRequest]:
+        """Up to ``k`` of the remaining seed configurations.
+
+        A batch never crosses the seeding/learning phase boundary: the
+        model must be fitted on the complete seed set before acquisition
+        can score anything, so the last seeding batch is simply short.
+        """
+        self._ensure_seeding_initialised()
+        remaining = self._n_seed - self._seed_index
+        return [
+            MeasurementRequest(
+                benchmark=self._benchmark_name,
+                configuration=self._seed_configurations[self._seed_index + offset],
+                repetitions=self._config.seed_observations,
+            )
+            for offset in range(min(k, remaining))
+        ]
+
+    def _ask_learning_batch(self, k: int) -> List[MeasurementRequest]:
+        """One acquisition round selecting up to ``k`` distinct candidates.
+
+        The completion checks run once per batch (not per member), and the
+        batch is truncated at the remaining example budget, so a run with
+        ``max_training_examples`` examples never overshoots.  One candidate
+        draw and one reference draw serve the whole batch; the acquisition
+        function's ``select_batch`` owns the interaction between members
+        (fantasized updates, diversity penalties, or plain top-``k``).
+        """
+        config = self._config
+        if self._iteration >= config.max_training_examples:
+            self._finish()
+            return []
+        if self._budget_exhausted():
+            self._finish()
+            return []
+        if self._pool.exhausted():
+            self._finish()
+            return []
+        candidates = self._pool.draw(config.n_candidates, self._rng)
+        if not candidates:
+            self._finish()
+            return []
+        k_eff = min(k, config.max_training_examples - self._iteration, len(candidates))
+        candidate_features = self._benchmark.features_many(candidates)
+        reference_features = self._reference_features(candidate_features)
+        indices = self._acquisition.select_batch(
+            self._model, candidate_features, reference_features, self._rng, k_eff
+        )
+        if len(set(indices)) != len(indices):
+            raise RuntimeError(
+                f"{type(self._acquisition).__name__}.select_batch returned "
+                "duplicate candidate indices"
+            )
+        return self._plan.measurement_requests(
+            self._benchmark_name,
+            [candidates[index] for index in indices],
+            prior_stats=self._stats,
+        )
 
     def _tell_seeding(self, key: Tuple[int, ...], stats: RunningStats) -> None:
         self._seed_targets.append(stats.mean)

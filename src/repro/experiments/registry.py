@@ -442,6 +442,7 @@ def execute_learner_run(
     acquisition: Optional[object] = None,
     model_factory: Optional[Callable] = None,
     context: Optional[UnitContext] = None,
+    batch_size: int = 1,
 ) -> LearningResult:
     """One seeded active-learner run — the shared learner-unit body.
 
@@ -461,6 +462,9 @@ def execute_learner_run(
     ``replay_trace`` directory, measurements go through a
     :class:`~repro.measurement.broker.ReplayBroker` over that trace
     (replay recorded requests, record live-measured misses).
+    ``batch_size > 1`` drives the run through batch acquisition
+    (``TuningSession.ask(k)``) — the ``batch-acquisition`` ablation's
+    axis; the default of 1 is the paper's sequential loop.
     """
     context = context if context is not None else UnitContext()
     benchmark = get_benchmark(benchmark_name)
@@ -528,5 +532,6 @@ def execute_learner_run(
         checkpoint_interval=interval if interval > 0 else None,
         checkpoint_sink=sink if interval > 0 else None,
         broker_factory=broker_factory,
+        batch_size=batch_size,
     )
     return dataclasses.replace(result, model=None)

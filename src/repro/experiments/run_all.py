@@ -6,7 +6,8 @@
 [--paper-run --run-dir DIR [--resume]]``
 
 Every artifact — table1, table2, figure1, figure2, figure5, figure6,
-noise_robustness, acquisition-ablation, model-ablation — is declared in
+noise_robustness, acquisition-ablation, model-ablation,
+batch-acquisition — is declared in
 :mod:`repro.experiments.registry`; this module merely selects artifacts
 (``--only``, default: the consolidated report), picks a backend, and
 streams each artifact's rendered section to ``--output``/stdout *as it
@@ -69,6 +70,12 @@ paper-run workflow:
   --run-dir holds the task queue (manifest.jsonl), one result file per
   completed work unit, in-flight checkpoints, claim files and an events
   journal; see docs/reproduction.md for runtimes and output layout.
+
+batch-acquisition workflow:
+  # the batch-acquisition ablation (k in {1,2,5} x {greedy-alc-fantasy,
+  # diversity-penalty, random}) at smoke scale on the sharded runner:
+  python -m repro.experiments.run_all --paper-run --scale smoke \\
+      --only batch-acquisition --run-dir /tmp/batch_smoke
 
 replay-trace workflow:
   # record every measurement of a table1 run into a trace directory:

@@ -47,6 +47,12 @@ def _make_dynamic_tree(
 _MODEL_REGISTRY: dict = {
     "dynamic-tree": _make_dynamic_tree,
     "gp": lambda rng, tree_particles, tree_backend: GaussianProcessRegressor(),
+    # Sliding-window GP: forgets the oldest observation past 100 training
+    # examples through the rank-1 Cholesky downdate — the drift-tracking
+    # surrogate with bounded per-update cost.
+    "gp-window": lambda rng, tree_particles, tree_backend: GaussianProcessRegressor(
+        window_size=100
+    ),
     "knn": lambda rng, tree_particles, tree_backend: KNNRegressor(k=5),
     "constant-mean": lambda rng, tree_particles, tree_backend: ConstantMeanModel(),
 }

@@ -24,6 +24,16 @@ per-update cost still grows quadratically (and each refit cubically) where
 the tree's stays near-constant, but the comparison is no longer inflated by
 gratuitous refits.  ``refit_interval`` controls the trade-off;
 ``refit_interval=1`` restores the always-refit behaviour exactly.
+
+The mirror image, a rank-1 Cholesky *downdate*, removes the oldest
+observation in O(n²): deleting the first row/column of ``K = L Lᵀ`` with
+``L = [[l₁₁, 0], [l₂₁, L₂₂]]`` leaves ``K₂₂ = L₂₂ L₂₂ᵀ + l₂₁ l₂₁ᵀ``, so the
+new factor is the classic rank-1 *update* of the trailing submatrix by the
+pivot column — a sequence of Givens-style rotations that, unlike a true
+downdate, can never go indefinite.  ``window_size`` combines the two into a
+sliding-window GP: each :meth:`update` extends the factor with the new
+observation and forgets the oldest one, so the model tracks drift-noise
+benchmarks with bounded memory and O(w²) per step instead of O(w³).
 """
 
 from __future__ import annotations
@@ -46,6 +56,11 @@ class GaussianProcessRegressor(SurrogateModel):
     absorbed by the rank-1 Cholesky extension (with hyper-parameters frozen
     at their last-refit values) before the next full refit re-estimates the
     heuristics and refactors from scratch.
+
+    ``window_size`` turns the model into a sliding-window GP: whenever the
+    training set exceeds the window, the oldest observations are forgotten
+    through the rank-1 downdate (:meth:`forget_oldest`), keeping per-update
+    cost bounded and letting the posterior track a drifting target.
     """
 
     def __init__(
@@ -55,14 +70,18 @@ class GaussianProcessRegressor(SurrogateModel):
         noise_variance: Optional[float] = None,
         jitter: float = 1e-8,
         refit_interval: int = 25,
+        window_size: Optional[int] = None,
     ) -> None:
         if refit_interval < 1:
             raise ValueError("refit_interval must be at least 1")
+        if window_size is not None and window_size < 2:
+            raise ValueError("window_size must be at least 2 when given")
         self._lengthscale_override = lengthscale
         self._signal_override = signal_variance
         self._noise_override = noise_variance
         self._jitter = jitter
         self._refit_interval = refit_interval
+        self._window_size = window_size
         self._X: Optional[np.ndarray] = None
         self._y: Optional[np.ndarray] = None
         self._mean_y = 0.0
@@ -82,6 +101,10 @@ class GaussianProcessRegressor(SurrogateModel):
     def training_size(self) -> int:
         return 0 if self._y is None else int(self._y.shape[0])
 
+    @property
+    def window_size(self) -> Optional[int]:
+        return self._window_size
+
     def fit(self, features: np.ndarray, targets: np.ndarray) -> None:
         X = np.atleast_2d(np.asarray(features, dtype=float))
         y = np.asarray(targets, dtype=float).ravel()
@@ -89,6 +112,10 @@ class GaussianProcessRegressor(SurrogateModel):
             raise ValueError("features and targets disagree on the number of rows")
         if X.shape[0] == 0:
             raise ValueError("fit() needs at least one observation")
+        if self._window_size is not None and X.shape[0] > self._window_size:
+            # A sliding-window model only ever holds the freshest window.
+            X = X[-self._window_size :]
+            y = y[-self._window_size :]
         self._X = X.copy()
         self._y = y.copy()
         self._stale = True
@@ -118,9 +145,42 @@ class GaussianProcessRegressor(SurrogateModel):
             and self._extend_factor(x, float(target))
         ):
             self._updates_since_refit += 1
+            self._enforce_window()
             return
         self._X = np.vstack([self._X, x])
         self._y = np.append(self._y, float(target))
+        self._stale = True
+        self._enforce_window()
+
+    def _enforce_window(self) -> None:
+        if self._window_size is None:
+            return
+        while self.training_size > self._window_size:
+            self.forget_oldest()
+
+    def forget_oldest(self) -> None:
+        """Remove the oldest observation from the training set.
+
+        With a current factor this is the rank-1 Cholesky downdate
+        (O(n²), hyper-parameters stay frozen, exactly mirroring
+        :meth:`_extend_factor`); a stale model simply drops the row and
+        lets the next prediction refit.  Sliding-window updates call this
+        automatically; it is public so drift-aware callers can also shed
+        stale history explicitly.
+        """
+        if self._X is None or self._y is None or self.training_size == 0:
+            raise RuntimeError("the model has no observations to forget")
+        if self.training_size == 1:
+            self._X = None
+            self._y = None
+            self._chol = None
+            self._alpha = None
+            self._stale = True
+            return
+        if not self._stale and self._chol is not None and self._downdate_factor():
+            return
+        self._X = self._X[1:]
+        self._y = self._y[1:]
         self._stale = True
 
     # ------------------------------------------------------------ internals
@@ -159,6 +219,50 @@ class GaussianProcessRegressor(SurrogateModel):
         # data mean is re-estimated every update even while the kernel
         # hyper-parameters stay frozen; the posterior weights are two O(n²)
         # triangular solves against the extended factor.
+        self._mean_y = float(self._y.mean())
+        centred = self._y - self._mean_y
+        self._alpha = cho_solve((self._chol, True), centred)
+        return True
+
+    def _downdate_factor(self) -> bool:
+        """Rank-1 downdate: drop the factor's first row/column in O(n²).
+
+        Partition ``L = [[l₁₁, 0], [l₂₁, L₂₂]]``.  Deleting observation 0
+        from ``K = L Lᵀ`` leaves ``K₂₂ = L₂₂ L₂₂ᵀ + l₂₁ l₂₁ᵀ``, so the new
+        factor is the rank-1 *update* of ``L₂₂`` by the pivot column
+        ``l₂₁`` — computed with the classic hyperbolic-free rotation
+        recurrence.  Because it is an update (adding ``l₂₁ l₂₁ᵀ``, never
+        subtracting), the recurrence cannot drive the matrix indefinite;
+        ``False`` is returned only if the incoming factor's diagonal is
+        already degenerate (then the caller falls back to a full refit).
+        Like the extension, the posterior mean and weights are recomputed
+        against the new factor while the kernel hyper-parameters stay
+        frozen until the next refit.
+        """
+        assert self._X is not None and self._y is not None and self._chol is not None
+        L = self._chol
+        n = L.shape[0]
+        # cho_factor leaves garbage above the diagonal; the rotation
+        # recurrence reads whole columns, so take the clean lower triangle.
+        trailing = np.tril(L[1:, 1:]).copy()
+        pivot = L[1:, 0].astype(float).copy()
+        m = n - 1
+        for k in range(m):
+            diag = trailing[k, k]
+            if not np.isfinite(diag) or diag <= 0.0:
+                return False
+            r = float(np.hypot(diag, pivot[k]))
+            c = r / diag
+            s = pivot[k] / diag
+            trailing[k, k] = r
+            if k + 1 < m:
+                trailing[k + 1 :, k] = (trailing[k + 1 :, k] + s * pivot[k + 1 :]) / c
+                pivot[k + 1 :] = c * pivot[k + 1 :] - s * trailing[k + 1 :, k]
+        if not np.all(np.isfinite(trailing)):
+            return False
+        self._chol = trailing
+        self._X = self._X[1:]
+        self._y = self._y[1:]
         self._mean_y = float(self._y.mean())
         centred = self._y - self._mean_y
         self._alpha = cho_solve((self._chol, True), centred)

@@ -364,7 +364,13 @@ class TestNameBasedFactories:
         assert {plan.name for plan in standard_plans()} <= resolved
 
     def test_acquisition_names_round_trip(self):
-        assert acquisition_names() == ["alc", "alm", "random"]
+        assert acquisition_names() == [
+            "alc",
+            "alm",
+            "random",
+            "greedy-alc-fantasy",
+            "diversity-penalty",
+        ]
         for name in acquisition_names():
             assert make_acquisition(name).name == name
 

@@ -302,6 +302,107 @@ class TestGaussianProcess:
         assert np.isfinite(prediction.variance).all()
 
 
+class TestSlidingWindow:
+    """Sliding-window GP: rank-1 downdate vs full refit on the window."""
+
+    def test_window_size_validation(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(window_size=1)
+
+    def test_fit_trims_to_the_window(self, rng):
+        X = rng.uniform(-1, 1, size=(20, 2))
+        y = X[:, 0]
+        gp = GaussianProcessRegressor(window_size=8)
+        gp.fit(X, y)
+        assert gp.training_size == 8
+        assert gp.window_size == 8
+
+    def test_forget_oldest_requires_data(self):
+        gp = GaussianProcessRegressor()
+        with pytest.raises(RuntimeError):
+            gp.forget_oldest()
+
+    def test_forget_oldest_on_single_point_empties_the_model(self):
+        gp = GaussianProcessRegressor()
+        gp.update(np.array([0.0, 0.0]), 1.0)
+        gp.forget_oldest()
+        assert gp.training_size == 0
+        with pytest.raises(RuntimeError):
+            gp.predict(np.zeros((1, 2)))
+
+    def test_downdate_matches_full_refit_on_the_window(self, rng):
+        """Streaming through a window via downdates is the *same model* as
+        refitting from scratch on the last ``window_size`` observations.
+
+        Hyper-parameters are pinned by overrides so both sides factor the
+        identical matrix; refit_interval is effectively infinite so the
+        windowed model exercises only extend + downdate after the seed fit.
+        """
+        window = 12
+        kwargs = dict(lengthscale=0.7, signal_variance=2.0, noise_variance=0.05)
+        X = rng.uniform(-1, 1, size=(40, 3))
+        y = np.sin(X[:, 0]) + 0.3 * X[:, 1] + rng.normal(0, 0.05, 40)
+        windowed = GaussianProcessRegressor(
+            window_size=window, refit_interval=10**9, **kwargs
+        )
+        windowed.fit(X[:window], y[:window])
+        windowed.predict(X[:1])  # trigger the initial factorization
+        grid = rng.uniform(-1, 1, size=(15, 3))
+        for i in range(window, 40):
+            windowed.update(X[i], float(y[i]))
+            assert windowed.training_size == window
+            fresh = GaussianProcessRegressor(**kwargs)
+            fresh.fit(X[i - window + 1 : i + 1], y[i - window + 1 : i + 1])
+            a = windowed.predict(grid)
+            b = fresh.predict(grid)
+            np.testing.assert_allclose(a.mean, b.mean, rtol=1e-8, atol=1e-10)
+            np.testing.assert_allclose(
+                a.variance, b.variance, rtol=1e-8, atol=1e-10
+            )
+
+    def test_near_singular_window_stays_finite(self, rng):
+        """Adversarial case: the window is packed with near-duplicate rows,
+        so the factor is nearly singular.  Downdates (or their refit
+        fallback) must keep predictions finite and the window pinned."""
+        window = 6
+        gp = GaussianProcessRegressor(
+            window_size=window,
+            lengthscale=1.0,
+            signal_variance=1.0,
+            noise_variance=1e-9,
+            jitter=1e-12,
+            refit_interval=10**9,
+        )
+        base = np.array([0.3, -0.2])
+        for i in range(window + 20):
+            point = base + 1e-10 * rng.normal(size=2)
+            gp.update(point, 1.0 + 1e-6 * i)
+            prediction = gp.predict(base[None, :])
+            assert np.isfinite(prediction.mean).all()
+            assert np.isfinite(prediction.variance).all()
+            assert gp.training_size <= window
+
+    def test_windowed_model_forgets_stale_regions(self, rng):
+        """After the window slides past an old regime, predictions follow
+        the recent data rather than averaging both regimes."""
+        gp = GaussianProcessRegressor(window_size=10, noise_variance=1e-6)
+        for _ in range(10):
+            gp.update(rng.uniform(-1, 0, size=2), -5.0)
+        for _ in range(10):
+            gp.update(rng.uniform(0, 1, size=2), 5.0)
+        prediction = gp.predict(np.array([[0.5, 0.5]]))
+        assert prediction.mean[0] > 4.0
+
+    def test_gp_window_factory_name(self):
+        from repro.models import model_factory
+
+        model = model_factory("gp-window", tree_particles=8)(
+            np.random.default_rng(0)
+        )
+        assert isinstance(model, GaussianProcessRegressor)
+        assert model.window_size == 100
+
+
 class TestBaselines:
     def test_constant_model(self, rng):
         model = ConstantMeanModel()

@@ -1,0 +1,176 @@
+"""Property-based hardening of :class:`ReplayTrace` concurrent appends.
+
+The trace's crash/concurrency contract, fuzzed with hypothesis:
+
+* **interleaved writers** — any interleaving of appends from several
+  :class:`ReplayTrace` instances over one directory yields the same
+  fresh-reader view: the first record in *file order* wins per key, and
+  lookups during the run never return a record that was not written;
+* **torn tails** — a partial line (a recorder killed mid-write, or an
+  append caught in flight) is deferred until its newline arrives, never
+  crashes a lookup, and never corrupts the visibility of records on
+  *other* lines.  A record glued onto a torn fragment by a concurrent
+  ``O_APPEND`` write shares the fragment's line and is sacrificed — the
+  documented cost — but every record on its own line stays servable.
+
+The deterministic model mirrors the file format: a record is visible to a
+fresh reader iff its line starts at file start or right after a newline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.measurement.broker import MeasurementResult, ReplayTrace  # noqa: E402
+
+BENCH = "mm"
+UNIT = "shared-unit"
+CONFIGS = ((0,), (1,), (2,))
+PRIORS = (0, 1)
+
+#: A torn fragment: valid JSON prefix, no newline, never parseable alone
+#: or as a prefix of another record's line.
+TORN = b'{"unit": "shared-unit", "configuration": [9'
+
+
+def _append_raw(directory, payload: bytes) -> None:
+    fd = os.open(
+        os.path.join(directory, f"{BENCH}.jsonl"),
+        os.O_CREAT | os.O_WRONLY | os.O_APPEND,
+        0o644,
+    )
+    try:
+        os.write(fd, payload)
+    finally:
+        os.close(fd)
+
+
+def _record(trace: ReplayTrace, config, prior, runtime: float) -> None:
+    trace.record(
+        BENCH,
+        config,
+        prior,
+        MeasurementResult(configuration=tuple(config), runtimes=(runtime,)),
+        unit=UNIT,
+    )
+
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("record"),
+            st.integers(min_value=0, max_value=1),  # writer index
+            st.sampled_from(CONFIGS),
+            st.sampled_from(PRIORS),
+            st.integers(min_value=1, max_value=90).map(lambda v: v / 10.0),
+        ),
+        st.tuples(st.just("tear")),
+        st.tuples(
+            st.just("lookup"), st.sampled_from(CONFIGS), st.sampled_from(PRIORS)
+        ),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestConcurrentAppendFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_ops)
+    def test_interleaved_writers_with_torn_tails(self, ops):
+        with tempfile.TemporaryDirectory() as directory:
+            writers = (ReplayTrace(directory), ReplayTrace(directory))
+            reader = ReplayTrace(directory)
+            # Model: first *visible* record per key, in file order.  A
+            # record appended while a torn fragment dangles shares its
+            # line and is never visible to any file reader.
+            expected: dict = {}
+            reader_saw: dict = {}
+            pending_tear = False
+            for op in ops:
+                if op[0] == "record":
+                    _, writer, config, prior, runtime = op
+                    _record(writers[writer], config, prior, float(runtime))
+                    if pending_tear:
+                        pending_tear = False  # glued: the record is lost
+                    else:
+                        expected.setdefault((config, prior), float(runtime))
+                elif op[0] == "tear":
+                    _append_raw(directory, TORN)
+                    pending_tear = True
+                else:
+                    _, config, prior = op
+                    found = reader.lookup(BENCH, config, prior, unit=UNIT)
+                    if found is not None:
+                        # Never a phantom: only ever the first visible
+                        # record for the key (stable once seen).
+                        assert found["runtimes"] == [expected[(config, prior)]]
+                        reader_saw[(config, prior)] = found["runtimes"][0]
+
+            # A fresh reader agrees with the model on every key.
+            fresh = ReplayTrace(directory)
+            for config in CONFIGS:
+                for prior in PRIORS:
+                    found = fresh.lookup(BENCH, config, prior, unit=UNIT)
+                    want = expected.get((config, prior))
+                    if want is None:
+                        assert found is None
+                    else:
+                        assert found is not None
+                        assert found["runtimes"] == [want]
+                        shared = fresh.lookup_shared(BENCH, config, prior)
+                        assert shared and shared[0]["runtimes"] == [want]
+            # The mid-run reader's answers were the final answers: first
+            # wins, and the first visible record never changes.
+            for key, runtime in reader_saw.items():
+                assert expected[key] == runtime
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        prefix=st.integers(min_value=1, max_value=10),
+        config=st.sampled_from(CONFIGS),
+        prior=st.sampled_from(PRIORS),
+    )
+    def test_torn_tail_is_deferred_until_its_newline_arrives(
+        self, prefix, config, prior
+    ):
+        """A slow writer's partial line is invisible but not consumed:
+        once the rest of the line lands, the record becomes servable."""
+        with tempfile.TemporaryDirectory() as directory:
+            record = {
+                "unit": UNIT,
+                "artifact": None,
+                "configuration": list(config),
+                "prior": prior,
+                "runtimes": [1.25],
+                "compile": [],
+                "rng_state": None,
+                "noise_state": None,
+            }
+            line = (json.dumps(record) + "\n").encode("utf-8")
+            cut = min(prefix, len(line) - 2)
+            _append_raw(directory, line[:cut])
+
+            reader = ReplayTrace(directory)
+            assert reader.lookup(BENCH, config, prior, unit=UNIT) is None
+            assert reader.lookup_shared(BENCH, config, prior) == []
+
+            _append_raw(directory, line[cut:])
+            found = reader.lookup(BENCH, config, prior, unit=UNIT)
+            assert found is not None and found["runtimes"] == [1.25]
+
+    def test_dangling_tear_never_hides_earlier_records(self, tmp_path):
+        trace = ReplayTrace(tmp_path)
+        _record(trace, (0,), 0, 0.5)
+        _append_raw(str(tmp_path), TORN)
+        fresh = ReplayTrace(tmp_path)
+        found = fresh.lookup(BENCH, (0,), 0, unit=UNIT)
+        assert found is not None and found["runtimes"] == [0.5]
+        assert fresh.lookup(BENCH, (2,), 1, unit=UNIT) is None

@@ -294,10 +294,21 @@ class TestSessionProtocol:
         # ask() after completion stays None.
         assert session.ask() is None
 
-    def test_batched_ask_is_reserved(self, mm):
+    def test_batched_ask_returns_a_list_of_requests(self, mm):
+        # ask(k > 1) is batch acquisition now (tests/test_batch_acquisition.py
+        # covers it in depth); at the protocol level a batch ask returns a
+        # list of distinct-configuration requests and k must be positive.
         session = self._session(mm)
-        with pytest.raises(NotImplementedError, match="batch acquisition"):
-            session.ask(k=2)
+        requests = session.ask(k=2)
+        assert isinstance(requests, list) and len(requests) == 2
+        assert len({r.configuration for r in requests}) == 2
+        with pytest.raises(RuntimeError, match="outstanding"):
+            session.ask()
+
+    def test_nonpositive_batch_size_rejected(self, mm):
+        session = self._session(mm)
+        with pytest.raises(ValueError, match="at least 1"):
+            session.ask(k=0)
 
     def test_ask_with_pending_request_rejected(self, mm):
         session = self._session(mm)
