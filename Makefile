@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check bench bench-update bench-session bench-batch bench-gate lint coverage
+.PHONY: test docs-check bench bench-update bench-session bench-batch bench-gate lint coverage profile
 
 ## Coverage ratchet for the CI coverage job: fail below this line rate.
 ## Raise it when coverage grows; never lower it to make a PR pass.
@@ -44,6 +44,16 @@ bench-batch:
 ## Fail on >20% mean-time regressions in the gated benchmark groups.
 bench-gate:
 	$(PYTHON) benchmarks/check_regression.py
+
+## cProfile a smoke-scale table1 run: per-unit .prof dumps plus a merged
+## top-25 cumulative summary in $(PROFILE_DIR)/profile.txt.  Override the
+## artifact subset with PROFILE_ONLY=... and the directory with
+## PROFILE_DIR=...
+PROFILE_DIR ?= profile
+PROFILE_ONLY ?= table1
+profile:
+	$(PYTHON) -m repro.experiments.run_all --scale smoke \
+		--only $(PROFILE_ONLY) --profile $(PROFILE_DIR)
 
 ## Test-suite line coverage with the ratchet threshold (needs pytest-cov,
 ## installed by the CI coverage job; locally: pip install pytest-cov).

@@ -105,19 +105,26 @@ def paper_scale_model():
 
 
 @pytest.mark.benchmark(group="model-update")
-@pytest.mark.parametrize("kernel", ["batched", "compiled", "reference"])
+@pytest.mark.parametrize("kernel", ["batched", "fast", "compiled", "reference"])
 def test_bench_particle_update_1000(benchmark, paper_scale_model, kernel):
     """Algorithm 1's per-observation model update at 1 000 particles.
 
     ``batched`` is the production kernel on the default NumPy backend
     (batched reweight, copy-on-write resample, three-phase propagate);
-    ``compiled`` is the same kernel dispatched through
+    ``fast`` is the same kernel with ``DynamicTreeConfig(float_mode="fast")``
+    (fused reductions and SIMD transcendentals, tolerance-tested instead of
+    bit-exact); ``compiled`` dispatches through
     ``DynamicTreeConfig(backend="numba")`` — the njit kernels when numba is
     installed, the automatic NumPy fallback otherwise; ``reference`` is the
     pre-batching per-particle Python loop kept as the equivalence oracle.
     All absorb the same held-out observations from identical tree state, so
-    the trio measures the update-kernel speedup directly.  One untimed
+    the quartet measures the update-kernel speedup directly.  One untimed
     warm-up round absorbs JIT compilation and allocator warm-up.
+
+    The last timed round's per-phase wall-clock split
+    (``DynamicTreeRegressor.phase_timings``) lands in the JSON record's
+    ``extra_info``, so BENCH_model.json says *where* the milliseconds went,
+    not just how many there were.
     """
     fitted, X, y = paper_scale_model
     rounds = 3 if kernel == "reference" else 5
@@ -135,12 +142,24 @@ def test_bench_particle_update_1000(benchmark, paper_scale_model, kernel):
             model = copy.deepcopy(fitted)
             if kernel == "compiled":
                 model._config = dataclasses.replace(model.config, backend="numba")
+            elif kernel == "fast":
+                model._config = dataclasses.replace(
+                    model.config, float_mode="fast"
+                )
+            # Zero the fit's accumulators so extra_info reports exactly the
+            # round's five updates.
+            model.reset_phase_timings()
         holder["model"] = model
         return (), {}
 
     benchmark.pedantic(
         run_updates, setup=fresh_state, rounds=rounds, iterations=1, warmup_rounds=1
     )
+    if kernel != "reference":
+        benchmark.extra_info["phase_timings_ms"] = {
+            phase: round(seconds * 1000.0, 3)
+            for phase, seconds in holder["model"].phase_timings.items()
+        }
 
 
 @pytest.mark.benchmark(group="forest-maintenance")

@@ -24,7 +24,6 @@ preserving the sequential path's bit-identity contract.
 
 from __future__ import annotations
 
-import copy
 from abc import ABC, abstractmethod
 from typing import List, Optional
 
@@ -244,8 +243,10 @@ class GreedyALCFantasyAcquisition(ALCAcquisition):
                 if current is model:
                     # First fantasy of the batch: all believed observations
                     # go into a throwaway copy; the session's model sees
-                    # only real measurements through tell().
-                    current = copy.deepcopy(model)
+                    # only real measurements through tell().  Models with
+                    # copy-on-write state return a cheap shared-state copy
+                    # here instead of a deep clone.
+                    current = model.fantasy_copy()
                 believed = float(current.predict(C[pick : pick + 1]).mean[0])
                 current.update(C[pick], believed)
         return chosen

@@ -98,6 +98,7 @@ class LearnerConfig:
     max_cost_seconds: Optional[float] = None
     tree_particles: int = 30
     tree_backend: str = "numpy"
+    tree_float_mode: str = "exact"
 
     def __post_init__(self) -> None:
         if self.n_initial < 1:
@@ -118,6 +119,8 @@ class LearnerConfig:
             raise ValueError("tree_particles must be at least 1")
         if self.tree_backend not in BACKENDS:
             raise ValueError(f"tree_backend must be one of {BACKENDS}")
+        if self.tree_float_mode not in ("exact", "fast"):
+            raise ValueError('tree_float_mode must be "exact" or "fast"')
 
     @classmethod
     def paper_scale(cls, **overrides) -> "LearnerConfig":
@@ -206,6 +209,7 @@ class ActiveLearner:
             DynamicTreeConfig(
                 n_particles=self._config.tree_particles,
                 backend=self._config.tree_backend,
+                float_mode=self._config.tree_float_mode,
             ),
             rng=rng,
         )

@@ -591,6 +591,7 @@ class TuningSession:
             DynamicTreeConfig(
                 n_particles=self._config.tree_particles,
                 backend=self._config.tree_backend,
+                float_mode=self._config.tree_float_mode,
             ),
             rng=rng,
         )

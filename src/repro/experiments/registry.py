@@ -59,6 +59,7 @@ from ..core.session import TuningSession
 from ..measurement.broker import ReplayBroker, ReplayTrace
 from ..spapt.suite import get_benchmark
 from .config import ExperimentScale
+from .profiling import profile_unit_call
 
 __all__ = [
     "WorkUnit",
@@ -334,13 +335,19 @@ def _memory_context(
 
 
 def _execute_unit_job(
-    args: Tuple[str, ExperimentScale, dict, Optional[str]]
+    args: Tuple[str, ExperimentScale, dict, Optional[str], Optional[str]]
 ) -> Any:
     """Worker-process entry point for the in-memory pool path."""
-    spec_name, scale, record, replay_trace = args
+    spec_name, scale, record, replay_trace, profile_dir = args
     spec = get_spec(spec_name)
     unit = WorkUnit.from_record(record)
-    return spec.execute_unit(unit, scale, _memory_context(replay_trace, unit, spec))
+    return profile_unit_call(
+        profile_dir,
+        unit.unit_id,
+        lambda: spec.execute_unit(
+            unit, scale, _memory_context(replay_trace, unit, spec)
+        ),
+    )
 
 
 def execute_artifact_units(
@@ -348,6 +355,7 @@ def execute_artifact_units(
     scale: ExperimentScale,
     workers: int = 1,
     replay_trace: Optional[str] = None,
+    profile_dir: Optional[str] = None,
 ) -> List[Tuple[WorkUnit, Any]]:
     """Execute every unit of ``spec`` and return (unit, payload) pairs.
 
@@ -355,19 +363,28 @@ def execute_artifact_units(
     a process pool.  Units are seeded independently of execution order, so
     the pairs are identical either way.  ``replay_trace`` routes learner
     units through a recorded measurement trace (see :class:`UnitContext`).
+    ``profile_dir`` wraps each unit in cProfile and dumps per-unit stats
+    there (see :mod:`repro.experiments.profiling`).
     """
     units = spec.work_units(scale)
     if workers <= 1 or len(units) <= 1:
         return [
             (
                 unit,
-                spec.execute_unit(
-                    unit, scale, _memory_context(replay_trace, unit, spec)
+                profile_unit_call(
+                    profile_dir,
+                    unit.unit_id,
+                    lambda unit=unit: spec.execute_unit(
+                        unit, scale, _memory_context(replay_trace, unit, spec)
+                    ),
                 ),
             )
             for unit in units
         ]
-    jobs = [(spec.name, scale, unit.to_record(), replay_trace) for unit in units]
+    jobs = [
+        (spec.name, scale, unit.to_record(), replay_trace, profile_dir)
+        for unit in units
+    ]
     with ProcessPoolExecutor(max_workers=min(workers, len(units))) as pool:
         payloads = list(pool.map(_execute_unit_job, jobs))
     return list(zip(units, payloads))
@@ -379,6 +396,7 @@ def run_artifacts(
     workers: int = 1,
     on_result: Optional[Callable[[ExperimentSpec, Any], None]] = None,
     replay_trace: Optional[str] = None,
+    profile_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Execute and fold artifacts in dependency order, in memory.
 
@@ -390,12 +408,18 @@ def run_artifacts(
     measurement-trace directory: learner runs replay recorded measurements
     and record whatever they had to measure live, so a second run (or a
     re-scoring of different acquisition arms) profiles only what the trace
-    does not already hold.
+    does not already hold.  ``profile_dir`` turns on per-unit cProfile
+    dumps (the caller is responsible for merging them into a summary, see
+    :func:`repro.experiments.profiling.write_profile_summary`).
     """
     results: Dict[str, Any] = {}
     for spec in resolve_artifacts(artifacts):
         pairs = execute_artifact_units(
-            spec, scale, workers=workers, replay_trace=replay_trace
+            spec,
+            scale,
+            workers=workers,
+            replay_trace=replay_trace,
+            profile_dir=profile_dir,
         )
         deps = {name: results[name] for name in spec.depends_on}
         results[spec.name] = spec.fold(scale, pairs, deps)

@@ -2,7 +2,7 @@
 
 ``python -m repro.experiments.run_all [--scale smoke|laptop|paper]
 [--only table2,figure1,...] [--output FILE] [--workers N]
-[--replay-trace DIR] [--paper-scale-smoke]
+[--replay-trace DIR] [--profile [DIR]] [--paper-scale-smoke]
 [--paper-run --run-dir DIR [--resume]]``
 
 Every artifact — table1, table2, figure1, figure2, figure5, figure6,
@@ -36,6 +36,7 @@ from typing import Callable, List, Optional, Sequence
 
 from .config import ExperimentScale
 from .paper_scale import run_paper_scale_smoke
+from .profiling import write_profile_summary
 from .registry import DEFAULT_ARTIFACTS, run_artifacts, spec_names
 from .runner import run_paper_run
 
@@ -76,6 +77,19 @@ batch-acquisition workflow:
   # diversity-penalty, random}) at smoke scale on the sharded runner:
   python -m repro.experiments.run_all --paper-run --scale smoke \\
       --only batch-acquisition --run-dir /tmp/batch_smoke
+
+profile workflow:
+  # where does a smoke-scale table1 run spend its time?  per-unit cProfile
+  # dumps plus a merged top-25 cumulative summary land in ./profile:
+  python -m repro.experiments.run_all --scale smoke --only table1 --profile
+
+  # same on the sharded backend (profiles merge across workers and hosts
+  # inside the run dir):
+  python -m repro.experiments.run_all --paper-run --scale smoke \\
+      --run-dir /tmp/prof_run --profile
+
+  # drill into one unit interactively:
+  python -m pstats profile/<unit_id>.prof
 
 replay-trace workflow:
   # record every measurement of a table1 run into a trace directory:
@@ -124,6 +138,7 @@ def run_all(
     artifacts: Optional[Sequence[str]] = None,
     section_sink: Optional[Callable[[str, str], None]] = None,
     replay_trace: Optional[str] = None,
+    profile_dir: Optional[str] = None,
 ) -> str:
     """Run the selected artifacts in memory and return the text report.
 
@@ -135,7 +150,9 @@ def run_all(
     serves measurements from a recorded
     :class:`~repro.measurement.broker.ReplayTrace` directory instead of
     live profiling — the re-scoring path for, e.g., running the
-    acquisition ablation over a recorded Table 1 trace.
+    acquisition ablation over a recorded Table 1 trace.  ``profile_dir``
+    wraps every work unit in cProfile, dumps per-unit stats there and
+    merges them into ``profile_dir/profile.txt`` at the end.
     """
     scale = scale if scale is not None else ExperimentScale.laptop()
     selected = list(artifacts) if artifacts is not None else list(DEFAULT_ARTIFACTS)
@@ -163,7 +180,12 @@ def run_all(
         workers=workers,
         on_result=on_result,
         replay_trace=replay_trace,
+        profile_dir=profile_dir,
     )
+    if profile_dir is not None:
+        summary = write_profile_summary(profile_dir)
+        if summary is not None:
+            print(f"profile summary: {summary}", file=sys.stderr, flush=True)
     footer = f"wall time {time.time() - started:.0f}s"
     sections.append(footer)
     if section_sink is not None:
@@ -267,6 +289,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="profile",
+        default=None,
+        metavar="DIR",
+        help=(
+            "wrap every work unit in cProfile; per-unit .prof dumps plus a "
+            "merged top-25 cumulative summary (profile.txt) land in DIR "
+            "(default: ./profile, or <run-dir>/profile with --paper-run, "
+            "where DIR must not be given)"
+        ),
+    )
+    parser.add_argument(
         "--replay-trace",
         default=None,
         metavar="DIR",
@@ -291,6 +326,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--only does not apply to --paper-scale-smoke")
     if args.paper_scale_smoke and args.replay_trace is not None:
         parser.error("--replay-trace does not apply to --paper-scale-smoke")
+    if args.paper_scale_smoke and args.profile is not None:
+        parser.error("--profile does not apply to --paper-scale-smoke")
+    if args.paper_run and args.profile not in (None, "profile"):
+        # The sharded backend keeps profiles inside the run directory so a
+        # multi-host run merges every host's dumps; a custom location would
+        # silently split them.
+        parser.error("--profile takes no DIR with --paper-run "
+                     "(profiles go to <run-dir>/profile)")
     if not args.paper_run:
         # Refuse rather than silently ignore: a user resuming a killed
         # paper run who forgets --paper-run would otherwise get a fresh
@@ -337,6 +380,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             checkpoint_interval=args.checkpoint_interval,
             section_sink=section_sink,
             replay_trace=args.replay_trace,
+            profile=args.profile is not None,
         )
     elif args.paper_scale_smoke:
         report = run_paper_scale_smoke(
@@ -355,6 +399,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             artifacts=artifacts,
             section_sink=section_sink,
             replay_trace=args.replay_trace,
+            profile_dir=args.profile,
         )
     return 0
 

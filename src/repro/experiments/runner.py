@@ -53,6 +53,7 @@ from hashlib import sha256
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .config import ExperimentScale
+from .profiling import profile_unit_call, write_profile_summary
 from .registry import (
     DEFAULT_ARTIFACTS,
     ExperimentSpec,
@@ -393,6 +394,7 @@ def _execute_unit(
     checkpoint_interval: int,
     lease_seconds: float,
     replay_trace: Optional[str] = None,
+    profile_dir: Optional[str] = None,
 ) -> Tuple[str, str]:
     """Claim and run one work unit (worker-process entry point).
 
@@ -424,7 +426,11 @@ def _execute_unit(
             replay_rescore_from=spec.replay_rescore_from,
         )
         with _ClaimHeartbeat(claim_path, lease_seconds):
-            payload = spec.execute_unit(unit, scale, context)
+            payload = profile_unit_call(
+                profile_dir,
+                unit.unit_id,
+                lambda: spec.execute_unit(unit, scale, context),
+            )
         _atomic_write_bytes(
             result_path,
             pickle.dumps(
@@ -469,6 +475,7 @@ class ExperimentRunner:
         claim_lease_seconds: float = 900.0,
         claim_poll_seconds: float = 2.0,
         replay_trace: Optional[str] = None,
+        profile: bool = False,
     ) -> None:
         self.run_dir = pathlib.Path(run_dir)
         self.scale = scale
@@ -484,6 +491,10 @@ class ExperimentRunner:
         self.claim_lease_seconds = claim_lease_seconds
         self.claim_poll_seconds = claim_poll_seconds
         self.replay_trace = replay_trace
+        # Profiles live inside the run dir, next to the results they explain.
+        self.profile_dir: Optional[str] = (
+            str(self.run_dir / "profile") if profile else None
+        )
         # Each host walks the open units in its own deterministic
         # permutation, so peers sharing a run directory spread across the
         # manifest instead of racing claim-by-claim at a common frontier.
@@ -587,6 +598,12 @@ class ExperimentRunner:
             say(f"  artifact {spec.name}: folded ({len(units)} unit(s))")
             if on_result is not None:
                 on_result(spec, results[spec.name])
+        if self.profile_dir is not None:
+            summary = write_profile_summary(self.profile_dir)
+            if summary is not None:
+                say(f"  profile summary: {summary}")
+            else:
+                say("  profile: no units executed on this host, nothing to merge")
         return results
 
     def _execute_artifact(
@@ -696,6 +713,7 @@ class ExperimentRunner:
                     self.checkpoint_interval,
                     self.claim_lease_seconds,
                     self.replay_trace,
+                    self.profile_dir,
                 )
                 if status in ("done", "already"):
                     say(self._status_line(state))
@@ -712,6 +730,7 @@ class ExperimentRunner:
                     self.checkpoint_interval,
                     self.claim_lease_seconds,
                     self.replay_trace,
+                    self.profile_dir,
                 ): unit
                 for unit in pending
             }
@@ -836,6 +855,7 @@ def run_paper_run(
     progress: Optional[Callable[[str], None]] = None,
     section_sink: Optional[Callable[[str, str], None]] = None,
     replay_trace: Optional[str] = None,
+    profile: bool = False,
 ) -> str:
     """Drive registry artifacts through the sharded backend; return the report.
 
@@ -847,7 +867,10 @@ def run_paper_run(
     the full report is returned at the end.  ``replay_trace`` points every
     unit's measurement broker at a recorded
     :class:`~repro.measurement.broker.ReplayTrace` directory, so matching
-    measurements are served from disk instead of re-profiled.
+    measurements are served from disk instead of re-profiled.  ``profile``
+    wraps every unit in cProfile and leaves per-unit dumps plus a merged
+    top-25 summary under ``<run_dir>/profile/`` (see
+    :mod:`repro.experiments.profiling`).
     """
     if repetitions is not None:
         if repetitions < 1:
@@ -860,6 +883,7 @@ def run_paper_run(
         artifacts=selected,
         checkpoint_interval=checkpoint_interval,
         replay_trace=replay_trace,
+        profile=profile,
     )
     say = progress if progress is not None else (
         lambda line: print(line, file=sys.stderr, flush=True)

@@ -12,6 +12,7 @@ training point (needed for the ALC/Cohn acquisition) additionally implement
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
@@ -91,3 +92,14 @@ class SurrogateModel(ABC):
     def predictive_std(self, features: np.ndarray) -> np.ndarray:
         """Convenience wrapper returning the predictive standard deviation."""
         return np.sqrt(np.maximum(self.predict(features).variance, 0.0))
+
+    def fantasy_copy(self) -> "SurrogateModel":
+        """A throwaway copy safe to ``update`` with believed observations.
+
+        Batch acquisition strategies (kriging believer) update a copy of
+        the model with fantasized measurements and must not leak those
+        into the real model.  The default is a full deep copy; models with
+        cheap copy-on-write state (the dynamic tree) override this to
+        avoid cloning their entire training state per batch.
+        """
+        return copy.deepcopy(self)

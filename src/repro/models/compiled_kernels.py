@@ -57,6 +57,7 @@ __all__ = [
     "get_kernels",
     "nig_beta_n",
     "route_all_numpy",
+    "route_update_numpy",
 ]
 
 BACKENDS = ("numpy", "numba", "numba-fast")
@@ -124,6 +125,39 @@ def route_all_numpy(
         still_internal = split_dim[nodes[active]] >= 0
         active = active[still_internal]
     return leaf_slot[nodes]
+
+
+def route_update_numpy(
+    split_dim: np.ndarray,
+    split_value: np.ndarray,
+    left: np.ndarray,
+    right: np.ndarray,
+    leaf_slot: np.ndarray,
+    roots: np.ndarray,
+    x: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`route_all_numpy` plus the update path's structural context.
+
+    Returns ``(leaf_ids, leaf_nodes, parent_nodes, depths)``: the global
+    leaf id and *node* index each particle lands on, the node index of
+    that leaf's parent (``-1`` for root-leaves) and the descent depth.
+    The propagate phase derives the prune sibling and the tree-prior
+    depth terms from these instead of re-walking ``_Node`` objects.
+    """
+    nodes = roots.copy()
+    parents = np.full(roots.shape[0], -1, dtype=np.intp)
+    depths = np.zeros(roots.shape[0], dtype=np.intp)
+    active = np.flatnonzero(split_dim[nodes] >= 0)
+    while active.size:
+        current = nodes[active]
+        dims = split_dim[current]
+        go_left = x[dims] <= split_value[current]
+        parents[active] = current
+        nodes[active] = np.where(go_left, left[current], right[current])
+        depths[active] += 1
+        still_internal = split_dim[nodes[active]] >= 0
+        active = active[still_internal]
+    return leaf_slot[nodes], nodes, parents, depths
 
 
 # ---------------------------------------------------------------- reweight
@@ -271,6 +305,34 @@ if NUMBA_AVAILABLE:  # pragma: no cover - requires the optional extra
             return out
 
         @njit(cache=True)
+        def _route_update_nb(
+            split_dim, split_value, left, right, leaf_slot, roots, x
+        ):
+            count = roots.shape[0]
+            gids = np.empty(count, dtype=np.intp)
+            nodes = np.empty(count, dtype=np.intp)
+            parents = np.empty(count, dtype=np.intp)
+            depths = np.empty(count, dtype=np.intp)
+            for p in range(count):
+                node = roots[p]
+                parent = -1
+                depth = 0
+                dim = split_dim[node]
+                while dim >= 0:
+                    parent = node
+                    if x[dim] <= split_value[node]:
+                        node = left[node]
+                    else:
+                        node = right[node]
+                    depth += 1
+                    dim = split_dim[node]
+                gids[p] = leaf_slot[node]
+                nodes[p] = node
+                parents[p] = parent
+                depths[p] = depth
+            return gids, nodes, parents, depths
+
+        @njit(cache=True)
         def _log_map_nb(values):
             out = np.empty(values.shape[0])
             for i in range(values.shape[0]):
@@ -368,6 +430,7 @@ if NUMBA_AVAILABLE:  # pragma: no cover - requires the optional extra
 
         _NUMBA_KERNELS = {
             "route_all": _route_all_nb,
+            "route_update": _route_update_nb,
             "log_array": _log_map_nb,
             "log1p_array": _log1p_map_nb,
             "reweight_log_weights": _reweight_nb,
@@ -392,6 +455,9 @@ class Kernels(NamedTuple):
     jitted: bool
     exact: bool
     route_all: Callable[..., np.ndarray]
+    route_update: Callable[
+        ..., Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+    ]
     log_array: Callable[[np.ndarray], np.ndarray]
     log1p_array: Callable[[np.ndarray], np.ndarray]
     reweight_log_weights: Callable[..., np.ndarray]
@@ -406,6 +472,7 @@ def _numpy_kernels(backend: str, exact: bool) -> Kernels:
         jitted=False,
         exact=exact,
         route_all=route_all_numpy,
+        route_update=route_update_numpy,
         log_array=log_array,
         log1p_array=log1p_array,
         reweight_log_weights=_make_reweight_numpy(log1p_array),
@@ -420,6 +487,7 @@ def _numba_kernels(backend: str) -> Kernels:  # pragma: no cover - optional extr
         jitted=True,
         exact=True,
         route_all=_NUMBA_KERNELS["route_all"],
+        route_update=_NUMBA_KERNELS["route_update"],
         log_array=_NUMBA_KERNELS["log_array"],
         log1p_array=_NUMBA_KERNELS["log1p_array"],
         reweight_log_weights=_NUMBA_KERNELS["reweight_log_weights"],
@@ -430,25 +498,32 @@ def _numba_kernels(backend: str) -> Kernels:  # pragma: no cover - optional extr
 _KERNEL_CACHE: dict = {}
 
 
-def get_kernels(backend: str) -> Kernels:
+def get_kernels(backend: str, fast: bool = False) -> Kernels:
     """Resolve a ``DynamicTreeConfig.backend`` name to its kernel set.
 
     ``"numba"`` and ``"numba-fast"`` fall back to NumPy implementations
     (exact and fast flavours respectively) when numba is unavailable, so
     the choice is a performance knob, never an import-time requirement.
+
+    ``fast=True`` (``DynamicTreeConfig(float_mode="fast")``) drops the
+    bit-identity contract on the non-jitted kernels: the scalar ``math``
+    transcendental maps are replaced with ``np.log``/``np.log1p``, which
+    round ~1e-4 of inputs differently (tolerance-tested rather than
+    bit-exact).  Jitted kernels already use libm at full speed, so
+    ``fast`` leaves them unchanged.
     """
-    kernels = _KERNEL_CACHE.get(backend)
+    key = (backend, fast)
+    kernels = _KERNEL_CACHE.get(key)
     if kernels is not None:
         return kernels
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
-    if backend == "numpy":
-        kernels = _numpy_kernels(backend, exact=True)
-    elif _NUMBA_KERNELS is not None:  # pragma: no cover - optional extra
+    if _NUMBA_KERNELS is not None and backend != "numpy":  # pragma: no cover
         kernels = _numba_kernels(backend)
     else:
-        kernels = _numpy_kernels(backend, exact=(backend == "numba"))
-    _KERNEL_CACHE[backend] = kernels
+        exact = not fast and backend != "numba-fast"
+        kernels = _numpy_kernels(backend, exact=exact)
+    _KERNEL_CACHE[key] = kernels
     return kernels

@@ -68,8 +68,10 @@ documentation and as the oracle for the equivalence tests.
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
@@ -79,6 +81,7 @@ from .compiled_kernels import BACKENDS, get_kernels, nig_beta_n
 from .flat_tree import FlatForest, FlatTree, IncrementalForest
 from .leaf import (
     GaussianLeafModel,
+    LeafCacheArrays,
     LeafTermTables,
     LMLCache,
     NIGPrior,
@@ -135,6 +138,15 @@ class DynamicTreeConfig:
     falling back to the exact NumPy kernels otherwise) or ``"numba-fast"``
     (tolerance-tested: may differ from the reference in the last ulp of
     the transcendentals, which can fork sampled trajectories).
+
+    ``float_mode`` selects between the bit-exact float contract
+    (``"exact"``, the default: sequential-cumsum reductions and scalar
+    ``math`` transcendental maps, bit-identical to the reference path)
+    and ``"fast"`` (``np.sum``/matmul reductions and numpy SIMD
+    transcendentals where bit-identity is what blocks fusion).  Fast-mode
+    scores can differ from the reference in the last ulp, which may fork
+    sampled trajectories at knife-edge draws; the tolerance suite pins
+    the agreement (see ``docs/architecture.md``).
     """
 
     n_particles: int = 40
@@ -148,6 +160,7 @@ class DynamicTreeConfig:
     vectorized: bool = True
     incremental_forest: bool = True
     backend: str = "numpy"
+    float_mode: str = "exact"
 
     def __post_init__(self) -> None:
         if self.n_particles < 1:
@@ -164,6 +177,8 @@ class DynamicTreeConfig:
             raise ValueError("resample_threshold must be in (0, 1]")
         if self.backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}")
+        if self.float_mode not in ("exact", "fast"):
+            raise ValueError('float_mode must be "exact" or "fast"')
 
     def split_probability(self, depth: int) -> float:
         """CGM tree prior: probability that a node at ``depth`` is split."""
@@ -302,8 +317,32 @@ class _GrowProposal(NamedTuple):
     mask: np.ndarray
 
 
+class _UpdateRouting(NamedTuple):
+    """Per-particle routing context of one update's reweight descent.
+
+    Produced by the ``route_update`` kernel over the (pre-update) forest
+    and threaded from :meth:`DynamicTreeRegressor._resample` into
+    :meth:`DynamicTreeRegressor._propagate_all`, whose gather phase reads
+    each particle's leaf and prune-sibling statistics straight from the
+    forest's packed cache columns instead of re-walking ``_Node``
+    objects.  After a resample the per-particle arrays are permuted to
+    the post-resample particle order; ``forest`` keeps the *pre-resample*
+    segment layout (the global ids index into it correctly either way).
+    """
+
+    forest: FlatForest
+    local_ids: np.ndarray
+    gids: np.ndarray
+    nodes: np.ndarray
+    parents: np.ndarray
+    depths: np.ndarray
+
+
 class DynamicTreeRegressor(SurrogateModel):
     """Particle-learning dynamic tree regression."""
+
+    #: Update phases instrumented by :attr:`phase_timings`.
+    _PHASES = ("reweight", "resample", "propagate-score", "propagate-apply")
 
     def __init__(
         self,
@@ -357,12 +396,65 @@ class DynamicTreeRegressor(SurrogateModel):
         self._replay = ReplayDraws(self._rng)
         self._generator_draws = GeneratorDraws(self._rng)
         self._draws = self._generator_draws
+        # Wall-clock accumulated per batched-update phase (see
+        # ``phase_timings``); plain floats, negligible next to the work
+        # they measure.
+        self._phase_timings = dict.fromkeys(self._PHASES, 0.0)
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Checkpoints written before the cache rows carried sufficient
+        # statistics, or before compilations recorded their leaf-node
+        # mapping, hold flat state the batched gather phase cannot use:
+        # drop it and let the next update recompile lazily.
+        flats = self.__dict__.get("_flat") or []
+        stale = any(
+            flat is not None
+            and (
+                flat.caches.data.shape[1] != LeafCacheArrays.N_COLUMNS
+                or getattr(flat, "leaf_nodes", None) is None
+            )
+            for flat in flats
+        )
+        if stale:
+            self._flat = [None] * len(flats)
+            self._flat_shared = [False] * len(flats)
+            self._forest = None
+            self._forest_cache = None
+            self._forest_stale = {}
+            self._forest_dirty = True
 
     # ----------------------------------------------------------- properties
 
     @property
     def config(self) -> DynamicTreeConfig:
         return self._config
+
+    def _timings(self) -> Dict[str, float]:
+        """The per-phase accumulator (created on demand for old pickles)."""
+        timings = getattr(self, "_phase_timings", None)
+        if timings is None:
+            timings = dict.fromkeys(self._PHASES, 0.0)
+            self._phase_timings = timings
+        return timings
+
+    @property
+    def phase_timings(self) -> Dict[str, float]:
+        """Cumulative wall-clock seconds spent in each batched-update phase.
+
+        Keys: ``"reweight"`` (forest sync + routing + predictive
+        log-weights), ``"resample"`` (ESS decision + systematic
+        permutation), ``"propagate-score"`` (stat gathers, grow-candidate
+        tables, move scoring and the draw inversion) and
+        ``"propagate-apply"`` (tree mutation + flat/forest patches).
+        Only the batched update path records; :meth:`reset_phase_timings`
+        zeroes the counters.
+        """
+        return dict(self._timings())
+
+    def reset_phase_timings(self) -> None:
+        """Zero the :attr:`phase_timings` accumulators."""
+        self._phase_timings = dict.fromkeys(self._PHASES, 0.0)
 
     @property
     def training_size(self) -> int:
@@ -375,6 +467,58 @@ class DynamicTreeRegressor(SurrogateModel):
     def leaf_counts(self) -> List[int]:
         """Number of leaves in each particle (useful for diagnostics/tests)."""
         return [len(root.leaves()) for root in self._particles]
+
+    def fantasy_copy(self) -> "DynamicTreeRegressor":
+        """A cheap copy-on-write copy safe to ``update`` with fantasies.
+
+        Batch acquisition (kriging believer) needs a throwaway model to
+        absorb believed observations.  A deep copy clones every particle
+        tree, compilation and forest — almost all of which the few fantasy
+        updates never touch.  Instead the copy *shares* the particle trees
+        and flat compilations copy-on-write: every node is flagged
+        ``shared`` (the same authoritative invariant a resample
+        establishes) and every compilation marked shared, so whichever
+        model mutates a path or patches a leaf row first clones just that
+        piece.  The training buffers are copied (updates append to them
+        in place), the RNG is deep-copied so fantasy draws do not consume
+        the real model's stream, and the memoized pure caches (LML,
+        count-term tables, depth terms) stay shared — both sides only
+        ever add deterministically recomputable entries.  The copy builds
+        its own incremental forest lazily on first use.
+        """
+        clone = type(self).__new__(type(self))
+        clone._config = self._config
+        clone._rng = copy.deepcopy(self._rng)
+        clone._X = None if self._X is None else self._X.copy()
+        clone._y = None if self._y is None else self._y.copy()
+        clone._n = self._n
+        clone._prior = self._prior
+        clone._lml = self._lml
+        for root in self._particles:
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                node.shared = True
+                if node.left is not None:
+                    stack.append(node.left)
+                    stack.append(node.right)
+        clone._particles = list(self._particles)
+        clone._flat = list(self._flat)
+        count = len(self._flat)
+        self._flat_shared = [True] * count
+        clone._flat_shared = [True] * count
+        clone._forest = None
+        clone._forest_cache = None
+        clone._forest_stale = {}
+        clone._forest_dirty = True
+        clone._depth_cache = self._depth_cache
+        clone._term_tables = getattr(self, "_term_tables", None)
+        clone._depth_arrays = getattr(self, "_depth_arrays", None)
+        clone._replay = ReplayDraws(clone._rng)
+        clone._generator_draws = GeneratorDraws(clone._rng)
+        clone._draws = clone._generator_draws
+        clone._phase_timings = dict.fromkeys(self._PHASES, 0.0)
+        return clone
 
     # ------------------------------------------------------- data management
 
@@ -468,13 +612,13 @@ class DynamicTreeRegressor(SurrogateModel):
         replaying = self._replay.begin(expected_raws)
         self._draws = self._replay if replaying else self._generator_draws
         try:
-            local_leaf_ids: Optional[np.ndarray] = None
+            routing: Optional[_UpdateRouting] = None
             if self._n >= 1:
-                local_leaf_ids = self._resample(x, y)
+                routing = self._resample(x, y)
             index = self._append_observation(x, y)
             self._forest = None
             self._forest_dirty = True
-            self._propagate_all(x, y, index, local_leaf_ids)
+            self._propagate_all(x, y, index, routing)
         finally:
             if replaying:
                 self._replay.end()
@@ -482,10 +626,10 @@ class DynamicTreeRegressor(SurrogateModel):
 
     def _patch_stays(
         self,
-        slots: Sequence[int],
-        local_leaf_ids: Optional[Sequence[int]],
-        x: np.ndarray,
+        slots: np.ndarray,
+        leaf_ids: np.ndarray,
         rows: np.ndarray,
+        forest: FlatForest,
     ) -> None:
         """Apply every stay move's leaf-statistics patch in one pass.
 
@@ -493,35 +637,23 @@ class DynamicTreeRegressor(SurrogateModel):
         ``slots`` — produced by the batched term-table arithmetic, bit-
         identical to what :meth:`~repro.models.leaf.LeafCacheArrays.patch`
         would recompute from each leaf's memoized scalar posterior.  The
-        leaf ids come from the batched pre-resample routing (stay moves do
-        not change structure, so they are still valid); compilations shared
-        copy-on-write after a resample are copied here, just before the
-        first patch would otherwise leak into the sibling particle.
+        per-particle compilations are already privately owned (the apply
+        loop copies any still-shared one before recording its stay), so
+        each patch is a single row assignment.  The same rows are then
+        scattered straight into the live incremental forest's segments:
+        a row whose particle was permuted by the resample (or whose
+        compilation object changed) lands in a segment the next sync
+        rewrites wholesale anyway, and rows in identity-kept segments
+        make them current — so no per-row stale bookkeeping is needed
+        (the ``_forest_stale`` dict remains only for the reference path).
         """
         flats = self._flat
-        shared = self._flat_shared
-        # Stale-row records only matter while a live incremental forest
-        # exists to repair; before the first predict/ALC sync (and during
-        # fit's first update) there is nothing to patch, so skip the
-        # bookkeeping.
-        stale = self._forest_stale if self._forest_cache is not None else None
-        row_values = rows.tolist() if stale is not None else None
-        for j, slot in enumerate(slots):
-            flat = flats[slot]
-            if flat is None:
-                continue
-            if shared[slot]:
-                flat = flat.copy()
-                flats[slot] = flat
-                shared[slot] = False
-            leaf_id = (
-                local_leaf_ids[slot]
-                if local_leaf_ids is not None
-                else flat.route_one(x)
-            )
-            flat.caches.data[leaf_id] = rows[j]
-            if stale is not None:
-                stale[(slot, leaf_id)] = tuple(row_values[j])
+        lids = leaf_ids.tolist()
+        for j, slot in enumerate(slots.tolist()):
+            flats[slot].caches.data[lids[j]] = rows[j]
+        cache = self._forest_cache
+        if cache is not None and forest is cache.forest:
+            forest.caches.data[forest.leaf_offsets[slots] + leaf_ids] = rows
 
     def _update_reference(self, x: np.ndarray, y: float) -> None:
         """Per-particle reference implementation of one SMC update.
@@ -597,10 +729,17 @@ class DynamicTreeRegressor(SurrogateModel):
         X = np.atleast_2d(np.asarray(features, dtype=float))
         count = float(len(self._particles))
         mean, variance = self._ensure_forest().predict_components(X)
-        # cumsum(axis=0)[-1] accumulates over particles in the same sequential
-        # order as the reference loop, keeping the result bit-identical.
-        means = np.cumsum(mean, axis=0)[-1] / count
-        second_moments = np.cumsum(variance + mean * mean, axis=0)[-1]
+        if getattr(self._config, "float_mode", "exact") == "fast":
+            # Pairwise reductions: tolerance-tested against the sequential
+            # accumulation, not bit-identical to it.
+            means = np.add.reduce(mean, axis=0) / count
+            second_moments = np.add.reduce(variance + mean * mean, axis=0)
+        else:
+            # cumsum(axis=0)[-1] accumulates over particles in the same
+            # sequential order as the reference loop, keeping the result
+            # bit-identical.
+            means = np.cumsum(mean, axis=0)[-1] / count
+            second_moments = np.cumsum(variance + mean * mean, axis=0)[-1]
         variances = np.maximum(second_moments / count - means ** 2, 1e-18)
         return Prediction(mean=means, variance=variances)
 
@@ -662,9 +801,14 @@ class DynamicTreeRegressor(SurrogateModel):
         # reference-variance mass of the entire forest.
         reference_leaf_ids = forest.route(R)
         reference_variance = forest.leaf_variance[reference_leaf_ids]
+        fast = getattr(self._config, "float_mode", "exact") == "fast"
         # Sequential (cumsum) accumulation keeps every score bit-identical to
-        # the reference loop; bincount also adds weights in input order.
-        base_total = np.cumsum(reference_variance, axis=1)[:, -1]
+        # the reference loop; bincount also adds weights in input order.  In
+        # fast mode the pairwise np.add.reduce stands in (tolerance-tested).
+        if fast:
+            base_total = np.add.reduce(reference_variance, axis=1)
+        else:
+            base_total = np.cumsum(reference_variance, axis=1)[:, -1]
         variance_by_leaf = np.bincount(
             reference_leaf_ids.ravel(),
             weights=reference_variance.ravel(),
@@ -673,7 +817,11 @@ class DynamicTreeRegressor(SurrogateModel):
         candidate_leaf_ids = forest.route(C)
         shrink = 1.0 / (forest.leaf_count[candidate_leaf_ids] + kappa + 1.0)
         reduction = variance_by_leaf[candidate_leaf_ids] * shrink
-        scores = np.cumsum((base_total[:, None] - reduction) / n_reference, axis=0)[-1]
+        spread = (base_total[:, None] - reduction) / n_reference
+        if fast:
+            scores = np.add.reduce(spread, axis=0)
+        else:
+            scores = np.cumsum(spread, axis=0)[-1]
         return scores / len(self._particles)
 
     def expected_average_variance_reference(
@@ -749,93 +897,100 @@ class DynamicTreeRegressor(SurrogateModel):
         cumulative[-1] = 1.0
         return np.searchsorted(cumulative, positions, side="left").tolist()
 
-    def _resample(self, x: np.ndarray, y: float) -> np.ndarray:
-        """Batched reweight-and-resample; returns per-particle local leaf ids.
+    def _resample(self, x: np.ndarray, y: float) -> _UpdateRouting:
+        """Batched reweight-and-resample; returns the update's routing context.
 
-        With the incremental forest (the default) the reweight is three
-        kernel calls over the live concatenated segment arrays: one
-        all-particles routing descent, one fused gather-and-log-pdf pass
-        over the leaf cache rows, and the offset subtraction that localises
-        the global ids (the forest is synced here, at the *top* of the
-        update, which also keeps it incrementally repaired across
-        back-to-back updates instead of being recompiled per predict).
-        Without it the reweight falls back to per-particle scalar descents
-        over the flat compilations.  Either way the arithmetic is the
-        cached-log-pdf-terms evaluation with scalar-rounded ``log1p``
-        (numpy's rounds differently and the resample decision is sampled
-        from these weights).  When the effective sample size calls for a
-        resample, duplicated particles *share* the original tree and flat
-        compilation copy-on-write instead of deep-copying them.
-
-        The returned array maps each (post-resample) particle to the local
-        leaf id containing ``x`` — a byproduct of the batched routing that
-        the stay-move patch and the grow/prune flat-tree derivations reuse.
+        The reweight is three kernel calls over the concatenated segment
+        arrays: one all-particles ``route_update`` descent — recording
+        each particle's leaf node, parent node and descent depth alongside
+        the leaf id, the structural context the propagate gather phase
+        reads instead of re-walking ``_Node`` objects — one fused
+        gather-and-log-pdf pass over the leaf cache rows, and the offset
+        subtraction that localises the global ids.  With the incremental
+        forest (the default) the forest is synced here, at the *top* of
+        the update, which also keeps it incrementally repaired across
+        back-to-back updates instead of being recompiled per predict;
+        without it the same calls run over a fresh ``from_trees``
+        snapshot.  Either way the arithmetic is the cached-log-pdf-terms
+        evaluation with the backend's ``log1p`` flavour (scalar-rounded
+        in exact mode — numpy's rounds differently and the resample
+        decision is sampled from these weights).  When the effective
+        sample size calls for a resample, duplicated particles *share*
+        the original tree and flat compilation copy-on-write instead of
+        deep-copying them, and the routing arrays are permuted to the
+        post-resample particle order.
         """
+        timings = self._timings()
+        tic = perf_counter()
         particles = self._particles
-        flats = self._flat
         count = len(particles)
-        if self._config.incremental_forest:
-            kernels = get_kernels(getattr(self._config, "backend", "numpy"))
-            forest = self._ensure_forest()
-            global_ids = kernels.route_all(
-                forest.split_dim,
-                forest.split_value,
-                forest.left,
-                forest.right,
-                forest.leaf_slot,
-                forest.roots,
-                x,
-            )
-            log_weights = kernels.reweight_log_weights(
-                forest.caches.data, global_ids, y
-            )
-            local_ids = global_ids - forest.leaf_offsets
-        else:
-            log_weights = np.empty(count)
-            local_ids = np.empty(count, dtype=np.intp)
-            x_list = x.tolist()
-            log1p = math.log1p
-            for i in range(count):
-                flat = flats[i]
-                if flat is None:
-                    flat = FlatTree.compile(particles[i])
-                    flats[i] = flat
-                leaf_id = flat.route_one(x_list)
-                mean, scale, coef, const = flat.caches.logpdf_row(leaf_id)
-                z_sq = (y - mean) ** 2 / scale
-                log_weights[i] = const - coef * log1p(z_sq)
-                local_ids[i] = leaf_id
+        config = self._config
+        kernels = get_kernels(
+            getattr(config, "backend", "numpy"),
+            getattr(config, "float_mode", "exact") == "fast",
+        )
+        forest = self._ensure_forest()
+        gids, nodes, parents, depths = kernels.route_update(
+            forest.split_dim,
+            forest.split_value,
+            forest.left,
+            forest.right,
+            forest.leaf_slot,
+            forest.roots,
+            x,
+        )
+        log_weights = kernels.reweight_log_weights(forest.caches.data, gids, y)
+        local_ids = gids - forest.leaf_offsets
+        routing = _UpdateRouting(forest, local_ids, gids, nodes, parents, depths)
+        toc = perf_counter()
+        timings["reweight"] += toc - tic
+        tic = toc
         log_weights -= log_weights.max()
         weights = np.exp(log_weights)
         total = weights.sum()
         if total <= 0 or not np.isfinite(total):
-            return local_ids
+            timings["resample"] += perf_counter() - tic
+            return routing
         weights /= total
         effective = 1.0 / float(np.sum(weights ** 2))
-        if effective >= self._config.resample_threshold * count:
-            return local_ids
+        if effective >= config.resample_threshold * count:
+            timings["resample"] += perf_counter() - tic
+            return routing
         chosen_indices = self._systematic_indices(weights, self._draws.random())
-        occurrences: Dict[int, int] = {}
-        for j in chosen_indices:
-            occurrences[j] = occurrences.get(j, 0) + 1
-        new_particles: List[_Node] = []
-        new_flat: List[Optional[FlatTree]] = []
-        new_shared: List[bool] = []
-        for j in chosen_indices:
-            root = self._particles[j]
-            duplicated = occurrences[j] > 1
-            if duplicated:
-                # Copy-on-write: every occurrence shares the tree and its
-                # compilation; the first move that mutates either clones
-                # just what it touches.
-                root.shared = True
-            new_particles.append(root)
-            new_flat.append(self._flat[j])
-            new_shared.append(self._flat_shared[j] or duplicated)
-        self._particles = new_particles
-        self._flat = new_flat
-        self._flat_shared = new_shared
-        return local_ids[np.asarray(chosen_indices, dtype=np.intp)]
+        chosen = np.asarray(chosen_indices, dtype=np.intp)
+        occurrences = np.bincount(chosen, minlength=count)
+        duplicated = occurrences > 1
+        for j in np.flatnonzero(duplicated).tolist():
+            # Copy-on-write: every occurrence shares the tree and its
+            # compilation; the first move that mutates either clones just
+            # what it touches.  The *whole* tree is flagged, not just the
+            # root, so ``shared`` stays authoritative — a False flag
+            # guarantees single ownership, which is what lets the apply
+            # phase mutate leaves straight out of the compilation's leaf
+            # map without re-walking the tree (``clone_shallow`` upholds
+            # the invariant when it hands its children a second owner).
+            stack = [particles[j]]
+            while stack:
+                node = stack.pop()
+                node.shared = True
+                if node.left is not None:
+                    stack.append(node.left)
+                    stack.append(node.right)
+        flats = self._flat
+        shared = np.fromiter(self._flat_shared, dtype=bool, count=count)
+        self._particles = [particles[j] for j in chosen_indices]
+        self._flat = [flats[j] for j in chosen_indices]
+        self._flat_shared = (shared[chosen] | duplicated[chosen]).tolist()
+        routing = _UpdateRouting(
+            forest,
+            local_ids[chosen],
+            gids[chosen],
+            nodes[chosen],
+            parents[chosen],
+            depths[chosen],
+        )
+        timings["resample"] += perf_counter() - tic
+        return routing
 
     def _resample_reference(self, x: np.ndarray, y: float) -> None:
         """Per-particle reference reweight/resample (eager tree copies)."""
@@ -866,7 +1021,12 @@ class DynamicTreeRegressor(SurrogateModel):
                 used_original.add(j)
             else:
                 new_particles.append(self._particles[j].copy())
-                new_flat.append(flat.copy() if flat is not None else None)
+                copied = flat.copy() if flat is not None else None
+                if copied is not None:
+                    # The eager tree copy made fresh ``_Node`` objects the
+                    # compilation's leaf map knows nothing about.
+                    copied.leaf_nodes = None
+                new_flat.append(copied)
         self._particles = new_particles
         self._flat = new_flat
         self._flat_shared = [False] * len(new_particles)
@@ -952,45 +1112,34 @@ class DynamicTreeRegressor(SurrogateModel):
             node = child
         return node, parent, root
 
-    def _locate(self, root: _Node, x: np.ndarray) -> Tuple[_Node, Optional[_Node], bool]:
-        """Read-only descent: ``(leaf, parent, any shared node on the path)``.
-
-        The scoring phase never mutates, so it can walk shared trees as-is;
-        the returned flag tells the apply phase whether it must re-descend
-        with copy-on-write cloning before mutating.
-        """
-        shared = root.shared
-        parent: Optional[_Node] = None
-        node = root
-        while not node.is_leaf:
-            parent = node
-            assert node.left is not None and node.right is not None
-            node = node.left if x[node.split_dim] <= node.split_value else node.right
-            shared = shared or node.shared
-        return node, parent, shared
-
     def _propagate_all(
         self,
         x: np.ndarray,
         y: float,
         index: int,
-        local_leaf_ids: Optional[np.ndarray],
+        routing: Optional[_UpdateRouting],
     ) -> None:
         """Propagate every particle through one stay/grow/prune move.
 
         Three phases, all bit-identical to running :meth:`_propagate` per
         particle:
 
-        1. **score** — read-only descents locate each particle's leaf; a
-           thin gather loop collects per-leaf sufficient statistics and the
-           grow proposals' RNG draws run in exactly the reference order
-           (the replayed stream makes the draw *values* independent of when
-           they are interpreted); the stay/prune scores are then one
-           vectorized pass over :class:`~repro.models.leaf.LeafTermTables`
-           gathers, dispatched through the configured
-           :mod:`~repro.models.compiled_kernels` backend.  Scoring reads
-           only pre-update state, so particles sharing copy-on-write
-           subtrees see identical values to the reference's private copies.
+        1. **score** — the leaf, sibling and depth context comes from the
+           reweight's ``route_update`` descent (see :class:`_UpdateRouting`):
+           leaf and prune-sibling sufficient statistics are fused array
+           gathers over the forest's packed cache columns, the prune
+           siblings and tree-prior depth terms follow from the recorded
+           parent nodes, and the only remaining per-particle loop collects
+           each leaf's training-row indices through the compilations'
+           ``leaf_nodes`` maps.  The grow proposals' RNG draws run in
+           exactly the reference order (the replayed stream makes the draw
+           *values* independent of when they are interpreted); the
+           stay/prune scores are then one vectorized pass over
+           :class:`~repro.models.leaf.LeafTermTables` gathers, dispatched
+           through the configured :mod:`~repro.models.compiled_kernels`
+           backend.  Scoring reads only pre-update state, so particles
+           sharing copy-on-write subtrees see identical values to the
+           reference's private copies.
         2. **batch** — every particle's candidate splits are scored
            together: padded ``(n_particles, max_leaf_size, …)`` arrays
            carry one fused masked sequential-cumsum for all partition sums,
@@ -1001,75 +1150,82 @@ class DynamicTreeRegressor(SurrogateModel):
            features (never selected by a mask) and ``0.0`` targets (exact
            no-ops in the sequential sums), so the batch reproduces each
            particle's reference arithmetic bit-for-bit.
-        3. **apply** — moves mutate the trees (cloning shared path nodes
-           first); grow/prune moves splice the particle's flat compilation
-           in place (:meth:`FlatTree.grow_at` / :meth:`FlatTree.prune_at`)
+        3. **apply** — moves mutate the trees through one copy-on-write
+           descent per particle (a pure pointer walk on private paths);
+           grow/prune moves splice the particle's flat compilation in
+           place (:meth:`FlatTree.grow_at` / :meth:`FlatTree.prune_at`)
            instead of invalidating it, and the stay moves land on the flat
            compilations as one batched leaf-statistics patch.
         """
         assert self._prior is not None and self._lml is not None
         assert self._X is not None and self._y is not None
+        timings = self._timings()
+        tic = perf_counter()
         particles = self._particles
         count = len(particles)
         config = self._config
         min_leaf = config.min_leaf
         n_candidates = config.n_split_candidates
+        fast = getattr(config, "float_mode", "exact") == "fast"
         dims = x.shape[0]
         neg_inf = -math.inf
+        flats = self._flat
 
-        # ------------------- phase 1a: locate + scalar state gathers
-        # One pass per particle: the read-only descent to the leaf holding
-        # ``x``, plus every scalar the vectorized phases need — leaf sizes
-        # and training-row indices (for the padded tables), leaf and
-        # sibling sufficient statistics and the memoized sibling marginal
-        # likelihood (for the stay/prune score kernels).
-        locate = self._locate
-        leaves: List[_Node] = []
-        parents: List[Optional[_Node]] = []
-        path_shared: List[bool] = []
-        sizes_list: List[int] = []
+        # --------------------- phase 1a: routed state gathers
+        # Leaf sufficient statistics, descent depths, prune siblings and
+        # the memoized sibling marginal likelihoods all come from the
+        # reweight routing as fused gathers over the forest's packed
+        # cache columns (the forest was synced at the top of the update,
+        # so every row is pre-update truth).  The per-particle loop that
+        # remains only collects each leaf's training-row index list.
         all_rows: List[int] = []
         extend_rows = all_rows.extend
-        leaf_ns: List[int] = []
-        leaf_totals: List[float] = []
-        leaf_sqs: List[float] = []
-        leaf_depths: List[int] = []
-        prunable_list: List[bool] = []
-        sib_ns: List[int] = []
-        sib_totals: List[float] = []
-        sib_sqs: List[float] = []
-        sib_lmls: List[float] = []
-        for i in range(count):
-            leaf, parent, shared = locate(particles[i], x)
-            leaves.append(leaf)
-            parents.append(parent)
-            path_shared.append(shared)
-            leaf_indices = leaf.indices
-            sizes_list.append(len(leaf_indices))
-            extend_rows(leaf_indices)
-            leaf_model = leaf.leaf
-            assert leaf_model is not None
-            n, total, total_sq = leaf_model.sufficient_stats()
-            leaf_ns.append(n)
-            leaf_totals.append(total)
-            leaf_sqs.append(total_sq)
-            leaf_depths.append(leaf.depth)
-            sibling = None
-            if parent is not None:
-                sibling = parent.right if parent.left is leaf else parent.left
-            if sibling is not None and sibling.leaf is not None:
-                ns, sib_total, sib_total_sq = sibling.leaf.sufficient_stats()
-                prunable_list.append(True)
-                sib_ns.append(ns)
-                sib_totals.append(sib_total)
-                sib_sqs.append(sib_total_sq)
-                sib_lmls.append(sibling.leaf.log_marginal_likelihood())
-            else:
-                prunable_list.append(False)
-                sib_ns.append(0)
-                sib_totals.append(0.0)
-                sib_sqs.append(0.0)
-                sib_lmls.append(0.0)
+        if routing is None:
+            # First update (``fit`` reset the model): every particle is a
+            # single-leaf root holding no observations, so the structural
+            # context is trivial and there are no indices to gather.
+            leaf_ns = np.zeros(count, dtype=np.intp)
+            leaf_totals = np.zeros(count)
+            leaf_sqs = np.zeros(count)
+            depths_arr = np.zeros(count, dtype=np.intp)
+            prunable = np.zeros(count, dtype=bool)
+            pr = np.flatnonzero(prunable)
+            sib_ns_pr = np.empty(0, dtype=np.intp)
+            sib_totals_pr = np.empty(0)
+            sib_sqs_pr = np.empty(0)
+            sib_lmls_pr = np.empty(0)
+            ids_list: Optional[List[int]] = None
+        else:
+            forest = routing.forest
+            data = forest.caches.data
+            leaf_rows = data[routing.gids]
+            leaf_ns = leaf_rows[:, LeafCacheArrays.COUNT].astype(np.intp)
+            leaf_totals = leaf_rows[:, LeafCacheArrays.SUM]
+            leaf_sqs = leaf_rows[:, LeafCacheArrays.SUM_SQ]
+            depths_arr = routing.depths
+            parents_arr = routing.parents
+            # The prune sibling is the parent's *other* child; a particle
+            # is prunable when it has a parent and that sibling is a leaf.
+            # Root-leaves carry parent ``-1`` — the in-bounds negative
+            # index reads garbage that the ``parents >= 0`` guard masks.
+            left_of_parent = forest.left[parents_arr]
+            sib_nodes = np.where(
+                left_of_parent == routing.nodes,
+                forest.right[parents_arr],
+                left_of_parent,
+            )
+            prunable = (parents_arr >= 0) & (forest.split_dim[sib_nodes] == -1)
+            pr = np.flatnonzero(prunable)
+            sib_rows = data[forest.leaf_slot[sib_nodes[pr]]]
+            sib_ns_pr = sib_rows[:, LeafCacheArrays.COUNT].astype(np.intp)
+            sib_totals_pr = sib_rows[:, LeafCacheArrays.SUM]
+            sib_sqs_pr = sib_rows[:, LeafCacheArrays.SUM_SQ]
+            sib_lmls_pr = sib_rows[:, LeafCacheArrays.LML]
+            ids_list = routing.local_ids.tolist()
+            for i in range(count):
+                nodes_map = flats[i].leaf_nodes
+                extend_rows(nodes_map[ids_list[i]].indices)
+        sizes_list = leaf_ns.tolist()
 
         # ------------------------- phase 1b: batched grow-proposal tables
         # Pad every leaf's observations (plus the incoming point in the
@@ -1081,20 +1237,23 @@ class DynamicTreeRegressor(SurrogateModel):
         # layout, so bit-identity is untouched (padding features are +inf
         # so no threshold ever selects them; padding targets are 0.0, an
         # exact no-op for the sequential sums).
-        sizes = np.asarray(sizes_list, dtype=np.intp)
+        sizes = leaf_ns
         n_points_arr = sizes + 1
         n_max = int(sizes.max()) + 1
         starts = np.cumsum(sizes) - sizes
         rows_arr = np.asarray(all_rows, dtype=np.intp)
         order = np.argsort(sizes, kind="stable")
         n_buckets = 4 if count >= 256 else 1
-        unique_values = np.empty((count, n_max, dims))
         n_unique_arr = np.empty((count, dims), dtype=np.int32)
+        bucket_of = np.empty(count, dtype=np.intp)
+        bucket_pos = np.empty(count, dtype=np.intp)
         buckets = []
         for bidx in np.array_split(order, n_buckets):
             nb = bidx.shape[0]
             if nb == 0:
                 continue
+            bucket_of[bidx] = len(buckets)
+            bucket_pos[bidx] = np.arange(nb, dtype=np.intp)
             sizes_b = sizes[bidx]
             n_max_b = int(sizes_b.max()) + 1
             padded_features = np.full((nb, n_max_b, dims), np.inf)
@@ -1110,7 +1269,6 @@ class DynamicTreeRegressor(SurrogateModel):
             local = np.arange(nb, dtype=np.intp)
             padded_features[local, sizes_b] = x
             padded_targets[local, sizes_b] = y
-            buckets.append((bidx, padded_features, padded_targets, n_max_b))
             # Batched unique scan (sort + first-of-run flags, the lean
             # equivalent of per-candidate np.unique): ``n_unique[p, d]``
             # bounds the cut draw, and ``unique_values[p, j, d]`` is the
@@ -1124,20 +1282,29 @@ class DynamicTreeRegressor(SurrogateModel):
             )
             keep &= np.arange(n_max_b)[None, :, None] < (sizes_b + 1)[:, None, None]
             rank = keep.cumsum(axis=1, dtype=np.int32)
-            n_unique_arr[bidx] = rank[:, -1, :]
-            # Compact first-of-run values to the front of each column with
-            # flat indexing: a kept element at flat position ``q`` (row
-            # ``j`` of its column) moves to row ``rank - 1``, i.e. flat
-            # position ``q + dims * (rank - 1 - j)`` — one flatnonzero and
-            # two flat gathers instead of three-array ``np.nonzero``
-            # coordinate math.
-            flat_keep = np.flatnonzero(keep.reshape(-1))
-            rows_of = (flat_keep // dims) % n_max_b
-            dest = flat_keep + dims * (rank.reshape(-1)[flat_keep] - 1 - rows_of)
-            compacted = np.empty_like(sorted_columns)
-            compacted.reshape(-1)[dest] = sorted_columns.reshape(-1)[flat_keep]
-            unique_values[bidx, :n_max_b, :] = compacted
-            del sorted_columns, keep, rank, flat_keep, rows_of, dest, compacted
+            n_uni_b = rank[:, -1, :]
+            n_unique_arr[bidx] = n_uni_b
+            # ``n_unique <= size + 1`` columnwise, so sum equality means
+            # every column is already duplicate-free — then the sorted
+            # block *is* the compacted table (real rows sort ahead of the
+            # +inf padding), the common case for continuous features.
+            if int(n_uni_b.sum()) == int((sizes_b + 1).sum()) * dims:
+                compacted = sorted_columns
+            else:
+                # Compact first-of-run values to the front of each column
+                # with flat indexing: a kept element at flat position
+                # ``q`` (row ``j`` of its column) moves to row
+                # ``rank - 1``, i.e. flat position
+                # ``q + dims * (rank - 1 - j)`` — one flatnonzero and two
+                # flat gathers instead of three-array ``np.nonzero``
+                # coordinate math.
+                flat_keep = np.flatnonzero(keep.reshape(-1))
+                rows_of = (flat_keep // dims) % n_max_b
+                dest = flat_keep + dims * (rank.reshape(-1)[flat_keep] - 1 - rows_of)
+                compacted = np.empty_like(sorted_columns)
+                compacted.reshape(-1)[dest] = sorted_columns.reshape(-1)[flat_keep]
+            buckets.append((bidx, padded_features, padded_targets, n_max_b, compacted))
+            del sorted_columns, keep, rank
 
         # ---------------------- phase 1c: sequential candidate draws
         # The RNG stream must be consumed in exactly the reference
@@ -1184,19 +1351,16 @@ class DynamicTreeRegressor(SurrogateModel):
         # arithmetic elementwise — the expression grouping and the scalar-
         # rounded log map keep every score bit-identical to the LMLCache
         # evaluation the reference path performs.
-        kernels = get_kernels(getattr(config, "backend", "numpy"))
+        kernels = get_kernels(getattr(config, "backend", "numpy"), fast)
         tables = self._leaf_term_tables()
         prior = self._prior
         prior_beta = prior.beta
         prior_kappa = prior.kappa
         prior_mean = prior.mean
-        counts_stay = np.asarray(leaf_ns, dtype=np.intp) + 1
-        totals_stay = np.asarray(leaf_totals) + y
-        sqs_stay = np.asarray(leaf_sqs) + y * y
-        depths_arr = np.asarray(leaf_depths, dtype=np.intp)
-        prunable = np.asarray(prunable_list, dtype=bool)
-        pr = np.flatnonzero(prunable)
-        counts_prune = counts_stay[pr] + np.asarray(sib_ns, dtype=np.intp)[pr]
+        counts_stay = leaf_ns + 1
+        totals_stay = leaf_totals + y
+        sqs_stay = leaf_sqs + y * y
+        counts_prune = counts_stay[pr] + sib_ns_pr
         max_count = int(counts_stay.max())
         if pr.size:
             max_count = max(max_count, int(counts_prune.max()))
@@ -1225,14 +1389,14 @@ class DynamicTreeRegressor(SurrogateModel):
             log_p_parent = parent_rows[:, 2]
             # The sibling sits at the leaf's own depth (they share a parent).
             log1m_sibling = log1m_here[pr]
-            common_vals = (log_p_parent + log1m_sibling) + np.asarray(sib_lmls)[pr]
+            common_vals = (log_p_parent + log1m_sibling) + sib_lmls_pr
             commons[pr] = common_vals
             kappa_prune = tables.kappa_n[counts_prune]
             alpha_prune = tables.alpha_n[counts_prune]
             beta_prune = nig_beta_n(
                 counts_prune,
-                totals_stay[pr] + np.asarray(sib_totals)[pr],
-                sqs_stay[pr] + np.asarray(sib_sqs)[pr],
+                totals_stay[pr] + sib_totals_pr,
+                sqs_stay[pr] + sib_sqs_pr,
                 kappa_prune,
                 prior_beta,
                 prior_kappa,
@@ -1253,31 +1417,47 @@ class DynamicTreeRegressor(SurrogateModel):
             cs = np.asarray(cand_slot, dtype=np.intp)
             cd = np.asarray(cand_dim, dtype=np.intp)
             cc = np.asarray(cand_cut, dtype=np.intp)
-            low = unique_values[cp, cc, cd]
-            high = unique_values[cp, cc + 1, cd]
+            # The drawn cut values live in the per-bucket compacted unique
+            # tables; one masked gather per bucket reads the ~K entries
+            # each particle needs without materialising (and scattering
+            # into) a global ``(count, n_max, dims)`` table.
+            low = np.empty(cp.shape[0])
+            high = np.empty(cp.shape[0])
+            cand_bucket = bucket_of[cp]
+            cand_pos = bucket_pos[cp]
+            for b, (_, _, _, _, compacted) in enumerate(buckets):
+                sel = np.flatnonzero(cand_bucket == b)
+                if sel.size:
+                    pos_s = cand_pos[sel]
+                    cd_s = cd[sel]
+                    cc_s = cc[sel]
+                    low[sel] = compacted[pos_s, cc_s, cd_s]
+                    high[sel] = compacted[pos_s, cc_s + 1, cd_s]
             thresholds[cp, cs] = 0.5 * (low + high)
             dim_matrix[cp, cs] = cd
-        del unique_values
         two_k = 2 * n_candidates
         masks = np.empty((count, n_max, n_candidates), dtype=bool)
         sums = np.empty((count, 2, two_k))
         n_left_matrix = np.empty((count, n_candidates), dtype=np.intp)
-        for bidx, padded_features, padded_targets, n_max_b in buckets:
+        for bidx, padded_features, padded_targets, n_max_b, _ in buckets:
             nb = bidx.shape[0]
-            targets_sq = padded_targets * padded_targets
             thresholds_b = thresholds[bidx]
             dims_b = dim_matrix[bidx]
             masks_b = np.empty((nb, n_max_b, n_candidates), dtype=bool)
             sums_b = np.empty((nb, 2, two_k))
-            # The masked sums materialise one (chunk, n_max_b, 2k) product
-            # at a time (reused for both moments); chunking bounds that
-            # scratch at ~32 MB however many particles are in flight.
+            # The masked sums contract the (chunk, n_max_b, k) side masks
+            # against the target rows in one einsum pass per side/moment;
+            # chunking bounds the boolean right-side scratch.
             chunk = max(1, 4_000_000 // (n_max_b * two_k))
             flat_features = padded_features.reshape(-1)
             row_offsets = (np.arange(n_max_b, dtype=np.intp) * dims)[None, :, None]
+            targets_sq = padded_targets * padded_targets
+            width = min(chunk, nb)
+            inv = np.empty((width, n_max_b, n_candidates), dtype=bool)
             for start in range(0, nb, chunk):
                 stop = min(start + chunk, nb)
                 window = slice(start, stop)
+                w = stop - start
                 # One flat gather for the candidate columns (notably faster
                 # than take_along_axis's generic inner loop at this shape).
                 flat_idx = (
@@ -1287,23 +1467,37 @@ class DynamicTreeRegressor(SurrogateModel):
                     + dims_b[window][:, None, :]
                 )
                 columns = flat_features[flat_idx]
+                left_block = masks_b[window]
                 np.less_equal(
-                    columns, thresholds_b[window][:, None, :], out=masks_b[window]
+                    columns, thresholds_b[window][:, None, :], out=left_block
                 )
-                block = masks_b[window]
-                sides = np.concatenate([block, ~block], axis=2)
-                prod = np.empty(sides.shape)
-                # np.add.reduce over a non-final axis accumulates slice-by-
-                # slice in index order whenever the trailing contiguous
-                # block has >= 2 elements (pairwise reordering only applies
-                # to the degenerate contiguous-1-D case), so this is bit-
-                # identical to ``cumsum(axis=1)[:, -1]`` over each
-                # compressed side (padding contributes exact ``0.0``
-                # no-ops).
-                np.multiply(padded_targets[window][:, :, None], sides, out=prod)
-                np.add.reduce(prod, axis=1, out=sums_b[window, 0])
-                np.multiply(targets_sq[window][:, :, None], sides, out=prod)
-                np.add.reduce(prod, axis=1, out=sums_b[window, 1])
+                inv_w = inv[:w]
+                np.logical_not(left_block, out=inv_w)
+                targets_w = padded_targets[window]
+                targets_sq_w = targets_sq[window]
+                # np.einsum's unoptimized path accumulates the contracted
+                # axis strictly in index order (no pairwise or SIMD
+                # partial sums), so each fused mask-product-and-sum below
+                # is bit-identical to ``cumsum`` over the compressed side
+                # (padding rows contribute exact ``0.0`` no-ops) — pinned
+                # by the equivalence suite.
+                sums_row = sums_b[window]
+                np.einsum(
+                    "pnk,pn->pk", left_block, targets_w,
+                    out=sums_row[:, 0, :n_candidates],
+                )
+                np.einsum(
+                    "pnk,pn->pk", inv_w, targets_w,
+                    out=sums_row[:, 0, n_candidates:],
+                )
+                np.einsum(
+                    "pnk,pn->pk", left_block, targets_sq_w,
+                    out=sums_row[:, 1, :n_candidates],
+                )
+                np.einsum(
+                    "pnk,pn->pk", inv_w, targets_sq_w,
+                    out=sums_row[:, 1, n_candidates:],
+                )
             masks[bidx, :n_max_b, :] = masks_b
             sums[bidx] = sums_b
             n_left_matrix[bidx] = masks_b.sum(axis=1)
@@ -1359,28 +1553,62 @@ class DynamicTreeRegressor(SurrogateModel):
         cdf /= cdf[:, -1:]
         moves = (cdf <= uniforms[:, None]).sum(axis=1).tolist()
 
+        toc = perf_counter()
+        timings["propagate-score"] += toc - tic
+        tic = toc
+
         # ---------------------------------------------- phase 3: apply
-        # Grow/prune moves additionally *derive* the particle's updated
-        # flat compilation from the old one (one splice per structural
-        # move) instead of invalidating it, so steady-state updates never
-        # re-enter FlatTree.compile.
+        # Stay and grow moves mutate the leaf named by the compilation's
+        # leaf map directly whenever its ``shared`` flag is clear (the
+        # flag is authoritative: resample flags whole duplicated trees),
+        # so in the common steady state no tree is walked at all.  Shared
+        # leaves and every prune go through ``_descend_cow`` — a pure
+        # pointer walk on privately owned paths, shared-node cloning
+        # otherwise.  Grow/prune moves additionally *derive* the
+        # particle's updated flat compilation from the old one (one
+        # splice per structural move) instead of invalidating it, so
+        # steady-state updates never re-enter FlatTree.compile.
         stay_slots: List[int] = []
-        flats = self._flat
         flat_shared = self._flat_shared
         best_slot_list = best_slot.tolist()
         best_left_list = best_left.tolist()
         best_right_list = best_right.tolist()
-        has_ids = local_leaf_ids is not None
-        ids_list = local_leaf_ids.tolist() if has_ids else None
+        prunable_list = prunable.tolist()
+        has_ids = ids_list is not None
+        descend_cow = self._descend_cow
         for i in range(count):
             move = moves[i]
-            if path_shared[i]:
-                leaf, parent, root = self._descend_cow(particles[i], x)
+            if move == 2 and prunable_list[i]:
+                # Prune needs the parent (and must own the path to it),
+                # so it always takes the full copy-on-write walk.
+                leaf, parent, root = descend_cow(particles[i], x)
                 particles[i] = root
+                is_left = parent.left is leaf
+                sibling = parent.right if is_left else parent.left
+                assert sibling is not None
+                old_flat = flats[i]
+                self._apply_prune(root, parent, leaf, sibling, x, y, index)
+                if old_flat is not None and has_ids:
+                    lid = ids_list[i]
+                    flats[i] = old_flat.prune_at(lid if is_left else lid - 1, parent)
+                else:
+                    flats[i] = None
+                flat_shared[i] = False
+                continue
+            # Stay and grow only mutate the leaf itself.  The compilation's
+            # leaf map already names it, and an unshared flag is
+            # authoritative (resample flags whole duplicated trees), so a
+            # private leaf can be mutated in place with no tree walk at
+            # all; a shared flag falls back to the path-cloning descent.
+            flat = flats[i] if has_ids else None
+            if flat is not None:
+                leaf = flat.leaf_nodes[ids_list[i]]
+                if leaf.shared:
+                    leaf, _, root = descend_cow(particles[i], x)
+                    particles[i] = root
             else:
-                leaf = leaves[i]
-                parent = parents[i]
-                root = particles[i]
+                leaf, _, root = descend_cow(particles[i], x)
+                particles[i] = root
             c = best_slot_list[i]
             if move == 1 and c >= 0:
                 n_points = sizes_list[i] + 1
@@ -1409,31 +1637,31 @@ class DynamicTreeRegressor(SurrogateModel):
                 else:
                     flats[i] = None
                 flat_shared[i] = False
-            elif move == 2 and prunable_list[i]:
-                assert parent is not None
-                is_left = parent.left is leaf
-                sibling = parent.right if is_left else parent.left
-                assert sibling is not None
-                old_flat = flats[i]
-                self._apply_prune(root, parent, leaf, sibling, x, y, index)
-                if old_flat is not None and has_ids:
-                    lid = ids_list[i]
-                    flats[i] = old_flat.prune_at(
-                        lid if is_left else lid - 1, parent.leaf
-                    )
-                else:
-                    flats[i] = None
-                flat_shared[i] = False
             else:
                 assert leaf.leaf is not None
                 leaf.leaf.add(y)
                 leaf.indices.append(index)
-                stay_slots.append(i)
+                flat = flats[i]
+                if flat is not None:
+                    if flat_shared[i]:
+                        # Copy-on-write: the compilation is still shared
+                        # with a resample sibling; copy it before the
+                        # batched patch lands.
+                        flat = flat.copy()
+                        flats[i] = flat
+                        flat_shared[i] = False
+                    # The COW walk may have replaced the leaf object; keep
+                    # the compilation's leaf map pointing at the live node.
+                    flat.leaf_nodes[ids_list[i]] = leaf
+                    stay_slots.append(i)
         if stay_slots:
             # Batched leaf-cache rows for every stay move: the posterior
             # row entries are the same table gathers + elementwise
             # arithmetic (same grouping, scalar-rounded logs) as
-            # GaussianLeafModel.predictive_logpdf_terms.
+            # GaussianLeafModel.predictive_logpdf_terms — including the
+            # sufficient-statistics and marginal-likelihood columns the
+            # next update's gather phase reads back.
+            assert routing is not None
             stays = np.asarray(stay_slots, dtype=np.intp)
             counts_s = counts_stay[stays]
             kappa_s = kappa_stay[stays]
@@ -1443,16 +1671,22 @@ class DynamicTreeRegressor(SurrogateModel):
             mean_s = (pk_pm + totals_stay[stays]) / kappa_s
             scale_s = (beta_s * (kappa_s + 1.0)) / (alpha_s * kappa_s)
             dof_s = tables.dof[counts_s]
-            rows = np.empty((stays.size, 6))
-            rows[:, 0] = mean_s
-            rows[:, 1] = (scale_s * dof_s) / (dof_s - 2.0)
-            rows[:, 2] = counts_s
-            rows[:, 3] = dof_s * scale_s
-            rows[:, 4] = tables.coef[counts_s]
-            rows[:, 5] = tables.lgamma_part[counts_s] - 0.5 * kernels.log_array(
-                tables.dof_pi[counts_s] * scale_s
+            rows = np.empty((stays.size, LeafCacheArrays.N_COLUMNS))
+            rows[:, LeafCacheArrays.MEAN] = mean_s
+            rows[:, LeafCacheArrays.VARIANCE] = (scale_s * dof_s) / (dof_s - 2.0)
+            rows[:, LeafCacheArrays.COUNT] = counts_s
+            rows[:, LeafCacheArrays.LOGPDF_SCALE] = dof_s * scale_s
+            rows[:, LeafCacheArrays.LOGPDF_COEF] = tables.coef[counts_s]
+            rows[:, LeafCacheArrays.LOGPDF_CONST] = tables.lgamma_part[
+                counts_s
+            ] - 0.5 * kernels.log_array(tables.dof_pi[counts_s] * scale_s)
+            rows[:, LeafCacheArrays.SUM] = totals_stay[stays]
+            rows[:, LeafCacheArrays.SUM_SQ] = sqs_stay[stays]
+            rows[:, LeafCacheArrays.LML] = stay_lml[stays]
+            self._patch_stays(
+                stays, routing.local_ids[stays], rows, routing.forest
             )
-            self._patch_stays(stay_slots, ids_list, x, rows)
+        timings["propagate-apply"] += perf_counter() - tic
 
     def _apply_grow_batched(
         self, leaf: _Node, proposal: _GrowProposal, index: int

@@ -68,6 +68,7 @@ class FlatTree:
         "right",
         "leaf_slot",
         "caches",
+        "leaf_nodes",
         "n_nodes",
         "n_leaves",
         "_nav",
@@ -82,6 +83,7 @@ class FlatTree:
         leaf_slot: np.ndarray,
         caches: LeafCacheArrays,
         nav: Optional[Tuple[list, list, list, list, list]] = None,
+        leaf_nodes: Optional[list] = None,
     ) -> None:
         self.split_dim = split_dim
         self.split_value = split_value
@@ -89,6 +91,14 @@ class FlatTree:
         self.right = right
         self.leaf_slot = leaf_slot
         self.caches = caches
+        # Leaf id -> the particle's ``_Node`` leaf, in pre-order (``None``
+        # for compilations whose caller did not supply the mapping).  The
+        # batched update's gather phase reads each leaf's training-row
+        # indices through this O(1) lookup instead of a Python descent.
+        # Entries may reference *shared* nodes after a resample — reads
+        # are always safe, mutation must still go through the tree's
+        # copy-on-write descent.
+        self.leaf_nodes = leaf_nodes
         self.n_nodes = int(split_dim.shape[0])
         self.n_leaves = len(caches)
         # Plain-list mirror of the structure arrays for scalar descents:
@@ -123,6 +133,7 @@ class FlatTree:
         right: List[int] = []
         leaf_slot: List[int] = []
         leaves: List[GaussianLeafModel] = []
+        leaf_nodes: List = []
 
         def visit(node) -> int:
             index = len(split_dim)
@@ -133,6 +144,7 @@ class FlatTree:
                 right.append(-1)
                 leaf_slot.append(len(leaves))
                 leaves.append(node.leaf)
+                leaf_nodes.append(node)
             else:
                 split_dim.append(int(node.split_dim))
                 split_value.append(float(node.split_value))
@@ -151,15 +163,16 @@ class FlatTree:
             right=np.asarray(right, dtype=np.intp),
             leaf_slot=np.asarray(leaf_slot, dtype=np.intp),
             caches=LeafCacheArrays.from_leaves(leaves),
+            leaf_nodes=leaf_nodes,
         )
 
     def copy(self) -> "FlatTree":
         """An independent copy of the mutable state.
 
-        Only the leaf caches are ever patched in place, so the copy shares
-        the (immutable-after-compile) structure arrays and the scalar
-        navigation mirror — a resample duplicate costs one ``(n_leaves, 6)``
-        array copy.
+        Only the leaf caches and the leaf-node mapping are ever patched in
+        place, so the copy shares the (immutable-after-compile) structure
+        arrays and the scalar navigation mirror — a resample duplicate
+        costs one ``(n_leaves, 9)`` array copy plus one list copy.
         """
         return FlatTree(
             split_dim=self.split_dim,
@@ -169,6 +182,7 @@ class FlatTree:
             leaf_slot=self.leaf_slot,
             caches=self.caches.copy(),
             nav=self._nav,
+            leaf_nodes=list(self.leaf_nodes) if self.leaf_nodes is not None else None,
         )
 
     # -------------------------------------------------------------- queries
@@ -290,12 +304,15 @@ class FlatTree:
         leaf_slot[v + 2] = leaf_id + 1
         leaf_slot[v + 3 :] = shifted_slot[v + 1 :]
 
-        data = np.empty((self.n_leaves + 1, 6))
+        data = np.empty((self.n_leaves + 1, LeafCacheArrays.N_COLUMNS))
         data[:leaf_id] = self.caches.data[:leaf_id]
         data[leaf_id + 2 :] = self.caches.data[leaf_id + 1 :]
         caches = LeafCacheArrays(data)
         caches.patch(leaf_id, node.left.leaf)
         caches.patch(leaf_id + 1, node.right.leaf)
+        nodes = self.leaf_nodes
+        if nodes is not None:
+            nodes = nodes[:leaf_id] + [node.left, node.right] + nodes[leaf_id + 1 :]
         return FlatTree(
             split_dim=split_dim,
             split_value=split_value,
@@ -303,18 +320,21 @@ class FlatTree:
             right=right,
             leaf_slot=leaf_slot,
             caches=caches,
+            leaf_nodes=nodes,
         )
 
-    def prune_at(self, left_leaf_id: int, merged_leaf: GaussianLeafModel) -> "FlatTree":
+    def prune_at(self, left_leaf_id: int, parent_node) -> "FlatTree":
         """The compilation of this tree after pruning a leaf pair.
 
         ``left_leaf_id`` is the *left* child's leaf id (its sibling is
-        ``left_leaf_id + 1``); ``merged_leaf`` the parent's new leaf model.
-        In pre-order the left child immediately follows its parent, so the
-        parent sits at ``index(left child) - 1``: the two child rows are cut
-        out, node indices beyond them shift ``-2`` and leaf ids beyond the
-        pair shift ``-1``.  Bit-identical to recompiling the pruned particle.
+        ``left_leaf_id + 1``); ``parent_node`` the just-pruned ``_Node``
+        (its ``leaf`` holds the merged model).  In pre-order the left child
+        immediately follows its parent, so the parent sits at
+        ``index(left child) - 1``: the two child rows are cut out, node
+        indices beyond them shift ``-2`` and leaf ids beyond the pair shift
+        ``-1``.  Bit-identical to recompiling the pruned particle.
         """
+        merged_leaf = parent_node.leaf
         v_left = int(np.flatnonzero(self.leaf_slot == left_leaf_id)[0])
         parent = v_left - 1
         n = self.n_nodes
@@ -351,11 +371,14 @@ class FlatTree:
         leaf_slot[parent] = left_leaf_id
         leaf_slot[parent + 1 :] = shifted_slot[parent + 3 :]
 
-        data = np.empty((self.n_leaves - 1, 6))
+        data = np.empty((self.n_leaves - 1, LeafCacheArrays.N_COLUMNS))
         data[:left_leaf_id] = self.caches.data[:left_leaf_id]
         data[left_leaf_id + 1 :] = self.caches.data[left_leaf_id + 2 :]
         caches = LeafCacheArrays(data)
         caches.patch(left_leaf_id, merged_leaf)
+        nodes = self.leaf_nodes
+        if nodes is not None:
+            nodes = nodes[:left_leaf_id] + [parent_node] + nodes[left_leaf_id + 2 :]
         return FlatTree(
             split_dim=split_dim,
             split_value=split_value,
@@ -363,6 +386,7 @@ class FlatTree:
             right=right,
             leaf_slot=leaf_slot,
             caches=caches,
+            leaf_nodes=nodes,
         )
 
 
@@ -593,7 +617,7 @@ class IncrementalForest:
         left = np.full(total_nodes, -1, dtype=np.intp)
         right = np.full(total_nodes, -1, dtype=np.intp)
         leaf_slot = np.full(total_nodes, -1, dtype=np.intp)
-        caches = LeafCacheArrays(np.zeros((total_leaves, 6)))
+        caches = LeafCacheArrays(np.zeros((total_leaves, LeafCacheArrays.N_COLUMNS)))
         self.forest = FlatForest(
             split_dim=split_dim,
             split_value=split_value,

@@ -507,19 +507,23 @@ class LeafTermTables:
 class LeafCacheArrays:
     """Array-backed cached statistics for a *set* of leaves.
 
-    One row per leaf id, packed into a single ``(n_leaves, 6)`` matrix —
-    the posterior-predictive mean and variance, the observation count, and
-    the three value-independent terms of the predictive log-pdf (see
-    :meth:`GaussianLeafModel.predictive_logpdf_terms`).  This is the leaf
-    store behind :class:`~repro.models.flat_tree.FlatTree` /
+    One row per leaf id, packed into a single ``(n_leaves, 9)`` matrix —
+    the posterior-predictive mean and variance, the observation count, the
+    three value-independent terms of the predictive log-pdf (see
+    :meth:`GaussianLeafModel.predictive_logpdf_terms`), the raw sufficient
+    statistics (sum and sum of squares) and the memoized log marginal
+    likelihood.  This is the leaf store behind
+    :class:`~repro.models.flat_tree.FlatTree` /
     :class:`~repro.models.flat_tree.FlatForest`: prediction and the ALC
     score gather ``mean``/``variance`` (column views), the batched reweight
-    step reads whole rows via :meth:`logpdf_row`, and a "stay" move
-    refreshes the one affected row via :meth:`patch`.  The single
-    backing matrix is deliberate: copy-on-write resample copies, forest
-    concatenation and row patches each touch one array instead of six,
-    which is what keeps those paths off the per-particle numpy-dispatch
-    floor at paper-scale particle counts.
+    step reads whole rows via :meth:`logpdf_row`, the batched propagate
+    step gathers the sufficient-statistics and LML columns instead of
+    calling per-leaf Python methods, and a "stay" move refreshes the one
+    affected row via :meth:`patch`.  The single backing matrix is
+    deliberate: copy-on-write resample copies, forest concatenation and
+    row patches each touch one array instead of nine, which is what keeps
+    those paths off the per-particle numpy-dispatch floor at paper-scale
+    particle counts.
 
     The per-row values are produced by the leaf models' memoized scalar
     methods rather than by numpy transcendentals: ``np.log``/``np.log1p``
@@ -532,7 +536,20 @@ class LeafCacheArrays:
     __slots__ = ("data",)
 
     #: Column layout of :attr:`data`.
-    MEAN, VARIANCE, COUNT, LOGPDF_SCALE, LOGPDF_COEF, LOGPDF_CONST = range(6)
+    (
+        MEAN,
+        VARIANCE,
+        COUNT,
+        LOGPDF_SCALE,
+        LOGPDF_COEF,
+        LOGPDF_CONST,
+        SUM,
+        SUM_SQ,
+        LML,
+    ) = range(9)
+
+    #: Row width; every cache-matrix allocation sizes against this.
+    N_COLUMNS = 9
 
     def __init__(self, data: np.ndarray) -> None:
         self.data = data
@@ -564,9 +581,21 @@ class LeafCacheArrays:
     def logpdf_const(self) -> np.ndarray:
         return self.data[:, LeafCacheArrays.LOGPDF_CONST]
 
+    @property
+    def leaf_sum(self) -> np.ndarray:
+        return self.data[:, LeafCacheArrays.SUM]
+
+    @property
+    def leaf_sum_sq(self) -> np.ndarray:
+        return self.data[:, LeafCacheArrays.SUM_SQ]
+
+    @property
+    def leaf_lml(self) -> np.ndarray:
+        return self.data[:, LeafCacheArrays.LML]
+
     @classmethod
     def from_leaves(cls, leaves: Sequence[GaussianLeafModel]) -> "LeafCacheArrays":
-        arrays = cls(np.empty((len(leaves), 6)))
+        arrays = cls(np.empty((len(leaves), cls.N_COLUMNS)))
         for slot, leaf in enumerate(leaves):
             arrays.patch(slot, leaf)
         return arrays
@@ -591,13 +620,17 @@ class LeafCacheArrays:
         re-reading the array.
         """
         mean, dof_scale, coef, const = leaf.predictive_logpdf_terms()
+        count, total, total_sq = leaf.sufficient_stats()
         row = (
             mean,
             leaf.predictive_variance(),
-            float(leaf.count),
+            float(count),
             dof_scale,
             coef,
             const,
+            total,
+            total_sq,
+            leaf.log_marginal_likelihood(),
         )
         self.data[slot] = row
         return row

@@ -832,7 +832,7 @@ class TestRunAllFlag:
         seen = {}
 
         def fake_run_artifacts(scale, selected, workers=1, on_result=None,
-                               replay_trace=None):
+                               replay_trace=None, profile_dir=None):
             seen["memory"] = replay_trace
             return {}
 
