@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check bench bench-update bench-session bench-batch bench-gate lint coverage profile
+.PHONY: test docs-check bench bench-update bench-session bench-batch bench-broker bench-gate lint coverage profile chaos
 
 ## Coverage ratchet for the CI coverage job: fail below this line rate.
 ## Raise it when coverage grows; never lower it to make a PR pass.
@@ -40,6 +40,19 @@ bench-session:
 ## ask(1) cycles from the same primed session.
 bench-batch:
 	$(PYTHON) -m pytest benchmarks/test_bench_batch_ask.py -q
+
+## Refresh the broker-overhead group (bare ProfilerBroker vs the
+## ResilientBroker happy path; also asserts < 5% wrapper overhead).
+bench-broker:
+	$(PYTHON) -m pytest benchmarks/test_bench_broker_overhead.py -q
+
+## Chaos suite: fault injection, retry/quarantine, and the bit-identity
+## contract under a fresh random fault schedule each run.  The chosen
+## seed is echoed in the pytest header; pin a failing schedule with
+## CHAOS_SEED=N.
+chaos:
+	$(PYTHON) -m pytest tests/test_chaos.py -q \
+		$(if $(CHAOS_SEED),--chaos-seed $(CHAOS_SEED))
 
 ## Fail on >20% mean-time regressions in the gated benchmark groups.
 bench-gate:

@@ -32,6 +32,7 @@ DEFAULT_GROUPS = (
     "forest-maintenance",
     "session-overhead",
     "batch-acquisition",
+    "broker-overhead",
 )
 DEFAULT_THRESHOLD = 0.20
 

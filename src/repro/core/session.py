@@ -359,6 +359,26 @@ class TuningSession:
         for request in requests:
             self._fold_one(request, results[request.configuration])
 
+    def abandon(self) -> None:
+        """Discard every outstanding request without folding anything.
+
+        The recovery path for a permanently failed measurement (a broker
+        raising :class:`~repro.measurement.faults.MeasurementFailedError`):
+        the driver abandons the round and the session is immediately
+        re-askable.  Nothing was told, so the model, ledger, statistics,
+        pool and curve are exactly as they were before the failed
+        :meth:`ask` — no state is corrupted.  Parked results of a
+        partially measured batch are dropped rather than folded, because
+        folding a partial batch would make the trajectory depend on
+        *which* member failed.  The generator draws the abandoned ask
+        consumed (candidate sampling, acquisition) are not rewound; a
+        permanently lost measurement genuinely forks the trajectory, and
+        the session simply continues on a valid one.
+        """
+        self._pending = None
+        self._batch_requests = []
+        self._batch_results = {}
+
     def _fold_one(
         self, request: MeasurementRequest, result: MeasurementResult
     ) -> None:

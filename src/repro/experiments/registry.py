@@ -57,6 +57,7 @@ from ..core.learner import ActiveLearner, LearningResult
 from ..core.plans import SamplingPlan
 from ..core.session import TuningSession
 from ..measurement.broker import ReplayBroker, ReplayTrace
+from ..measurement.faults import BrokerPolicy
 from ..spapt.suite import get_benchmark
 from .config import ExperimentScale
 from .profiling import profile_unit_call
@@ -177,6 +178,13 @@ class UnitContext:
     #: never the foreign RNG/noise state).  Copied from the executing
     #: spec's :attr:`ExperimentSpec.replay_rescore_from`.
     replay_rescore_from: Tuple[str, ...] = ()
+
+    #: Fault-tolerance policy for the unit's measurements (see
+    #: :class:`~repro.measurement.faults.BrokerPolicy`): retries with
+    #: backoff, per-request deadlines, and — for chaos testing — seeded
+    #: fault injection.  ``None`` (or an inactive policy) measures through
+    #: the bare broker chain.
+    broker_policy: Optional[BrokerPolicy] = None
 
     def load_checkpoint(self) -> Optional[Any]:
         """The unit's most recent checkpoint, or None to start fresh."""
@@ -323,9 +331,11 @@ def _memory_context(
     replay_trace: Optional[str],
     unit: Optional[WorkUnit] = None,
     spec: Optional[ExperimentSpec] = None,
+    broker_policy: Optional[BrokerPolicy] = None,
 ) -> UnitContext:
     context = UnitContext()
     context.replay_trace = replay_trace
+    context.broker_policy = broker_policy
     if unit is not None:
         context.unit_id = unit.unit_id
         context.artifact = unit.artifact
@@ -335,17 +345,26 @@ def _memory_context(
 
 
 def _execute_unit_job(
-    args: Tuple[str, ExperimentScale, dict, Optional[str], Optional[str]]
+    args: Tuple[
+        str,
+        ExperimentScale,
+        dict,
+        Optional[str],
+        Optional[str],
+        Optional[BrokerPolicy],
+    ]
 ) -> Any:
     """Worker-process entry point for the in-memory pool path."""
-    spec_name, scale, record, replay_trace, profile_dir = args
+    spec_name, scale, record, replay_trace, profile_dir, broker_policy = args
     spec = get_spec(spec_name)
     unit = WorkUnit.from_record(record)
     return profile_unit_call(
         profile_dir,
         unit.unit_id,
         lambda: spec.execute_unit(
-            unit, scale, _memory_context(replay_trace, unit, spec)
+            unit,
+            scale,
+            _memory_context(replay_trace, unit, spec, broker_policy),
         ),
     )
 
@@ -356,6 +375,7 @@ def execute_artifact_units(
     workers: int = 1,
     replay_trace: Optional[str] = None,
     profile_dir: Optional[str] = None,
+    broker_policy: Optional[BrokerPolicy] = None,
 ) -> List[Tuple[WorkUnit, Any]]:
     """Execute every unit of ``spec`` and return (unit, payload) pairs.
 
@@ -364,7 +384,12 @@ def execute_artifact_units(
     the pairs are identical either way.  ``replay_trace`` routes learner
     units through a recorded measurement trace (see :class:`UnitContext`).
     ``profile_dir`` wraps each unit in cProfile and dumps per-unit stats
-    there (see :mod:`repro.experiments.profiling`).
+    there (see :mod:`repro.experiments.profiling`).  ``broker_policy``
+    arms the fault-tolerance broker chain around each unit's measurements
+    (see :class:`~repro.measurement.faults.BrokerPolicy`); note the
+    in-memory executor has no quarantine — a permanently failed
+    measurement propagates and aborts the run (graceful degradation is
+    the sharded runner's job).
     """
     units = spec.work_units(scale)
     if workers <= 1 or len(units) <= 1:
@@ -375,14 +400,23 @@ def execute_artifact_units(
                     profile_dir,
                     unit.unit_id,
                     lambda unit=unit: spec.execute_unit(
-                        unit, scale, _memory_context(replay_trace, unit, spec)
+                        unit,
+                        scale,
+                        _memory_context(replay_trace, unit, spec, broker_policy),
                     ),
                 ),
             )
             for unit in units
         ]
     jobs = [
-        (spec.name, scale, unit.to_record(), replay_trace, profile_dir)
+        (
+            spec.name,
+            scale,
+            unit.to_record(),
+            replay_trace,
+            profile_dir,
+            broker_policy,
+        )
         for unit in units
     ]
     with ProcessPoolExecutor(max_workers=min(workers, len(units))) as pool:
@@ -397,6 +431,7 @@ def run_artifacts(
     on_result: Optional[Callable[[ExperimentSpec, Any], None]] = None,
     replay_trace: Optional[str] = None,
     profile_dir: Optional[str] = None,
+    broker_policy: Optional[BrokerPolicy] = None,
 ) -> Dict[str, Any]:
     """Execute and fold artifacts in dependency order, in memory.
 
@@ -420,6 +455,7 @@ def run_artifacts(
             workers=workers,
             replay_trace=replay_trace,
             profile_dir=profile_dir,
+            broker_policy=broker_policy,
         )
         deps = {name: results[name] for name in spec.depends_on}
         results[spec.name] = spec.fold(scale, pairs, deps)
@@ -518,13 +554,21 @@ def execute_learner_run(
             session.training_examples, config.learner.max_training_examples
         )
 
+    policy = context.broker_policy
+    policy_active = policy is not None and policy.active
+    trace = (
+        ReplayTrace(context.replay_trace)
+        if context.replay_trace is not None
+        else None
+    )
     broker_factory = None
-    if context.replay_trace is not None:
-        trace = ReplayTrace(context.replay_trace)
+    if trace is not None or policy_active:
         # Trace records are namespaced by the unit identity, so parallel or
         # sequential units recording into one directory never replay each
         # other's measurements.  Direct API callers without a registry unit
         # id get a namespace derived from the run's identity coordinates.
+        # The fault-tolerance policy reuses the same identity for its
+        # fail-unit matching, jitter seeding and dead-letter records.
         unit_id = context.unit_id
         if unit_id is None:
             unit_id = "--".join(
@@ -539,15 +583,24 @@ def execute_learner_run(
         def broker_factory(base, rng):
             # Called after ``attach_benchmark`` on resume, so the noise
             # model read here is the (restored) one measurements go through.
-            return ReplayBroker(
-                trace,
-                fallback=base,
-                rng=rng,
-                noise_model=benchmark.noise_model,
-                unit=unit_id,
-                artifact=context.artifact,
-                rescore_from=context.replay_rescore_from,
-            )
+            # Chain order: fault injection and retries wrap the *live*
+            # broker; the replay broker sits outermost, so replayed hits
+            # never consult the policy (a disk read has nothing to retry)
+            # while misses fall through to the resilient live chain.
+            broker = base
+            if policy_active:
+                broker = policy.wrap(broker, unit=unit_id)
+            if trace is not None:
+                broker = ReplayBroker(
+                    trace,
+                    fallback=broker,
+                    rng=rng,
+                    noise_model=benchmark.noise_model,
+                    unit=unit_id,
+                    artifact=context.artifact,
+                    rescore_from=context.replay_rescore_from,
+                )
+            return broker
 
     interval = context.checkpoint_interval
     result = learner.run(

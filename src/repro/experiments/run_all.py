@@ -3,7 +3,9 @@
 ``python -m repro.experiments.run_all [--scale smoke|laptop|paper]
 [--only table2,figure1,...] [--output FILE] [--workers N]
 [--replay-trace DIR] [--profile [DIR]] [--paper-scale-smoke]
-[--paper-run --run-dir DIR [--resume]]``
+[--paper-run --run-dir DIR [--resume]] [--max-retries N]
+[--measure-timeout SECONDS] [--inject-faults SPEC]
+[--max-unit-attempts N]``
 
 Every artifact — table1, table2, figure1, figure2, figure5, figure6,
 noise_robustness, acquisition-ablation, model-ablation,
@@ -34,6 +36,7 @@ import sys
 import time
 from typing import Callable, List, Optional, Sequence
 
+from ..measurement.faults import BrokerPolicy, FaultPlan
 from .config import ExperimentScale
 from .paper_scale import run_paper_scale_smoke
 from .profiling import write_profile_summary
@@ -91,6 +94,34 @@ profile workflow:
   # drill into one unit interactively:
   python -m pstats profile/<unit_id>.prof
 
+fault-tolerance workflow:
+  # harden live measurements: retry each one up to 5 times on timeout or
+  # corrupt result, with a 30 s per-measurement deadline; a unit that
+  # still fails 3 times is quarantined to <run-dir>/failed/<unit>.json
+  # and the report folds the survivors with an explicit coverage note:
+  python -m repro.experiments.run_all --paper-run --run-dir paper_run \\
+      --max-retries 5 --measure-timeout 30 --max-unit-attempts 3
+
+  # chaos-test the pipeline: deterministically inject transient faults
+  # (rates per measurement, seeded — same SPEC, same faults) and check
+  # the report is bit-identical to a fault-free run:
+  python -m repro.experiments.run_all --paper-run --scale smoke \\
+      --run-dir /tmp/chaos --max-retries 5 \\
+      --inject-faults "seed=7,transient=0.2,timeout=0.1,corrupt=0.1"
+
+  # simulate a permanently broken unit (every measurement fails):
+  #   --inject-faults "fail-units=<unit-id>" --max-retries 1
+  # the run completes, quarantines the unit, and the report lists it.
+
+  SPEC keys: seed=N, transient=RATE, timeout=RATE, corrupt=RATE,
+  crash=RATE, hang=SECONDS, max-faults=N (per-request fault budget),
+  fail-units=UNIT+UNIT (permanent failures).  Injection happens before
+  the real measurement, so retried faults consume nothing from the
+  profiler's random stream — except crash faults, which measure and
+  then lose the result (use them to exercise quarantine, not
+  bit-identity).  Dead-lettered requests land in
+  <run-dir>/failed/dead-letters.jsonl.
+
 replay-trace workflow:
   # record every measurement of a table1 run into a trace directory:
   python -m repro.experiments.run_all --only table1 --replay-trace traces/t1
@@ -118,18 +149,37 @@ def _scale_from_name(name: str) -> ExperimentScale:
     return factories[name]()
 
 
-def _append_section(path: str, text: str, truncate: bool = False) -> None:
-    """Append one rendered section with a single O_APPEND write, so a
-    killed run leaves only whole sections behind.  ``truncate`` starts the
-    file over (used for the first section of an invocation, so re-running
-    into the same ``--output`` never mixes two reports)."""
-    flags = os.O_CREAT | os.O_WRONLY | (os.O_TRUNC if truncate else os.O_APPEND)
-    fd = os.open(path, flags, 0o644)
+def _write_report(path: str, sections: Sequence[str]) -> None:
+    """Atomically rewrite the report from its accumulated sections.
+
+    Every streamed section rewrites the whole file through the
+    write-tmp / fsync / rename / fsync-directory dance, so the report on
+    disk is always a complete prefix of the final one — a power loss
+    mid-write can never leave a torn or half-appended section, and a
+    killed run still keeps every section that finished.  Each invocation
+    starts from its own first section, so re-running into the same
+    ``--output`` never mixes two reports.
+    """
+    payload = "".join(section + "\n\n" for section in sections).encode("utf-8")
+    tmp = f"{path}.{os.getpid()}.tmp"
+    fd = os.open(tmp, os.O_CREAT | os.O_WRONLY | os.O_TRUNC, 0o644)
     try:
-        os.write(fd, text.encode("utf-8"))
+        os.write(fd, payload)
         os.fsync(fd)
     finally:
         os.close(fd)
+    os.replace(tmp, path)
+    directory = os.path.dirname(os.path.abspath(path))
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # e.g. a platform without directory opens; rename still atomic
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def run_all(
@@ -139,6 +189,7 @@ def run_all(
     section_sink: Optional[Callable[[str, str], None]] = None,
     replay_trace: Optional[str] = None,
     profile_dir: Optional[str] = None,
+    broker_policy: Optional[BrokerPolicy] = None,
 ) -> str:
     """Run the selected artifacts in memory and return the text report.
 
@@ -153,6 +204,11 @@ def run_all(
     acquisition ablation over a recorded Table 1 trace.  ``profile_dir``
     wraps every work unit in cProfile, dumps per-unit stats there and
     merges them into ``profile_dir/profile.txt`` at the end.
+    ``broker_policy`` arms the fault-tolerance broker chain (retries,
+    deadlines, chaos injection) around every unit's measurements; note
+    the in-memory backend has no quarantine — a permanently failed
+    measurement aborts the run (use ``--paper-run`` for graceful
+    degradation).
     """
     scale = scale if scale is not None else ExperimentScale.laptop()
     selected = list(artifacts) if artifacts is not None else list(DEFAULT_ARTIFACTS)
@@ -181,6 +237,7 @@ def run_all(
         on_result=on_result,
         replay_trace=replay_trace,
         profile_dir=profile_dir,
+        broker_policy=broker_policy,
     )
     if profile_dir is not None:
         summary = write_profile_summary(profile_dir)
@@ -312,6 +369,51 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "acquisition ablation from a table1 trace)"
         ),
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "retry each measurement up to N times on transient failure "
+            "(timeout, corrupt result, injected fault) with seeded "
+            "exponential backoff before giving up on the unit (default: 0)"
+        ),
+    )
+    parser.add_argument(
+        "--measure-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-measurement deadline; a measurement still running after "
+            "SECONDS counts as a transient failure and is retried under "
+            "--max-retries"
+        ),
+    )
+    parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "chaos-inject deterministic faults into every measurement "
+            "broker; SPEC is comma-separated key=value pairs, e.g. "
+            "'seed=7,transient=0.2,timeout=0.1,corrupt=0.1,hang=0.05,"
+            "max-faults=2,fail-units=UNIT+UNIT' (see the epilog)"
+        ),
+    )
+    parser.add_argument(
+        "--max-unit-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with --paper-run: quarantine a work unit after N failed "
+            "attempts instead of retrying it forever; the report then "
+            "folds the surviving units and lists the quarantined ones "
+            "(default: 3)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be at least 1")
@@ -334,6 +436,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # silently split them.
         parser.error("--profile takes no DIR with --paper-run "
                      "(profiles go to <run-dir>/profile)")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be at least 0")
+    if args.measure_timeout is not None and args.measure_timeout <= 0:
+        parser.error("--measure-timeout must be positive")
+    if args.max_unit_attempts is not None and args.max_unit_attempts < 1:
+        parser.error("--max-unit-attempts must be at least 1")
+    if args.inject_faults is not None:
+        try:
+            FaultPlan.parse(args.inject_faults)
+        except ValueError as error:
+            parser.error(f"--inject-faults: {error}")
+    if args.paper_scale_smoke:
+        for flag, value in (
+            ("--max-retries", args.max_retries or None),
+            ("--measure-timeout", args.measure_timeout),
+            ("--inject-faults", args.inject_faults),
+        ):
+            if value is not None:
+                parser.error(f"{flag} does not apply to --paper-scale-smoke")
     if not args.paper_run:
         # Refuse rather than silently ignore: a user resuming a killed
         # paper run who forgets --paper-run would otherwise get a fresh
@@ -342,6 +463,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ("--run-dir", args.run_dir),
             ("--resume", args.resume or None),
             ("--repetitions", args.repetitions),
+            ("--max-unit-attempts", args.max_unit_attempts),
         ):
             if value is not None:
                 parser.error(f"{flag} only makes sense together with --paper-run")
@@ -358,15 +480,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"registered: {', '.join(spec_names())}"
             )
 
-    first_section = True
+    streamed: List[str] = []
 
     def section_sink(name: str, text: str) -> None:
-        nonlocal first_section
         if args.output:
-            _append_section(args.output, text + "\n\n", truncate=first_section)
+            streamed.append(text)
+            _write_report(args.output, streamed)
         else:
             print(text, end="\n\n", flush=True)
-        first_section = False
+
+    broker_policy: Optional[BrokerPolicy] = None
+    if args.max_retries or args.measure_timeout is not None or args.inject_faults:
+        broker_policy = BrokerPolicy(
+            max_retries=args.max_retries,
+            measure_timeout=args.measure_timeout,
+            inject_faults=args.inject_faults,
+        )
 
     if args.paper_run:
         scale = _scale_from_name(args.scale if args.scale is not None else "paper")
@@ -381,6 +510,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             section_sink=section_sink,
             replay_trace=args.replay_trace,
             profile=args.profile is not None,
+            broker_policy=broker_policy,
+            max_unit_attempts=(
+                args.max_unit_attempts if args.max_unit_attempts is not None else 3
+            ),
         )
     elif args.paper_scale_smoke:
         report = run_paper_scale_smoke(
@@ -400,6 +533,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             section_sink=section_sink,
             replay_trace=args.replay_trace,
             profile_dir=args.profile,
+            broker_policy=broker_policy,
         )
     return 0
 

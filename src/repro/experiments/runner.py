@@ -25,8 +25,17 @@ from a persistent on-disk queue:
   poll for the owner's result, and a claim whose lease expired (owner
   died) is taken over via an atomic rename — exactly one contender wins;
 * ``<run_dir>/log/events.jsonl`` — an append-only journal of claim /
-  execute / publish / takeover events (host, pid, timestamps), the audit
-  trail the contention tests assert on.
+  execute / publish / takeover / fail / quarantine events (host, pid,
+  timestamps), fsynced per event, the audit trail the contention tests
+  assert on; a torn tail from a killed writer is truncated on resume;
+* ``<run_dir>/failed/<unit>.json`` — the attempt history of a unit whose
+  execution raised: traceback, host, pid and time per attempt.  A unit
+  that fails ``max_unit_attempts`` times is *quarantined* — excluded from
+  further execution, its artifact folds from the completed units and the
+  report says so explicitly (see :class:`PartialArtifactResult`).
+  Permanently failed *measurements* dead-letter into
+  ``failed/dead-letters.jsonl`` when a fault-tolerance
+  :class:`~repro.measurement.faults.BrokerPolicy` is armed.
 
 Artifacts execute in dependency order; each one folds and (optionally)
 streams its rendered report section as soon as its units are complete, so
@@ -47,11 +56,13 @@ import socket
 import sys
 import threading
 import time
+import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from hashlib import sha256
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..measurement.faults import BrokerPolicy
 from .config import ExperimentScale
 from .profiling import profile_unit_call, write_profile_summary
 from .registry import (
@@ -68,6 +79,7 @@ __all__ = [
     "RunManifest",
     "RunnerError",
     "ExperimentRunner",
+    "PartialArtifactResult",
     "run_paper_run",
 ]
 
@@ -123,8 +135,128 @@ def _append_event(run_dir: pathlib.Path, event: str, unit_id: str) -> None:
     fd = os.open(path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
     try:
         os.write(fd, line)
+        # The journal is how a resumed run reconstructs what happened to a
+        # crashed predecessor; fsync so a power loss right after an event
+        # cannot lose it (a torn *partial* line is still possible and is
+        # truncated away by _recover_journal on resume).
+        os.fsync(fd)
     finally:
         os.close(fd)
+
+
+def _recover_journal(run_dir: pathlib.Path) -> None:
+    """Truncate a torn trailing line off ``log/events.jsonl``.
+
+    A writer killed (or a machine powered off) mid-append can leave a
+    partial final line.  Every complete line ends in a newline, so
+    recovery is exact: cut the file back to its last newline.  Runs on
+    every resume; a healthy journal is left byte-identical.
+    """
+    path = run_dir / "log" / "events.jsonl"
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return
+    if size == 0:
+        return
+    try:
+        with open(path, "r+b") as handle:
+            # A torn tail is at most one journal line; reading the last
+            # 64 KiB bounds the scan on journals of any length.
+            window = min(size, 65536)
+            handle.seek(size - window)
+            tail = handle.read()
+            if tail.endswith(b"\n"):
+                return
+            cut = tail.rfind(b"\n")
+            keep = (size - window) + (cut + 1 if cut >= 0 else 0)
+            handle.truncate(keep)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError:
+        return  # unreadable journal: an audit trail, never a hard failure
+
+
+# ----------------------------------------------------------------- failures
+
+
+def _failure_path(run_dir: pathlib.Path, unit_id: str) -> pathlib.Path:
+    return run_dir / "failed" / f"{unit_id}.json"
+
+
+def _load_failure_record(
+    run_dir: pathlib.Path, unit_id: str
+) -> Optional[dict]:
+    try:
+        record = json.loads(_failure_path(run_dir, unit_id).read_text("utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(record, dict) or "attempts" not in record:
+        return None
+    return record
+
+
+def _record_unit_failure(
+    run_dir: pathlib.Path, unit_id: str, error: str, max_attempts: int
+) -> dict:
+    """Append one failed attempt to ``failed/<unit>.json`` and return the
+    updated record.  Only the claim owner writes, so the read-modify-write
+    is serialised by the claim itself."""
+    record = _load_failure_record(run_dir, unit_id)
+    if record is None:
+        record = {"unit": unit_id, "attempts": []}
+    record["attempts"].append(
+        {
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+            "time": time.time(),
+            "error": error,
+        }
+    )
+    record["quarantined"] = len(record["attempts"]) >= max_attempts
+    record["max_attempts"] = max_attempts
+    _atomic_write_bytes(
+        _failure_path(run_dir, unit_id),
+        (json.dumps(record, indent=2) + "\n").encode("utf-8"),
+    )
+    return record
+
+
+def _clear_unit_failure(run_dir: pathlib.Path, unit_id: str) -> None:
+    try:
+        _failure_path(run_dir, unit_id).unlink()
+    except OSError:
+        pass
+
+
+def _unit_is_quarantined(
+    run_dir: pathlib.Path, unit_id: str, max_attempts: int
+) -> bool:
+    """True once the unit has failed ``max_attempts`` times.
+
+    Judged against the *current* limit, not the one recorded at failure
+    time, so resuming with a larger ``--max-unit-attempts`` releases
+    previously quarantined units for another try.
+    """
+    record = _load_failure_record(run_dir, unit_id)
+    return record is not None and len(record["attempts"]) >= max_attempts
+
+
+def _failure_summary_line(record: dict) -> str:
+    """One human-readable line for a quarantined unit's report entry."""
+    attempts = record.get("attempts", [])
+    last_error = ""
+    if attempts:
+        lines = [
+            line
+            for line in str(attempts[-1].get("error", "")).strip().splitlines()
+            if line.strip()
+        ]
+        last_error = lines[-1].strip() if lines else ""
+    return (
+        f"{record.get('unit', '?')}: {len(attempts)} failed attempt(s)"
+        + (f"; last error: {last_error}" if last_error else "")
+    )
 
 
 # ------------------------------------------------------------------- claims
@@ -306,6 +438,18 @@ class _FileUnitContext(UnitContext):
     checkpoint also renews the unit's claim lease, so a live long-running
     unit is never mistaken for a dead one as long as its checkpoint
     cadence beats the lease.
+
+    Every checkpoint carries a sha256 sidecar (``<unit>.pkl.sha256``)
+    committed after the checkpoint itself: a corrupted or truncated
+    checkpoint — bitrot, a torn filesystem, a partial copy — fails the
+    digest check on load and the unit restarts cleanly instead of
+    resuming from garbage.  The checkpoint/sidecar pair is two atomic
+    renames, so a kill between them leaves a new checkpoint with the old
+    digest; the mismatch is detected and the unit restarts from scratch
+    (correct, merely slower), while a kill before either rename leaves
+    the previous good pair intact and the unit resumes from it.
+    Sidecar-less checkpoints (from runs predating the sidecar) load
+    unverified.
     """
 
     def __init__(
@@ -316,13 +460,17 @@ class _FileUnitContext(UnitContext):
         lease_seconds: float,
         replay_trace: Optional[str] = None,
         replay_rescore_from: Tuple[str, ...] = (),
+        broker_policy: Optional[BrokerPolicy] = None,
     ) -> None:
         self.checkpoint_interval = checkpoint_interval
         self.replay_trace = replay_trace
         self.unit_id = unit.unit_id
         self.artifact = unit.artifact
         self.replay_rescore_from = tuple(replay_rescore_from)
+        self.broker_policy = broker_policy
+        self._run_dir = run_dir
         self._checkpoint_path = run_dir / "checkpoints" / f"{unit.unit_id}.pkl"
+        self._digest_path = run_dir / "checkpoints" / f"{unit.unit_id}.pkl.sha256"
         self._progress_path = run_dir / "progress" / f"{unit.unit_id}.json"
         self._claim_path = run_dir / "claims" / f"{unit.unit_id}.claim"
         self._lease_seconds = lease_seconds
@@ -331,15 +479,34 @@ class _FileUnitContext(UnitContext):
         if not self._checkpoint_path.exists():
             return None
         try:
-            with open(self._checkpoint_path, "rb") as handle:
-                return pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            payload = self._checkpoint_path.read_bytes()
+        except OSError:
+            return None
+        try:
+            expected = self._digest_path.read_text("utf-8").strip()
+        except OSError:
+            expected = None  # pre-sidecar checkpoint: load unverified
+        if expected is not None and sha256(payload).hexdigest() != expected:
+            # Corrupted or truncated checkpoint: discard the pair and
+            # restart the unit cleanly rather than resume from garbage.
+            _append_event(self._run_dir, "checkpoint-corrupt", self.unit_id)
+            for stale in (self._checkpoint_path, self._digest_path):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
+            return None
+        try:
+            return pickle.loads(payload)
+        except (pickle.UnpicklingError, EOFError, AttributeError, ValueError):
             return None  # corrupt/stale checkpoint: restart the unit
 
     def save_checkpoint(self, state: Any) -> None:
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        _atomic_write_bytes(self._checkpoint_path, payload)
         _atomic_write_bytes(
-            self._checkpoint_path,
-            pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL),
+            self._digest_path,
+            (sha256(payload).hexdigest() + "\n").encode("utf-8"),
         )
         _renew_claim(self._claim_path, self._lease_seconds)
 
@@ -350,7 +517,11 @@ class _FileUnitContext(UnitContext):
         )
 
     def cleanup(self) -> None:
-        for stale in (self._checkpoint_path, self._progress_path):
+        for stale in (
+            self._checkpoint_path,
+            self._digest_path,
+            self._progress_path,
+        ):
             try:
                 stale.unlink()
             except OSError:
@@ -395,18 +566,26 @@ def _execute_unit(
     lease_seconds: float,
     replay_trace: Optional[str] = None,
     profile_dir: Optional[str] = None,
+    broker_policy: Optional[BrokerPolicy] = None,
+    max_unit_attempts: int = 3,
 ) -> Tuple[str, str]:
     """Claim and run one work unit (worker-process entry point).
 
     Returns ``(unit_id, status)`` where status is ``"done"`` (executed and
-    published), ``"already"`` (result existed) or ``"claimed"`` (a peer
-    holds a live claim; the caller should poll for the peer's result).
+    published), ``"already"`` (result existed), ``"claimed"`` (a peer
+    holds a live claim; the caller should poll for the peer's result),
+    ``"failed"`` (this attempt raised; the failure is recorded and the
+    unit stays retryable) or ``"quarantined"`` (the unit exhausted its
+    ``max_unit_attempts`` and is excluded from further execution — its
+    ``failed/<unit>.json`` holds the full attempt history).
     """
     base = pathlib.Path(run_dir)
     unit = WorkUnit.from_record(record)
     result_path = base / "results" / f"{unit.unit_id}.pkl"
     if result_path.exists():
         return unit.unit_id, "already"
+    if _unit_is_quarantined(base, unit.unit_id, max_unit_attempts):
+        return unit.unit_id, "quarantined"
     claim_path = base / "claims" / f"{unit.unit_id}.claim"
     if not _try_claim(claim_path, lease_seconds):
         return unit.unit_id, "claimed"
@@ -416,21 +595,39 @@ def _execute_unit(
             # the takeover; nothing to do.
             return unit.unit_id, "already"
         _append_event(base, "execute", unit.unit_id)
-        spec = get_spec(spec_name)
-        context = _FileUnitContext(
-            base,
-            unit,
-            checkpoint_interval,
-            lease_seconds,
-            replay_trace,
-            replay_rescore_from=spec.replay_rescore_from,
-        )
-        with _ClaimHeartbeat(claim_path, lease_seconds):
-            payload = profile_unit_call(
-                profile_dir,
-                unit.unit_id,
-                lambda: spec.execute_unit(unit, scale, context),
+        try:
+            spec = get_spec(spec_name)
+            context = _FileUnitContext(
+                base,
+                unit,
+                checkpoint_interval,
+                lease_seconds,
+                replay_trace,
+                replay_rescore_from=spec.replay_rescore_from,
+                broker_policy=broker_policy,
             )
+            with _ClaimHeartbeat(claim_path, lease_seconds):
+                payload = profile_unit_call(
+                    profile_dir,
+                    unit.unit_id,
+                    lambda: spec.execute_unit(unit, scale, context),
+                )
+        except Exception:
+            # Graceful degradation: record the attempt (traceback + host +
+            # time) while we still hold the claim — the claim serialises
+            # the read-modify-write of the failure file — and hand the
+            # unit back.  It stays retryable until max_unit_attempts, then
+            # quarantines; KeyboardInterrupt and friends still propagate.
+            failure = _record_unit_failure(
+                base, unit.unit_id, traceback.format_exc(), max_unit_attempts
+            )
+            quarantined = bool(failure.get("quarantined"))
+            _append_event(
+                base,
+                "quarantine" if quarantined else "fail",
+                unit.unit_id,
+            )
+            return unit.unit_id, "quarantined" if quarantined else "failed"
         _atomic_write_bytes(
             result_path,
             pickle.dumps(
@@ -440,12 +637,66 @@ def _execute_unit(
         )
         _append_event(base, "publish", unit.unit_id)
         context.cleanup()
+        # A unit that failed on earlier attempts but succeeded now is not
+        # a failure: keep the coverage report clean.
+        _clear_unit_failure(base, unit.unit_id)
     finally:
         _release_claim(claim_path)
     return unit.unit_id, "done"
 
 
 # ------------------------------------------------------------------- runner
+
+
+class PartialArtifactResult:
+    """A folded artifact missing some quarantined units, plus its coverage.
+
+    Wraps the spec's folded result (built from the completed units only)
+    and prepends an explicit coverage report to :meth:`render`, so a
+    degraded report can never be mistaken for a complete one.  Attribute
+    access delegates to the wrapped result, which keeps dependent folds
+    working (Figure 5 reads ``.comparisons`` off Table 1 whether or not
+    Table 1 is partial).
+    """
+
+    def __init__(
+        self,
+        result: Any,
+        artifact: str,
+        total_units: int,
+        completed_units: int,
+        quarantined: Sequence[dict],
+    ) -> None:
+        self._result = result
+        self._artifact = artifact
+        self._total_units = total_units
+        self._completed_units = completed_units
+        self._quarantined = list(quarantined)
+
+    @property
+    def result(self) -> Any:
+        return self._result
+
+    @property
+    def quarantined(self) -> List[dict]:
+        return list(self._quarantined)
+
+    def coverage_report(self) -> str:
+        lines = [
+            f"!! PARTIAL RESULT: {self._completed_units}/{self._total_units} "
+            f"units folded; {len(self._quarantined)} quarantined:"
+        ]
+        lines.extend(
+            f"!!   {_failure_summary_line(record)}"
+            for record in self._quarantined
+        )
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        return self.coverage_report() + "\n\n" + self._result.render()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._result, name)
 
 
 class ExperimentRunner:
@@ -476,6 +727,8 @@ class ExperimentRunner:
         claim_poll_seconds: float = 2.0,
         replay_trace: Optional[str] = None,
         profile: bool = False,
+        broker_policy: Optional[BrokerPolicy] = None,
+        max_unit_attempts: int = 3,
     ) -> None:
         self.run_dir = pathlib.Path(run_dir)
         self.scale = scale
@@ -487,10 +740,23 @@ class ExperimentRunner:
             raise ValueError("checkpoint_interval must be at least 1")
         if claim_lease_seconds <= 0:
             raise ValueError("claim_lease_seconds must be positive")
+        if max_unit_attempts < 1:
+            raise ValueError("max_unit_attempts must be at least 1")
         self.checkpoint_interval = checkpoint_interval
         self.claim_lease_seconds = claim_lease_seconds
         self.claim_poll_seconds = claim_poll_seconds
         self.replay_trace = replay_trace
+        self.max_unit_attempts = max_unit_attempts
+        # Permanently failed measurements dead-letter into the run's failed/
+        # directory unless the policy already names a destination.
+        if broker_policy is not None and broker_policy.dead_letter_path is None:
+            broker_policy = dataclasses.replace(
+                broker_policy,
+                dead_letter_path=str(
+                    self.run_dir / "failed" / "dead-letters.jsonl"
+                ),
+            )
+        self.broker_policy = broker_policy
         # Profiles live inside the run dir, next to the results they explain.
         self.profile_dir: Optional[str] = (
             str(self.run_dir / "profile") if profile else None
@@ -534,8 +800,15 @@ class ExperimentRunner:
                     f"configuration (fingerprint {existing.fingerprint} != "
                     f"{manifest.fingerprint}); refusing to mix results"
                 )
+            # The failed/ directory postdates early run layouts; create it
+            # so failure recording works on resumed legacy directories.
+            (self.run_dir / "failed").mkdir(parents=True, exist_ok=True)
+            # A predecessor killed mid-append may have left a torn final
+            # journal line; cut it before this run appends to the file.
+            _recover_journal(self.run_dir)
             return existing
-        for sub in ("results", "checkpoints", "progress", "claims", "log"):
+        for sub in ("results", "checkpoints", "progress", "claims", "log",
+                    "failed"):
             (self.run_dir / sub).mkdir(parents=True, exist_ok=True)
         manifest.write(self.manifest_path, self.scale, self.artifacts)
         return manifest
@@ -549,6 +822,28 @@ class ExperimentRunner:
         return [
             unit for unit in manifest.units if not self._result_path(unit).exists()
         ]
+
+    def quarantined_units(
+        self, manifest: Optional[RunManifest] = None
+    ) -> List[WorkUnit]:
+        """Units quarantined after exhausting their attempts, manifest order."""
+        if manifest is None:
+            manifest = RunManifest.read(self.manifest_path)
+        return [
+            unit
+            for unit in manifest.units
+            if not self._result_path(unit).exists()
+            and _unit_is_quarantined(
+                self.run_dir, unit.unit_id, self.max_unit_attempts
+            )
+        ]
+
+    def failure_records(self, units: Sequence[WorkUnit]) -> List[dict]:
+        """The ``failed/<unit>.json`` records for ``units`` (existing ones)."""
+        records = (
+            _load_failure_record(self.run_dir, unit.unit_id) for unit in units
+        )
+        return [record for record in records if record is not None]
 
     # -------------------------------------------------------------- execution
 
@@ -594,8 +889,31 @@ class ExperimentRunner:
             self._execute_artifact(
                 spec, units, later_units, workers, say, state, progress_interval
             )
-            results[spec.name] = self._fold_artifact(spec, units, results)
-            say(f"  artifact {spec.name}: folded ({len(units)} unit(s))")
+            completed = [
+                unit for unit in units if self._result_path(unit).exists()
+            ]
+            quarantined = [
+                unit for unit in units if unit not in completed
+            ]
+            results[spec.name] = self._fold_artifact(spec, completed, results)
+            if quarantined:
+                # Graceful degradation: fold what completed, but wrap the
+                # result so the report carries an explicit coverage section
+                # instead of passing a partial fold off as complete.
+                results[spec.name] = PartialArtifactResult(
+                    results[spec.name],
+                    spec.name,
+                    total_units=len(units),
+                    completed_units=len(completed),
+                    quarantined=self.failure_records(quarantined),
+                )
+                say(
+                    f"  artifact {spec.name}: folded PARTIAL "
+                    f"({len(completed)}/{len(units)} unit(s), "
+                    f"{len(quarantined)} quarantined)"
+                )
+            else:
+                say(f"  artifact {spec.name}: folded ({len(units)} unit(s))")
             if on_result is not None:
                 on_result(spec, results[spec.name])
         if self.profile_dir is not None:
@@ -626,10 +944,21 @@ class ExperimentRunner:
         remaining units are all claimed by peers, the host works *ahead*
         on later artifacts' unclaimed units instead of idling (the fold
         barrier gates only the fold, not execution).
+
+        A unit whose execution keeps raising is retried (its attempts
+        accumulate in ``failed/<unit>.json``) until it exhausts
+        ``max_unit_attempts`` and quarantines; quarantined units leave
+        the pending set, so a permanently broken unit degrades the
+        artifact instead of hanging the run.
         """
         waiting_logged = False
         while True:
-            pending = [u for u in units if not self._result_path(u).exists()]
+            pending = [
+                u
+                for u in units
+                if not self._result_path(u).exists()
+                and not self._unit_is_quarantined(u)
+            ]
             if not pending:
                 return
             # Only dispatch units that look claimable right now — checking
@@ -653,6 +982,7 @@ class ExperimentRunner:
                     u
                     for u in later_units
                     if not self._result_path(u).exists()
+                    and not self._unit_is_quarantined(u)
                     and self._unit_is_open(u)
                 ]
             )
@@ -672,6 +1002,11 @@ class ExperimentRunner:
         """True when the unit has no live claim (free, or stale takeover)."""
         claim = self.run_dir / "claims" / f"{unit.unit_id}.claim"
         return not claim.exists() or _claim_is_stale(claim, self.claim_lease_seconds)
+
+    def _unit_is_quarantined(self, unit: WorkUnit) -> bool:
+        return _unit_is_quarantined(
+            self.run_dir, unit.unit_id, self.max_unit_attempts
+        )
 
     def _claim_order(self, units: List[WorkUnit]) -> List[WorkUnit]:
         """Permute ``units`` into this host's deterministic claim order.
@@ -701,8 +1036,11 @@ class ExperimentRunner:
         """One claim-and-execute pass over ``pending`` (units may belong
         to different artifacts — each resolves its spec by name); returns
         how many units this invocation actually ran (claimed elsewhere →
-        0)."""
+        0).  Failed and quarantined attempts count as activity — they
+        advanced the unit's attempt history — so the caller re-plans
+        immediately instead of sleeping on the claim-poll interval."""
         executed = 0
+        active = ("done", "failed", "quarantined")
         if workers == 1:
             for unit in pending:
                 _, status = _execute_unit(
@@ -714,10 +1052,14 @@ class ExperimentRunner:
                     self.claim_lease_seconds,
                     self.replay_trace,
                     self.profile_dir,
+                    self.broker_policy,
+                    self.max_unit_attempts,
                 )
                 if status in ("done", "already"):
                     say(self._status_line(state))
-                executed += status == "done"
+                elif status in ("failed", "quarantined"):
+                    say(f"  unit {unit.unit_id}: attempt failed ({status})")
+                executed += status in active
             return executed
         with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
             futures = {
@@ -731,6 +1073,8 @@ class ExperimentRunner:
                     self.claim_lease_seconds,
                     self.replay_trace,
                     self.profile_dir,
+                    self.broker_policy,
+                    self.max_unit_attempts,
                 ): unit
                 for unit in pending
             }
@@ -743,8 +1087,11 @@ class ExperimentRunner:
                         return_when=FIRST_COMPLETED,
                     )
                     for future in finished:
-                        _, status = future.result()  # propagate worker failures
-                        executed += status == "done"
+                        # Unit execution errors come back as "failed"/
+                        # "quarantined" statuses; .result() re-raises only
+                        # infrastructure failures (a dead worker process).
+                        _, status = future.result()
+                        executed += status in active
                     if finished or outstanding:
                         say(self._status_line(state))
             except BaseException:
@@ -822,25 +1169,48 @@ class ExperimentRunner:
     def merge(self, manifest: Optional[RunManifest] = None) -> Dict[str, Any]:
         """Fold every artifact from the completed results on disk.
 
-        Raises :class:`RunnerError` when any unit is missing a result —
-        folding a partial run would silently bias averaged curves.
+        Raises :class:`RunnerError` when any unit is missing a result for
+        a reason other than quarantine — folding a merely *incomplete* run
+        would silently bias averaged curves.  Quarantined units (execution
+        failed ``max_unit_attempts`` times) are the explicit exception:
+        their artifacts fold from the completed units and come back
+        wrapped in :class:`PartialArtifactResult`, whose rendering leads
+        with the coverage report.
         """
         if manifest is None:
             manifest = RunManifest.read(self.manifest_path)
         missing = self.pending_units(manifest)
-        if missing:
+        quarantined_ids = {
+            unit.unit_id for unit in self.quarantined_units(manifest)
+        }
+        incomplete = [
+            unit for unit in missing if unit.unit_id not in quarantined_ids
+        ]
+        if incomplete:
             raise RunnerError(
-                f"cannot merge {self.run_dir}: {len(missing)} unit(s) incomplete "
-                f"(first: {missing[0].unit_id})"
+                f"cannot merge {self.run_dir}: {len(incomplete)} unit(s) "
+                f"incomplete (first: {incomplete[0].unit_id})"
             )
         units_by_artifact: Dict[str, List[WorkUnit]] = {}
         for unit in manifest.units:
             units_by_artifact.setdefault(unit.artifact, []).append(unit)
         results: Dict[str, Any] = {}
         for spec in self.specs:
-            results[spec.name] = self._fold_artifact(
-                spec, units_by_artifact.get(spec.name, []), results
-            )
+            units = units_by_artifact.get(spec.name, [])
+            completed = [
+                unit for unit in units if self._result_path(unit).exists()
+            ]
+            results[spec.name] = self._fold_artifact(spec, completed, results)
+            if len(completed) < len(units):
+                results[spec.name] = PartialArtifactResult(
+                    results[spec.name],
+                    spec.name,
+                    total_units=len(units),
+                    completed_units=len(completed),
+                    quarantined=self.failure_records(
+                        [unit for unit in units if unit not in completed]
+                    ),
+                )
         return results
 
 
@@ -856,6 +1226,8 @@ def run_paper_run(
     section_sink: Optional[Callable[[str, str], None]] = None,
     replay_trace: Optional[str] = None,
     profile: bool = False,
+    broker_policy: Optional[BrokerPolicy] = None,
+    max_unit_attempts: int = 3,
 ) -> str:
     """Drive registry artifacts through the sharded backend; return the report.
 
@@ -871,6 +1243,14 @@ def run_paper_run(
     wraps every unit in cProfile and leaves per-unit dumps plus a merged
     top-25 summary under ``<run_dir>/profile/`` (see
     :mod:`repro.experiments.profiling`).
+
+    ``broker_policy`` arms the fault-tolerance chain (retries, deadlines,
+    chaos injection — see :class:`~repro.measurement.faults.BrokerPolicy`)
+    around every unit's measurements, and ``max_unit_attempts`` bounds how
+    often a failing unit is retried before it is quarantined to
+    ``failed/<unit>.json``.  A run with quarantined units still completes:
+    affected artifacts fold from the units that succeeded and the report
+    ends with a "Quarantined units" section enumerating what is missing.
     """
     if repetitions is not None:
         if repetitions < 1:
@@ -884,6 +1264,8 @@ def run_paper_run(
         checkpoint_interval=checkpoint_interval,
         replay_trace=replay_trace,
         profile=profile,
+        broker_policy=broker_policy,
+        max_unit_attempts=max_unit_attempts,
     )
     say = progress if progress is not None else (
         lambda line: print(line, file=sys.stderr, flush=True)
@@ -907,4 +1289,21 @@ def run_paper_run(
             section_sink(spec.name, text)
 
     runner.run(workers=workers, resume=resume, progress=say, on_result=on_result)
+    quarantined = runner.quarantined_units()
+    if quarantined:
+        lines = [
+            "Quarantined units",
+            "-----------------",
+            f"{len(quarantined)} unit(s) failed {runner.max_unit_attempts} "
+            "time(s) and were excluded from the folds above (full attempt "
+            "histories in failed/<unit>.json):",
+        ]
+        lines.extend(
+            f"  - {_failure_summary_line(record)}"
+            for record in runner.failure_records(quarantined)
+        )
+        text = "\n".join(lines)
+        sections.append(text)
+        if section_sink is not None:
+            section_sink("quarantine", text)
     return "\n\n".join(sections)

@@ -17,6 +17,16 @@ from .broker import (
     ReplayMissError,
     ReplayTrace,
 )
+from .faults import (
+    BrokerPolicy,
+    CorruptMeasurementError,
+    FaultInjectingBroker,
+    FaultPlan,
+    MeasurementFailedError,
+    MeasurementTimeoutError,
+    ResilientBroker,
+    TransientMeasurementError,
+)
 from .noise import (
     FrequencyDrift,
     GaussianJitter,
@@ -49,6 +59,14 @@ __all__ = [
     "ReplayBroker",
     "ReplayMissError",
     "ReplayTrace",
+    "BrokerPolicy",
+    "CorruptMeasurementError",
+    "FaultInjectingBroker",
+    "FaultPlan",
+    "MeasurementFailedError",
+    "MeasurementTimeoutError",
+    "ResilientBroker",
+    "TransientMeasurementError",
     "FrequencyDrift",
     "GaussianJitter",
     "HeavyTailedSpikes",

@@ -37,6 +37,8 @@ the session layer depends on the measurement layer, never the reverse.
 from __future__ import annotations
 
 import json
+import logging
+import math
 import os
 import pathlib
 from dataclasses import dataclass
@@ -58,6 +60,8 @@ __all__ = [
     "ReplayMissError",
     "measure_batch",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -125,6 +129,15 @@ class MeasurementResult:
     are cached); ``runtimes`` charges one execution each.  The session
     replays these into its own cost ledger in order, which reproduces the
     inline loop's float accumulation bit for bit.
+
+    Construction is the sanity boundary of the measurement pipeline: a
+    non-finite or non-positive runtime, or a non-finite or negative
+    compile charge, is rejected (and logged) here rather than silently
+    fed into the Welford statistics and the model update — a clock can
+    glitch, a broker can lie, but a result object always holds usable
+    observations.  Finite-but-absurd outliers pass construction and are
+    the business of :class:`~repro.measurement.faults.ResilientBroker`'s
+    prior-statistics check.
     """
 
     configuration: Tuple[int, ...]
@@ -143,6 +156,29 @@ class MeasurementResult:
         )
         if not self.runtimes:
             raise ValueError("a measurement result needs at least one runtime")
+        for runtime in self.runtimes:
+            if not math.isfinite(runtime) or runtime <= 0:
+                logger.warning(
+                    "rejecting measurement result for %s: runtime %r is "
+                    "not a finite positive number",
+                    self.configuration,
+                    runtime,
+                )
+                raise ValueError(
+                    f"runtime {runtime!r} is not a finite positive number"
+                )
+        for charge in self.compile_seconds:
+            if not math.isfinite(charge) or charge < 0:
+                logger.warning(
+                    "rejecting measurement result for %s: compile charge "
+                    "%r is not a finite non-negative number",
+                    self.configuration,
+                    charge,
+                )
+                raise ValueError(
+                    f"compile charge {charge!r} is not a finite "
+                    f"non-negative number"
+                )
 
 
 class MeasurementBroker(Protocol):

@@ -335,6 +335,228 @@ class TestKillAndResume:
         assert body(killed_report) == body(full_report)
 
 
+class TestCheckpointIntegrity:
+    """The sha256 sidecar: corrupted/truncated checkpoints are detected
+    and the unit restarts cleanly instead of resuming from garbage."""
+
+    def _context(self, tmp_path):
+        from repro.experiments.runner import _FileUnitContext
+
+        run_dir = tmp_path / "run"
+        for sub in ("checkpoints", "progress", "claims", "log"):
+            (run_dir / sub).mkdir(parents=True)
+        unit = WorkUnit(artifact="table1", key=("mm", "p", "r000"), params={})
+        context = _FileUnitContext(
+            run_dir, unit, checkpoint_interval=5, lease_seconds=900.0
+        )
+        return run_dir, context
+
+    def _journal(self, run_dir):
+        path = run_dir / "log" / "events.jsonl"
+        return path.read_text("utf-8") if path.exists() else ""
+
+    def test_round_trip_and_corruption_detection(self, tmp_path):
+        run_dir, context = self._context(tmp_path)
+        context.save_checkpoint({"examples": 7})
+        assert context.load_checkpoint() == {"examples": 7}
+
+        checkpoint = run_dir / "checkpoints" / "table1--mm--p--r000.pkl"
+        payload = checkpoint.read_bytes()
+        checkpoint.write_bytes(payload[: len(payload) // 2])  # truncated
+        assert context.load_checkpoint() is None
+        assert "checkpoint-corrupt" in self._journal(run_dir)
+        # The corrupt pair is discarded so the unit restarts from scratch.
+        assert not checkpoint.exists()
+        assert not checkpoint.with_suffix(".pkl.sha256").exists()
+
+    def test_kill_between_renames_is_detected(self, tmp_path):
+        """A kill after the checkpoint rename but before the sidecar
+        rename leaves a new checkpoint under the old digest — detected."""
+        import pickle
+
+        from repro.experiments.runner import _atomic_write_bytes
+
+        run_dir, context = self._context(tmp_path)
+        context.save_checkpoint({"examples": 7})
+        checkpoint = run_dir / "checkpoints" / "table1--mm--p--r000.pkl"
+        _atomic_write_bytes(checkpoint, pickle.dumps({"examples": 14}))
+        assert context.load_checkpoint() is None
+        assert "checkpoint-corrupt" in self._journal(run_dir)
+
+    def test_kill_before_rename_keeps_previous_checkpoint(self, tmp_path):
+        """A kill inside the tmp-write window leaves the previous good
+        pair intact (plus a stray tmp) and the unit resumes from it."""
+        run_dir, context = self._context(tmp_path)
+        context.save_checkpoint({"examples": 7})
+        checkpoint = run_dir / "checkpoints" / "table1--mm--p--r000.pkl"
+        torn = checkpoint.with_name(f"{checkpoint.name}.12345.tmp")
+        torn.write_bytes(b"torn half-written checkpoint")
+        assert context.load_checkpoint() == {"examples": 7}
+        assert "checkpoint-corrupt" not in self._journal(run_dir)
+
+    def test_sidecarless_checkpoint_loads_unverified(self, tmp_path):
+        run_dir, context = self._context(tmp_path)
+        context.save_checkpoint({"examples": 7})
+        (run_dir / "checkpoints" / "table1--mm--p--r000.pkl.sha256").unlink()
+        assert context.load_checkpoint() == {"examples": 7}
+
+
+class TestJournalRecovery:
+    def _journal(self, tmp_path, payload):
+        run_dir = tmp_path / "run"
+        (run_dir / "log").mkdir(parents=True)
+        path = run_dir / "log" / "events.jsonl"
+        path.write_bytes(payload)
+        return run_dir, path
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        from repro.experiments.runner import _recover_journal
+
+        good = b'{"event": "claim", "unit": "a"}\n{"event": "publish", "unit": "a"}\n'
+        run_dir, path = self._journal(tmp_path, good + b'{"event": "cl')
+        _recover_journal(run_dir)
+        assert path.read_bytes() == good
+
+    def test_healthy_journal_is_untouched(self, tmp_path):
+        from repro.experiments.runner import _recover_journal
+
+        good = b'{"event": "claim", "unit": "a"}\n'
+        run_dir, path = self._journal(tmp_path, good)
+        _recover_journal(run_dir)
+        assert path.read_bytes() == good
+
+    def test_missing_or_empty_journal_is_fine(self, tmp_path):
+        from repro.experiments.runner import _recover_journal
+
+        run_dir, path = self._journal(tmp_path, b"")
+        _recover_journal(run_dir)
+        assert path.read_bytes() == b""
+        _recover_journal(tmp_path / "nonexistent")
+
+
+_KILL_WINDOW_DRIVER = """\
+import os
+import signal
+import sys
+
+import repro.experiments.runner as runner
+
+MODE = sys.argv[1]
+real = runner._atomic_write_bytes
+counts = {"pkl": 0, "sha": 0}
+
+
+def patched(path, payload):
+    if path.parent.name == "checkpoints":
+        if path.name.endswith(".pkl.sha256"):
+            counts["sha"] += 1
+            if MODE == "between" and counts["sha"] == 2:
+                # The second checkpoint's .pkl rename just committed; die
+                # before its sidecar rename.
+                os.kill(os.getpid(), signal.SIGKILL)
+        elif path.name.endswith(".pkl"):
+            counts["pkl"] += 1
+            if MODE == "tmp" and counts["pkl"] == 2:
+                # Die inside the tmp-write window of the second
+                # checkpoint: leave a torn tmp, never rename.
+                torn = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+                with open(torn, "wb") as handle:
+                    handle.write(payload[: max(1, len(payload) // 2)])
+                os.kill(os.getpid(), signal.SIGKILL)
+    real(path, payload)
+
+
+runner._atomic_write_bytes = patched
+
+from repro.experiments.run_all import main
+
+sys.exit(main(sys.argv[2:]))
+"""
+
+
+class TestKillInCheckpointWindow:
+    """SIGKILL inside the checkpoint tmp+rename window: --resume restarts
+    from the previous good checkpoint (or cleanly from scratch when the
+    kill landed between the checkpoint and sidecar renames) and the final
+    report is identical to an uninterrupted run."""
+
+    @pytest.mark.parametrize("mode", ["tmp", "between"])
+    def test_resume_after_kill_in_window_is_identical(self, tmp_path, mode):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+
+        def arguments(run_dir, report, resume=False):
+            argv = [
+                "--paper-run",
+                "--scale",
+                "smoke",
+                "--only",
+                "table1",
+                "--repetitions",
+                "1",
+                "--checkpoint-interval",
+                "3",
+                "--run-dir",
+                str(run_dir),
+                "--output",
+                str(report),
+            ]
+            if resume:
+                argv.append("--resume")
+            return argv
+
+        clean_report = tmp_path / "clean.txt"
+        subprocess.run(
+            [sys.executable, "-m", "repro.experiments.run_all"]
+            + arguments(tmp_path / "clean", clean_report),
+            env=env,
+            cwd=REPO_ROOT,
+            check=True,
+            capture_output=True,
+            timeout=600,
+        )
+
+        driver = tmp_path / "driver.py"
+        driver.write_text(_KILL_WINDOW_DRIVER, "utf-8")
+        killed_dir = tmp_path / "killed"
+        killed_report = tmp_path / "killed.txt"
+        process = subprocess.run(
+            [sys.executable, str(driver), mode]
+            + arguments(killed_dir, killed_report),
+            env=env,
+            cwd=REPO_ROOT,
+            capture_output=True,
+            timeout=600,
+        )
+        assert process.returncode == -signal.SIGKILL, process.stderr.decode()
+        # The kill landed after the first good checkpoint pair.
+        assert list((killed_dir / "checkpoints").glob("*.pkl"))
+
+        subprocess.run(
+            [sys.executable, "-m", "repro.experiments.run_all"]
+            + arguments(killed_dir, killed_report, resume=True),
+            env=env,
+            cwd=REPO_ROOT,
+            check=True,
+            capture_output=True,
+            timeout=600,
+        )
+
+        def body(path):
+            return path.read_text("utf-8").split("\n\n", 1)[1]
+
+        assert body(killed_report) == body(clean_report)
+        journal = (killed_dir / "log" / "events.jsonl").read_text("utf-8")
+        if mode == "between":
+            # The mismatched pair was detected and the unit restarted.
+            assert "checkpoint-corrupt" in journal
+        else:
+            # The previous good pair verified and the unit resumed from it.
+            assert "checkpoint-corrupt" not in journal
+
+
 class TestClaimOrder:
     """Per-host deterministic permutation of the claim walk (contention)."""
 

@@ -832,7 +832,8 @@ class TestRunAllFlag:
         seen = {}
 
         def fake_run_artifacts(scale, selected, workers=1, on_result=None,
-                               replay_trace=None, profile_dir=None):
+                               replay_trace=None, profile_dir=None,
+                               broker_policy=None):
             seen["memory"] = replay_trace
             return {}
 
